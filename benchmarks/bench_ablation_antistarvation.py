@@ -1,0 +1,106 @@
+"""Ablation: slow-commit starvation and the §6 mitigation.
+
+"The protocol for slow commit may starve because of repeated conflicting
+instances of fast commit.  A simple solution ... is to mark objects that
+caused the abort of slow commit and briefly delay access to them in
+subsequent fast commits."  The authors did not implement it; we do,
+behind ``anti_starvation=True``, and measure slow-commit success under a
+hot conflicting fast-commit stream with the mitigation off and on.
+"""
+
+from repro.bench import PAYLOAD, format_table, run_closed_loop, walter_costs
+from repro.deployment import Deployment
+from repro.storage import FLUSH_EC2
+
+
+def measure(anti_starvation):
+    world = Deployment(
+        n_sites=2,
+        costs=walter_costs("ec2"),
+        flush_latency=FLUSH_EC2,
+        seed=33,
+        anti_starvation=anti_starvation,
+    )
+    if anti_starvation:
+        # The delay must cover the remote writer's snapshot staleness:
+        # the last fast-committed version needs ~2.5 RTT to propagate,
+        # become DS-durable, and commit at the remote site before a new
+        # slow commit can see it in its snapshot.
+        for server in world.servers:
+            server.anti_starvation_delay = 0.5
+    container = world.create_container("hot", preferred_site=0)
+    hot_oid = container.new_id()
+    outcomes = {"slow_ok": 0, "slow_abort": 0}
+
+    def fast_factory(client, rng):
+        def op():
+            tx = client.start_tx()
+            yield from client.write(tx, hot_oid, PAYLOAD)
+            yield from client.commit(tx)
+            yield client.kernel.timeout(0.010)
+            return "fast"
+
+        return op
+
+    def slow_factory(client, rng):
+        def op():
+            tx = client.start_tx()
+            yield from client.write(tx, hot_oid, PAYLOAD)
+            status = yield from client.commit(tx)
+            outcomes["slow_ok" if status == "COMMITTED" else "slow_abort"] += 1
+            return "slow"
+
+        return op
+
+    # Hot fast-commit stream at the preferred site (site 0)...
+    fast_clients = [world.new_client(0) for _ in range(2)]
+    # ...competing with slow commits from site 1.
+    slow_clients = [world.new_client(1) for _ in range(2)]
+
+    from repro.bench import run_closed_loop_raw
+
+    def combined_factory(client, rng):
+        if client in fast_clients:
+            return fast_factory(client, rng)
+        return slow_factory(client, rng)
+
+    result = run_closed_loop_raw(
+        world.kernel,
+        fast_clients + slow_clients,
+        combined_factory,
+        warmup=0.5,
+        measure=8.0,
+        name="anti=%s" % anti_starvation,
+    )
+    attempts = outcomes["slow_ok"] + outcomes["slow_abort"]
+    success = outcomes["slow_ok"] / attempts if attempts else 0.0
+    return success, attempts
+
+
+def run_all():
+    return {"off": measure(False), "on": measure(True)}
+
+
+def test_ablation_anti_starvation(once):
+    results = once(run_all)
+
+    print()
+    print("Ablation: slow-commit success rate under conflicting fast commits")
+    rows = [
+        [mode, "%.0f%%" % (rate * 100), attempts]
+        for mode, (rate, attempts) in results.items()
+    ]
+    print(format_table(["anti-starvation", "slow-commit success", "attempts"], rows))
+
+    rate_off, attempts_off = results["off"]
+    rate_on, attempts_on = results["on"]
+    assert attempts_off > 10 and attempts_on > 10
+    # Without the mitigation the slow commits starve outright.
+    assert rate_off < 0.05
+    # With it they make steady progress.  The rate stays well below 100%
+    # because a remote transaction's snapshot lags the preferred site by
+    # the propagation delay (~2.5 RTT): retries issued inside that stale
+    # window still vote NO, and the delay cannot eliminate that -- it
+    # only holds off new fast commits so that *some* retry lands.
+    assert rate_on > rate_off + 0.1
+    assert rate_on > 0.10

@@ -1,0 +1,87 @@
+"""Ablation: preferred-site locality.
+
+The paper's core performance claim is that writes at an object's
+preferred site commit fast (locally) while writes elsewhere pay a WAN
+two-phase commit.  This ablation sweeps the fraction of remote-preferred
+objects in a write workload from 0% to 100% and shows the fast-to-slow
+crossover: throughput falls and median commit latency climbs from
+sub-millisecond to a WAN round trip.  It quantifies exactly what
+WaltSocial/ReTwis avoid by using csets (§8.5: "applications should
+minimize the use of slow commits").
+"""
+
+import pytest
+
+from repro.bench import PAYLOAD, format_table, populate, run_closed_loop, walter_costs
+from repro.deployment import Deployment
+from repro.storage import FLUSH_EC2
+
+REMOTE_FRACTIONS = [0.0, 0.25, 0.5, 1.0]
+
+
+def measure(remote_fraction):
+    world = Deployment(
+        n_sites=2, costs=walter_costs("ec2"), flush_latency=FLUSH_EC2, seed=32
+    )
+    keys = populate(world, n_keys=2000)
+
+    def factory(client, rng):
+        site = client.site.id
+        remote = 1 - site
+
+        def op():
+            tx = client.start_tx()
+            pool = keys.by_site[remote] if rng.random() < remote_fraction else keys.by_site[site]
+            oid = rng.choice(pool)
+            yield from client.write(tx, oid, PAYLOAD)
+            status = yield from client.commit(tx)
+            if status != "COMMITTED":
+                raise RuntimeError("aborted")
+            return "write"
+
+        return op
+
+    result = run_closed_loop(
+        world, factory, clients_per_site=32, warmup=0.5, measure=1.0,
+        name="remote-%d%%" % int(remote_fraction * 100),
+    )
+    slow = sum(s.stats.slow_commits for s in world.servers)
+    commits = sum(s.stats.commits for s in world.servers)
+    return result, (slow / commits if commits else 0.0)
+
+
+def run_all():
+    return {frac: measure(frac) for frac in REMOTE_FRACTIONS}
+
+
+def test_ablation_preferred_site_locality(once):
+    results = once(run_all)
+
+    print()
+    print("Ablation: fraction of remote-preferred writes (2 sites)")
+    rows = []
+    for frac in REMOTE_FRACTIONS:
+        result, slow_share = results[frac]
+        rows.append([
+            "%.0f%% remote" % (frac * 100),
+            result.ktps,
+            result.latencies.p50 * 1000,
+            "%.0f%%" % (slow_share * 100),
+        ])
+    print(format_table(["workload", "Ktps", "p50 latency (ms)", "slow commits"], rows))
+
+    tputs = [results[f][0].ktps for f in REMOTE_FRACTIONS]
+    p50s = [results[f][0].latencies.p50 for f in REMOTE_FRACTIONS]
+    slow_shares = [results[f][1] for f in REMOTE_FRACTIONS]
+
+    # Throughput strictly degrades as locality is lost.
+    assert tputs[0] > tputs[1] > tputs[2] > tputs[3]
+    # All-local is at least 5x faster than all-remote.
+    assert tputs[0] > 5 * tputs[3]
+    # Latency crossover: local commits are sub-WAN, all-remote pays ~RTT.
+    assert p50s[0] < 0.041
+    assert p50s[3] >= 0.082 * 0.95
+    # The slow-commit share tracks the remote fraction.
+    assert slow_shares[0] == 0.0
+    assert slow_shares[1] == pytest.approx(0.25, abs=0.08)
+    assert slow_shares[3] == pytest.approx(1.0, abs=0.02)

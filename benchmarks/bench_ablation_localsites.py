@@ -1,0 +1,67 @@
+"""Ablation: scaling a data center with "local sites" (§5.8).
+
+Walter has one server per site, and per-site write throughput is bounded
+by that server's serialized commit section.  §5.8's proposed scale-out is
+to split a data center into several local sites and partition objects
+across them.  This ablation measures a single data center's aggregate
+write throughput with 1, 2, and 4 local sites: it should scale with the
+number of local servers (each brings its own commit lock and CPU).
+"""
+
+from repro.bench import PAYLOAD, format_table, run_closed_loop, walter_costs
+from repro.deployment import Deployment
+from repro.net import Topology
+from repro.storage import FLUSH_EC2
+
+LOCAL_SITE_COUNTS = [1, 2, 4]
+
+
+def measure(n_local_sites):
+    topo = Topology.datacenters([n_local_sites], lan_rtt_ms=0.3)
+    world = Deployment(
+        topology=topo, costs=walter_costs("ec2"), flush_latency=FLUSH_EC2, seed=58
+    )
+    keyspace = {}
+    for site in range(n_local_sites):
+        container = world.create_container("part%d" % site, preferred_site=site)
+        keyspace[site] = [container.new_id() for _ in range(500)]
+    world.preload({oid: PAYLOAD for oids in keyspace.values() for oid in oids})
+
+    def factory(client, rng):
+        site = client.site.id
+
+        def op():
+            tx = client.start_tx()
+            oid = rng.choice(keyspace[site])
+            yield from client.write(tx, oid, PAYLOAD, last=True)
+            if tx.status != "COMMITTED":
+                raise RuntimeError("aborted")
+            return "write"
+
+        return op
+
+    result = run_closed_loop(
+        world, factory, clients_per_site=64, warmup=0.2, measure=0.4,
+        name="%d-local-sites" % n_local_sites,
+    )
+    return result.ktps
+
+
+def run_all():
+    return {n: measure(n) for n in LOCAL_SITE_COUNTS}
+
+
+def test_ablation_local_site_scaling(once):
+    results = once(run_all)
+
+    print()
+    print("Ablation §5.8: write throughput of one data center (Ktps)")
+    rows = [["%d local sites" % n, results[n]] for n in LOCAL_SITE_COUNTS]
+    print(format_table(["configuration", "Ktps"], rows))
+
+    # Aggregate write throughput scales with the number of local servers
+    # (each adds a commit lock).  Scaling is sub-linear because every
+    # local site still applies the other partitions' updates (the same
+    # effect as Fig 17's cross-site write scaling, just over the LAN).
+    assert results[2] > 1.5 * results[1]
+    assert results[4] > 2.4 * results[1]

@@ -1,0 +1,126 @@
+"""Figure 16: base read/write transaction throughput, Walter vs Berkeley DB.
+
+Paper (private-cluster primary + one async EC2 replica, 100-byte objects,
+one object per transaction):
+
+    Walter       read 72 Ktps    write 33.5 Ktps
+    Berkeley DB  read 80 Ktps    write 32 Ktps
+
+Shape requirements: comparable read throughput with Walter slightly lower
+(it assigns a start vector and takes a local lock per transaction), and
+comparable write throughput.
+"""
+
+from repro.baselines import build_bdb_pair
+from repro.bench import (
+    PAYLOAD,
+    bdb_costs,
+    format_table,
+    paper_comparison,
+    populate,
+    read_tx_factory,
+    run_closed_loop,
+    run_closed_loop_raw,
+    walter_costs,
+    write_tx_factory,
+)
+from repro.deployment import Deployment
+from repro.net import Host, Network, Topology
+from repro.sim import Kernel
+from repro.storage import FLUSH_WRITE_CACHING_ON
+
+N_KEYS = 5000
+PAPER = {
+    ("walter", "read"): 72.0,
+    ("walter", "write"): 33.5,
+    ("bdb", "read"): 80.0,
+    ("bdb", "write"): 32.0,
+}
+
+
+def walter_world():
+    # Two sites as in §8.2 (primary in the private cluster, replica in
+    # CA), updates issued at one site only.
+    return Deployment(
+        n_sites=2,
+        costs=walter_costs("private"),
+        flush_latency=FLUSH_WRITE_CACHING_ON,
+        seed=16,
+    )
+
+
+def measure_walter(kind):
+    world = walter_world()
+    keys = populate(world, n_keys=N_KEYS)
+    factory = (
+        read_tx_factory(keys, 1) if kind == "read" else write_tx_factory(keys, 1)
+    )
+    clients = 64 if kind == "read" else 128
+    return run_closed_loop(
+        world, factory, sites=[0], clients_per_site=clients,
+        warmup=0.1, measure=0.3, name="walter-%s" % kind,
+    )
+
+
+def measure_bdb(kind):
+    kernel = Kernel()
+    net = Network(kernel, Topology.ec2(2), jitter_frac=0.0)
+    primary, replica = build_bdb_pair(
+        kernel, net, costs=bdb_costs("private"), flush_latency=FLUSH_WRITE_CACHING_ON
+    )
+    # Populate.
+    for i in range(N_KEYS):
+        primary._install("key%d" % i, 0, PAYLOAD)
+
+    def factory(client, rng):
+        def op():
+            key = "key%d" % rng.randrange(N_KEYS)
+            if kind == "read":
+                yield from client.call("bdb-primary", "get", key=key)
+            else:
+                yield from client.call("bdb-primary", "put", key=key, value=PAYLOAD)
+            return kind
+
+        return op
+
+    n_clients = 64 if kind == "read" else 128
+    clients = []
+    for i in range(n_clients):
+        c = Host(kernel, net, 0, "bdb-client-%d" % i)
+        c.start()
+        clients.append(c)
+    return run_closed_loop_raw(
+        kernel, clients, factory, warmup=0.1, measure=0.3, name="bdb-%s" % kind
+    )
+
+
+def run_all():
+    return {
+        ("walter", "read"): measure_walter("read").ktps,
+        ("walter", "write"): measure_walter("write").ktps,
+        ("bdb", "read"): measure_bdb("read").ktps,
+        ("bdb", "write"): measure_bdb("write").ktps,
+    }
+
+
+def test_fig16_base_throughput(once):
+    measured = once(run_all)
+
+    print()
+    print("Figure 16: base transaction throughput (Ktps)")
+    print(
+        paper_comparison(
+            [
+                ("%s %s tx" % (system, kind), PAPER[(system, kind)], measured[(system, kind)])
+                for system, kind in PAPER
+            ]
+        )
+    )
+
+    # Shape: all magnitudes within 40% of the paper.
+    for key, paper in PAPER.items():
+        assert 0.6 * paper <= measured[key] <= 1.4 * paper, (key, measured[key])
+    # Shape: BDB reads slightly faster than Walter reads; writes comparable.
+    assert measured[("bdb", "read")] > measured[("walter", "read")]
+    ratio = measured[("walter", "write")] / measured[("bdb", "write")]
+    assert 0.8 <= ratio <= 1.3

@@ -1,0 +1,100 @@
+"""Figure 20: latency of slow commit and its replication.
+
+Clients at VA issue write-only transactions of 2-4 objects whose
+preferred sites are VA, CA, IE, SG in order, forcing the two-phase slow
+commit among those preferred sites.
+
+Paper shape: commit latency is the round trip from VA to the *farthest
+preferred site* in the write-set -- ~82 ms for size 2 (VA-CA), ~87 ms for
+size 3 (VA-IE), ~261 ms for size 4 (VA-SG); disaster-safe durability adds
+the usual [RTTmax, 2*RTTmax] replication latency on top.
+"""
+
+from repro.bench import (
+    LatencyRecorder,
+    PAYLOAD,
+    format_table,
+    populate,
+    run_closed_loop,
+    slow_commit_tx_factory,
+    walter_costs,
+)
+from repro.deployment import Deployment
+from repro.storage import FLUSH_EC2
+
+TX_SIZES = [2, 3, 4]
+#: RTT from VA to the farthest preferred site per tx size (paper §8.5).
+FARTHEST_RTT = {2: 0.082, 3: 0.087, 4: 0.261}
+
+
+def measure(tx_size):
+    world = Deployment(
+        n_sites=4, costs=walter_costs("ec2"), flush_latency=FLUSH_EC2, seed=20
+    )
+    keys = populate(world, n_keys=1000)
+    commit_rec = LatencyRecorder("slow-commit-%d" % tx_size)
+    ds_rec = LatencyRecorder("slow-ds-%d" % tx_size)
+
+    def factory(client, rng):
+        def op():
+            tx = client.start_tx()
+            for site in range(tx_size):
+                oid = rng.choice(keys.by_site[site])
+                yield from client.write(tx, oid, PAYLOAD)
+            start = client.kernel.now
+            status = yield from client.commit(tx)
+            if status != "COMMITTED":
+                return "aborted"
+            commit_rec.record(client.kernel.now - start)
+            yield tx.ds_event
+            ds_rec.record(client.kernel.now - start)
+            return "slow"
+
+        return op
+
+    run_closed_loop(
+        world, factory, sites=[0], clients_per_site=8,
+        warmup=1.0, measure=6.0, name="fig20-%d" % tx_size,
+    )
+    return commit_rec, ds_rec
+
+
+def run_all():
+    return {size: measure(size) for size in TX_SIZES}
+
+
+def test_fig20_slow_commit_latency(once):
+    results = once(run_all)
+
+    print()
+    print("Figure 20: slow commit and DS-durability latency from VA (ms)")
+    rows = []
+    for size in TX_SIZES:
+        commit_rec, ds_rec = results[size]
+        rows.append([
+            "tx size=%d" % size,
+            FARTHEST_RTT[size] * 1000,
+            commit_rec.p50 * 1000,
+            commit_rec.p99 * 1000,
+            ds_rec.p50 * 1000,
+        ])
+    print(format_table(
+        ["workload", "paper commit~RTT", "commit p50", "commit p99", "DS p50"], rows
+    ))
+
+    rtt_max = 0.261  # VA-SG, the farthest site in the 4-site deployment
+    for size in TX_SIZES:
+        commit_rec, ds_rec = results[size]
+        assert len(commit_rec) > 30
+        expected = FARTHEST_RTT[size]
+        # Commit latency == round trip to the farthest preferred site.
+        assert expected * 0.95 <= commit_rec.p50 <= expected * 1.4, (
+            size, commit_rec.p50,
+        )
+        # DS durability: commit plus [RTTmax, 2*RTTmax] replication.
+        assert ds_rec.p50 >= commit_rec.p50 + 0.9 * rtt_max
+        assert ds_rec.p50 <= commit_rec.p50 + 2.4 * rtt_max
+    # Size 4 commits are much slower than sizes 2-3 (SG joins the 2PC).
+    assert results[4][0].p50 > results[3][0].p50 * 2
+    # Sizes 2 and 3 are close (82 vs 87 ms round trips).
+    assert abs(results[3][0].p50 - results[2][0].p50) < 0.04

@@ -1,0 +1,134 @@
+"""Figure 21: transaction size and throughput of WaltSocial operations.
+
+Paper (4 EC2 sites, 400,000 users, containers replicated everywhere,
+users act at their container's preferred site):
+
+    operation      objs read  objs written  csets written  Kops/s
+    read-info      3          0             0              40
+    befriend       2          0             2              20
+    status-update  1          2             2              18
+    post-message   2          2             2              16.5
+    mix1 (90/10)   2.9        0.5           0.3            34
+    mix2 (80/20)   2.8        0.7           0.5            32
+
+The simulation uses a proportionally smaller population (the store has no
+capacity cliff); the operation structure -- and hence the shape of the
+table -- is identical.
+"""
+
+import random
+
+from repro.apps.waltsocial import WaltSocial, WaltSocialDB
+from repro.bench import format_table, paper_comparison, run_closed_loop, walter_costs
+from repro.deployment import Deployment
+from repro.storage import FLUSH_EC2
+
+N_USERS = 2000
+PAPER_KOPS = {
+    "read_info": 40.0,
+    "befriend": 20.0,
+    "status_update": 18.0,
+    "post_message": 16.5,
+    "mix1": 34.0,
+    "mix2": 32.0,
+}
+
+
+def build_world():
+    world = Deployment(
+        n_sites=4, costs=walter_costs("ec2"), flush_latency=FLUSH_EC2, seed=21
+    )
+    db = WaltSocialDB(world)
+    db.populate(N_USERS, statuses_per_user=2, wall_posts_per_user=2)
+    social = WaltSocial(db)
+    by_site = {s: [] for s in range(4)}
+    for name, user in db.users.items():
+        by_site[user.home_site].append(name)
+    return world, db, social, by_site
+
+
+def op_factory(social, by_site, all_names, op_name):
+    def factory(client, rng):
+        locals_ = by_site[client.site.id]
+
+        def one(kind):
+            user = rng.choice(locals_)
+            if kind == "read_info":
+                result = yield from social.read_info(client, user)
+            elif kind == "befriend":
+                other = rng.choice(all_names)
+                if other == user:
+                    other = locals_[0] if locals_[0] != user else all_names[0]
+                result = yield from social.befriend(client, user, other)
+            elif kind == "status_update":
+                result = yield from social.status_update(client, user, "s%d" % rng.randrange(10**6))
+            else:
+                other = rng.choice(all_names)
+                result = yield from social.post_message(client, user, other, "m%d" % rng.randrange(10**6))
+            if result["status"] != "COMMITTED":
+                raise RuntimeError("%s aborted" % kind)
+            return kind
+
+        def op():
+            if op_name == "mix1":
+                roll = rng.random()
+                kind = (
+                    "read_info" if roll < 0.90 else
+                    rng.choice(["befriend", "status_update", "post_message"])
+                )
+            elif op_name == "mix2":
+                roll = rng.random()
+                kind = (
+                    "read_info" if roll < 0.80 else
+                    rng.choice(["befriend", "status_update", "post_message"])
+                )
+            else:
+                kind = op_name
+            result = yield from one(kind)
+            return result
+
+        return op
+
+    return factory
+
+
+def run_all():
+    results = {}
+    for op_name in PAPER_KOPS:
+        world, db, social, by_site = build_world()
+        all_names = list(db.users)
+        result = run_closed_loop(
+            world,
+            op_factory(social, by_site, all_names, op_name),
+            clients_per_site=48,
+            warmup=0.3,
+            measure=0.6,
+            name=op_name,
+        )
+        results[op_name] = result.ktps
+    return results
+
+
+def test_fig21_waltsocial_throughput(once):
+    results = once(run_all)
+
+    print()
+    print("Figure 21: WaltSocial operation throughput (Kops/s, 4 sites)")
+    print(paper_comparison(
+        [(name, PAPER_KOPS[name], results[name]) for name in PAPER_KOPS],
+        metric="Kops/s",
+    ))
+
+    # Magnitudes within ~2.2x of the paper.
+    for name, paper in PAPER_KOPS.items():
+        assert 0.45 * paper <= results[name] <= 2.2 * paper, (name, results[name])
+    # Shape: read-info is the fastest operation.
+    for update_op in ["befriend", "status_update", "post_message"]:
+        assert results[update_op] <= results["read_info"] * 1.10
+    # post-message (most objects touched) is the slowest update op.
+    assert results["post_message"] <= results["befriend"]
+    assert results["post_message"] <= results["status_update"] * 1.05
+    # The read-dominated mixes sit between read-info and the update ops.
+    for mix in ["mix1", "mix2"]:
+        assert results["post_message"] < results[mix] <= results["read_info"] * 1.05
+    assert results["mix2"] <= results["mix1"] * 1.05

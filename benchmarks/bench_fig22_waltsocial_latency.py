@@ -1,0 +1,56 @@
+"""Figure 22: latency of WaltSocial operations under moderate load.
+
+Paper shape: operations finish quickly because no transaction involves
+cross-site communication (reads hit the local replica, updates use csets
+and fast commit).  The 99.9-percentile of every operation is below 50 ms;
+read-info touches the fewest objects and is the fastest.
+"""
+
+from repro.bench import format_table, run_closed_loop, walter_costs
+from repro.deployment import Deployment
+from repro.storage import FLUSH_EC2
+
+from bench_fig21_waltsocial_tput import build_world, op_factory
+
+OPS = ["read_info", "befriend", "status_update", "post_message"]
+
+
+def run_all():
+    latencies = {}
+    for op_name in OPS:
+        world, db, social, by_site = build_world()
+        all_names = list(db.users)
+        result = run_closed_loop(
+            world,
+            op_factory(social, by_site, all_names, op_name),
+            clients_per_site=12,  # moderate load
+            warmup=0.3,
+            measure=1.0,
+            name=op_name,
+        )
+        latencies[op_name] = result.latencies
+    return latencies
+
+
+def test_fig22_waltsocial_latency(once):
+    latencies = once(run_all)
+
+    print()
+    print("Figure 22: WaltSocial operation latency (ms, moderate load)")
+    rows = [
+        [name, rec.p50 * 1000, rec.p99 * 1000, rec.p999 * 1000]
+        for name, rec in latencies.items()
+    ]
+    print(format_table(["operation", "p50", "p99", "p99.9"], rows))
+
+    for name in OPS:
+        rec = latencies[name]
+        assert len(rec) > 500
+        # Paper: "The 99.9-percentile latency of all operations ... is
+        # below 50 ms."
+        assert rec.p999 < 0.050, (name, rec.p999)
+        # No cross-site communication: median well under one WAN RTT.
+        assert rec.p50 < 0.041
+    # read-info involves the fewest objects and is the fastest.
+    for other in ["befriend", "status_update", "post_message"]:
+        assert latencies["read_info"].p50 <= latencies[other].p50

@@ -1,0 +1,156 @@
+"""Figure 23: ReTwis throughput on Redis vs Walter, 1 and 2 sites.
+
+The paper emulates users issuing status (read timeline), post, and
+follow operations through Apache/PHP front-ends; a mixed workload is 85%
+status, 7.5% post, 7.5% follow.  Both stores commit writes to memory.
+
+Shape requirements:
+
+* at one site, ReTwis-on-Walter is at most ~25% slower than
+  ReTwis-on-Redis (paper: post 4713 vs 5740 ops/s);
+* Redis cannot update from multiple sites, but Walter can: with two
+  sites the Walter throughput roughly doubles (paper: post 9527 ops/s).
+"""
+
+from repro.apps.retwis import RedisReTwis, WalterReTwis
+from repro.baselines import RedisServer
+from repro.bench import (
+    FRONTEND_OP_SECONDS,
+    FRONTEND_WORKERS_PER_SITE,
+    format_table,
+    redis_costs,
+    run_closed_loop_raw,
+    walter_costs,
+)
+from repro.deployment import Deployment
+from repro.net import Host, Network, Topology
+from repro.sim import Kernel, Resource
+from repro.storage import FLUSH_MEMORY
+
+N_USERS = 2000
+FOLLOWS = 10
+WORKLOADS = ["status", "post", "follow", "mixed"]
+PAPER_POST = {"redis-1": 5.74, "walter-1": 4.713, "walter-2": 9.527}
+
+
+def pick_kind(workload, rng):
+    if workload != "mixed":
+        return workload
+    roll = rng.random()
+    if roll < 0.85:
+        return "status"
+    return "post" if roll < 0.925 else "follow"
+
+
+def run_walter(n_sites, workload):
+    world = Deployment(
+        n_sites=n_sites, costs=walter_costs("ec2"), flush_latency=FLUSH_MEMORY, seed=23
+    )
+    retwis = WalterReTwis(world)
+    retwis.populate(N_USERS, follows_per_user=FOLLOWS, seed=23)
+    by_site = {s: [] for s in range(n_sites)}
+    for name, user in retwis.users.items():
+        by_site[user.home_site].append(name)
+    frontends = {
+        s: Resource(world.kernel, FRONTEND_WORKERS_PER_SITE, name="fe%d" % s)
+        for s in range(n_sites)
+    }
+
+    def factory(client, rng):
+        locals_ = by_site[client.site.id]
+        frontend = frontends[client.site.id]
+
+        def op():
+            yield from frontend.use(FRONTEND_OP_SECONDS)
+            kind = pick_kind(workload, rng)
+            user = rng.choice(locals_)
+            if kind == "status":
+                yield from retwis.status(client, user)
+            elif kind == "post":
+                result = yield from retwis.post(client, user, "t%d" % rng.randrange(10**6))
+                if result["status"] != "COMMITTED":
+                    raise RuntimeError("post aborted")
+            else:
+                other = rng.choice(locals_)
+                yield from retwis.follow(client, user, other)
+            return kind
+
+        return op
+
+    clients = [world.new_client(s) for s in range(n_sites) for _ in range(40)]
+    result = run_closed_loop_raw(
+        world.kernel, clients, factory, warmup=0.3, measure=0.8,
+        name="walter%d-%s" % (n_sites, workload),
+    )
+    return result.throughput
+
+
+def run_redis(workload):
+    kernel = Kernel()
+    net = Network(kernel, Topology.ec2(1), jitter_frac=0.0)
+    server = RedisServer(kernel, net, 0, "redis-master", costs=redis_costs())
+    server.start()
+    retwis = RedisReTwis("redis-master")
+    retwis.populate_direct(server, N_USERS, follows_per_user=FOLLOWS, seed=23)
+    names = list(retwis.users)
+    frontend = Resource(kernel, FRONTEND_WORKERS_PER_SITE, name="fe")
+
+    def factory(client, rng):
+        def op():
+            yield from frontend.use(FRONTEND_OP_SECONDS)
+            kind = pick_kind(workload, rng)
+            user = rng.choice(names)
+            if kind == "status":
+                yield from retwis.status(client, user)
+            elif kind == "post":
+                yield from retwis.post(client, user, "t%d" % rng.randrange(10**6))
+            else:
+                yield from retwis.follow(client, user, rng.choice(names))
+            return kind
+
+        return op
+
+    clients = []
+    for i in range(40):
+        c = Host(kernel, net, 0, "web-%d" % i)
+        c.start()
+        clients.append(c)
+    result = run_closed_loop_raw(
+        kernel, clients, factory, warmup=0.3, measure=0.8, name="redis-%s" % workload
+    )
+    return result.throughput
+
+
+def run_all():
+    results = {}
+    for workload in WORKLOADS:
+        results[("redis-1", workload)] = run_redis(workload)
+        results[("walter-1", workload)] = run_walter(1, workload)
+        results[("walter-2", workload)] = run_walter(2, workload)
+    return results
+
+
+def test_fig23_retwis_throughput(once):
+    results = once(run_all)
+
+    print()
+    print("Figure 23: ReTwis throughput (ops/s)")
+    rows = [
+        [workload] + ["%.0f" % results[(system, workload)] for system in ["redis-1", "walter-1", "walter-2"]]
+        for workload in WORKLOADS
+    ]
+    print(format_table(["workload", "Redis 1-site", "Walter 1-site", "Walter 2-sites"], rows))
+
+    for workload in WORKLOADS:
+        redis1 = results[("redis-1", workload)]
+        walter1 = results[("walter-1", workload)]
+        walter2 = results[("walter-2", workload)]
+        # "the slowdown is no more than 25%" at one site (small slack).
+        assert walter1 >= 0.65 * redis1, (workload, walter1, redis1)
+        assert walter1 <= 1.15 * redis1
+        # Two sites roughly double the Walter throughput.
+        assert 1.5 <= walter2 / walter1 <= 2.3, (workload, walter2 / walter1)
+
+    # The post magnitudes land near the paper's (in Kops/s).
+    assert 0.5 * PAPER_POST["redis-1"] <= results[("redis-1", "post")] / 1000 <= 2.0 * PAPER_POST["redis-1"]
+    assert 0.5 * PAPER_POST["walter-1"] <= results[("walter-1", "post")] / 1000 <= 2.0 * PAPER_POST["walter-1"]

@@ -1,0 +1,51 @@
+"""§8.1: the EC2 round-trip latency matrix.
+
+Measures RTTs end-to-end through the message layer (ping/pong between
+hosts at every site pair) and compares against the paper's table.
+"""
+
+from repro.bench import format_table
+from repro.net import EC2_RTT_MS, EC2_SITE_NAMES, Host, Network, Topology
+from repro.sim import Kernel
+
+
+class Pinger(Host):
+    def rpc_ping(self):
+        return "pong"
+
+
+def measure_rtts():
+    kernel = Kernel()
+    topo = Topology.ec2(4)
+    net = Network(kernel, topo, jitter_frac=0.0)
+    hosts = {name: Pinger(kernel, net, name, "ping-%s" % name) for name in EC2_SITE_NAMES}
+    for host in hosts.values():
+        host.start()
+
+    measured = {}
+
+    def ping(src, dst):
+        start = kernel.now
+        yield from hosts[src].call("ping-%s" % dst, "ping")
+        measured[(src, dst)] = (kernel.now - start) * 1000.0
+
+    for i, a in enumerate(EC2_SITE_NAMES):
+        for b in EC2_SITE_NAMES[i:]:
+            kernel.run_process(ping(a, b), until=kernel.now + 5.0)
+    return measured
+
+
+def test_sec81_rtt_matrix(once):
+    measured = once(measure_rtts)
+
+    rows = []
+    for (a, b), paper_ms in sorted(EC2_RTT_MS.items()):
+        rows.append([f"{a}-{b}", paper_ms, measured[(a, b)]])
+    print()
+    print("Section 8.1: round-trip latencies (ms), paper vs measured")
+    print(format_table(["pair", "paper", "measured"], rows))
+
+    for pair, paper_ms in EC2_RTT_MS.items():
+        got = measured[pair]
+        # Within the RTT plus per-message software overheads.
+        assert paper_ms <= got <= paper_ms + 2.0, (pair, paper_ms, got)

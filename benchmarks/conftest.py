@@ -1,0 +1,23 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Every ``bench_*`` file regenerates one table or figure from the paper's
+evaluation (§8) -- see DESIGN.md §4 for the experiment index.  The
+simulations are deterministic, so each benchmark runs exactly once
+(``benchmark.pedantic`` with one round) and prints a paper-vs-measured
+report (visible with ``pytest -s`` or on assertion failure).
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run a deterministic simulation once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def runner(fn):
+        return run_once(benchmark, fn)
+
+    return runner

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: a two-site Walter deployment in a few lines.
+
+Spins up Walter across two simulated EC2 sites (Virginia and California),
+runs a transaction, and watches it replicate: the write is visible at its
+own site immediately after a *local* commit, becomes visible in
+California ~a round trip later, and the client gets callbacks when the
+transaction is disaster-safe durable and globally visible.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import Deployment, ObjectKind
+
+
+def main():
+    world = Deployment(n_sites=2)  # VA and CA, paper RTTs
+    world.create_container("alice", preferred_site=0)
+
+    client_va = world.new_client(0)
+    client_ca = world.new_client(1)
+    oid = client_va.new_id("alice")
+    friends = client_va.new_id("alice", ObjectKind.CSET)
+
+    def writer():
+        tx = client_va.start_tx()
+        yield from client_va.write(tx, oid, b"hello geo-replication")
+        yield from client_va.set_add(tx, friends, "bob")
+        status = yield from client_va.commit(tx)
+        committed = world.kernel.now
+        print(f"[{committed*1000:7.1f} ms] committed at VA: {status}")
+        ds_at = yield tx.ds_event
+        print(f"[{ds_at*1000:7.1f} ms] disaster-safe durable (logged at both sites)")
+        visible_at = yield tx.visible_event
+        print(f"[{visible_at*1000:7.1f} ms] globally visible (committed at all sites)")
+
+    def reader(when, label):
+        yield world.kernel.timeout(when)
+        tx = client_ca.start_tx()
+        value = yield from client_ca.read(tx, oid)
+        cset = yield from client_ca.set_read(tx, friends)
+        yield from client_ca.commit(tx)
+        print(
+            f"[{world.kernel.now*1000:7.1f} ms] read at CA ({label}): "
+            f"value={value!r}, friends={sorted(cset.members())}"
+        )
+
+    world.kernel.spawn(writer())
+    world.kernel.spawn(reader(0.010, "before propagation"))
+    world.kernel.spawn(reader(0.500, "after propagation"))
+    world.run(until=2.0)
+
+    print()
+    print("PSI in action: the CA read at 10 ms saw nothing (the commit was")
+    print("asynchronous), while the read at 500 ms saw everything -- and no")
+    print("conflict-resolution logic was ever needed.")
+
+
+if __name__ == "__main__":
+    main()

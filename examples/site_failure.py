@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Failure handling walkthrough (§4.4, §5.7).
+
+Demonstrates the full disaster-recovery lifecycle:
+
+1. a Walter *server* crashes and a replacement recovers from the site's
+   replicated cluster storage, resuming propagation;
+2. an entire *site* fails; the aggressive recovery option removes it,
+   keeps its surviving (replicated) transactions, abandons the
+   unreplicated ones, and reassigns its containers' preferred site;
+3. the failed site returns and is re-integrated, taking its containers
+   back.
+
+Run with:  python examples/site_failure.py
+"""
+
+from repro import Deployment
+from repro.storage import FLUSH_MEMORY
+
+
+def commit_write(world, client, oid, data):
+    def scenario():
+        tx = client.start_tx()
+        yield from client.write(tx, oid, data)
+        return (yield from client.commit(tx))
+
+    return world.run_process(scenario(), within=120.0)
+
+
+def read_value(world, client, oid):
+    def scenario():
+        tx = client.start_tx()
+        value = yield from client.read(tx, oid)
+        yield from client.commit(tx)
+        return value
+
+    return world.run_process(scenario(), within=120.0)
+
+
+def main():
+    world = Deployment(n_sites=2, flush_latency=FLUSH_MEMORY)
+    world.create_container("va-data", preferred_site=0)
+    world.create_container("ca-data", preferred_site=1)
+    client0 = world.new_client(0)
+
+    # --- 1. Server crash + replacement --------------------------------
+    oid = client0.new_id("va-data")
+    print("commit at VA:", commit_write(world, client0, oid, b"precious"))
+    world.crash_server(0)
+    print("VA server crashed; starting replacement from cluster storage...")
+    world.replace_server(0)
+    client0b = world.new_client(0)
+    print("replacement serves the data:", read_value(world, client0b, oid))
+
+    # --- 2. Whole-site failure, aggressive removal --------------------
+    client1 = world.new_client(1)
+    replicated_oid = client1.new_id("ca-data")
+    stranded_oid = client1.new_id("ca-data")
+    print("\ncommit at CA (will replicate):", commit_write(world, client1, replicated_oid, b"made it out"))
+    world.settle(2.0)  # fully propagated
+    world.network.partition(0, 1)  # CA gets cut off...
+    print("commit at CA while partitioned:", commit_write(world, client1, stranded_oid, b"stranded"))
+    world.servers[1].crash()  # ...and then dies
+    print("CA site failed; running aggressive removal...")
+    survived_upto = world.remove_site(failed_site=1, reassign_to=0, within=120.0)
+    print("surviving CA transactions: seqno <=", survived_upto)
+    print("replicated write visible at VA:", read_value(world, client0b, replicated_oid))
+    print("stranded write (abandoned):   ", read_value(world, client0b, stranded_oid))
+    print("ca-data's preferred site is now:", world.config.container("ca-data").preferred_site)
+    print("writes to ca-data fast-commit at VA:", commit_write(world, client0b, replicated_oid, b"new home"))
+
+    # --- 3. Re-integration --------------------------------------------
+    print("\nCA returns; re-integrating...")
+    world.reintegrate_site(1, within=120.0)
+    world.settle(2.0)
+    print("active sites:", world.config.active_sites())
+    print("ca-data's preferred site restored to:", world.config.container("ca-data").preferred_site)
+    client1b = world.new_client(1)
+    print("CA sees the write made during its outage:", read_value(world, client1b, replicated_oid))
+    print("CA's abandoned write stays discarded:    ", read_value(world, client1b, stranded_oid))
+
+
+if __name__ == "__main__":
+    main()

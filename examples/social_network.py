@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""WaltSocial walkthrough: the paper's social network on Walter (§7).
+
+Recreates the scenarios the paper uses to motivate transactions and
+csets:
+
+1. *befriend* -- the Fig 15 transaction: symmetric friend-list updates
+   that can never leave one side dangling;
+2. *album creation* -- the §2 example: create an album, post the wall
+   update, and link it atomically, so no user ever sees the wall post
+   without the album;
+3. *concurrent befriending from different continents* -- friend lists
+   are csets, so both transactions commit without coordination and the
+   lists converge everywhere.
+
+Run with:  python examples/social_network.py
+"""
+
+from repro import Deployment
+from repro.apps.waltsocial import WaltSocial, WaltSocialDB
+
+
+def main():
+    world = Deployment(n_sites=3)  # VA, CA, IE
+    db = WaltSocialDB(world)
+    social = WaltSocial(db)
+
+    # Alice logs into Virginia, Bob into California, Carol into Ireland.
+    db.create_user("alice", home_site=0)
+    db.create_user("bob", home_site=1)
+    db.create_user("carol", home_site=2)
+    alice_client = world.new_client(0)
+    bob_client = world.new_client(1)
+    carol_client = world.new_client(2)
+
+    # --- 1. Befriend: one transaction, both friend lists --------------
+    result = world.run_process(social.befriend(alice_client, "alice", "bob"))
+    print("befriend(alice, bob):", result["status"])
+    world.settle(2.0)  # let it propagate everywhere
+    print("  alice's friends:", [str(p) for p in world.run_process(social.friends_of(alice_client, "alice"))])
+    print("  bob's friends:  ", [str(p) for p in world.run_process(social.friends_of(bob_client, "bob"))])
+
+    # --- 2. Atomic album creation (the §2 motivating example) ---------
+    created = world.run_process(social.create_album(alice_client, "alice", "vacation"))
+    world.run_process(
+        social.add_photo(alice_client, "alice", created["album"], b"<jpeg bytes>")
+    )
+    world.settle(2.0)
+    wall = world.run_process(social.wall_of(bob_client, "alice"))
+    print("\nalice's wall as seen from bob's site:")
+    for post in wall:
+        print("  -", post)
+    print("(the wall post and the album it references committed together)")
+
+    # --- 3. Concurrent cross-site befriending: csets never conflict ---
+    p1 = world.kernel.spawn(social.befriend(bob_client, "bob", "carol"))
+    p2 = world.kernel.spawn(social.befriend(carol_client, "carol", "alice"))
+    world.run(until=world.kernel.now + 5.0)
+    print("\nconcurrent befriends from CA and IE:", p1.value["status"], p2.value["status"])
+    world.settle(2.0)
+    carols = world.run_process(social.friends_of(carol_client, "carol"))
+    print("carol's merged friend list:", sorted(str(p) for p in carols))
+
+    # --- 4. Status updates are instantly visible at home --------------
+    world.run_process(social.status_update(alice_client, "alice", "loving PSI"))
+    info = world.run_process(social.read_info(alice_client, "alice"))
+    print("\nalice reads her own profile immediately:")
+    print("  status:", info["profile"].status)
+    print("  friends:", len(info["friends"]), "- messages on wall:", info["n_messages"])
+
+
+if __name__ == "__main__":
+    main()

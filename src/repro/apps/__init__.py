@@ -1,0 +1,1 @@
+"""Applications built on Walter: WaltSocial and ReTwis (paper §7)."""

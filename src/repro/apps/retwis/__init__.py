@@ -1,0 +1,14 @@
+"""ReTwis: the paper's ported Twitter clone (§7, §8.7)."""
+
+from .common import Post, ReTwisBackend, TIMELINE_SIZE
+from .on_redis import RedisReTwis
+from .on_walter import WalterReTwis, WalterReTwisUser
+
+__all__ = [
+    "Post",
+    "ReTwisBackend",
+    "RedisReTwis",
+    "TIMELINE_SIZE",
+    "WalterReTwis",
+    "WalterReTwisUser",
+]

@@ -1,0 +1,39 @@
+"""Shared ReTwis definitions (paper §7, §8.7).
+
+ReTwis is a Twitter clone: users post messages, follow other users, and
+read their timeline (the 10 most recent posts by people they follow).
+Both backends implement the same three operations so the Fig 23
+comparison drives identical workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Timeline page size: "ReTwis displays the 10 most recent messages".
+TIMELINE_SIZE = 10
+
+
+@dataclass
+class Post:
+    """A rendered timeline entry."""
+
+    post_id: str
+    author: str
+    text: str
+
+
+class ReTwisBackend:
+    """Interface both backends implement (methods are generators)."""
+
+    def register(self, username: str, site: int) -> None:
+        raise NotImplementedError
+
+    def post(self, client, username: str, text: str):
+        raise NotImplementedError
+
+    def follow(self, client, username: str, other: str):
+        raise NotImplementedError
+
+    def status(self, client, username: str):
+        raise NotImplementedError

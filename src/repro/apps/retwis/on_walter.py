@@ -1,0 +1,130 @@
+"""ReTwis ported to Walter (paper §7).
+
+"We use a cset object to represent each user's timeline so that different
+sites can add posts to a user's timeline without conflicts.  To post a
+message, we use a transaction that writes a message under a unique
+postID, and adds the postID to the timeline of every follower."
+
+Timeline cset elements are ``(seqno, post_oid)`` tuples; the sequence
+number (replacing Redis's INCR-generated post id) orders the timeline so
+"10 most recent" is well defined.  Reading a timeline uses the combined
+read-cset-objects RPC (§6).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ...client import WalterClient
+from ...core.objects import Container, ObjectId, ObjectKind
+from ...deployment import Deployment
+from .common import Post, ReTwisBackend, TIMELINE_SIZE
+
+
+@dataclass
+class WalterReTwisUser:
+    name: str
+    home_site: int
+    container: Container
+    timeline: ObjectId  # cset of (seqno, post oid)
+    followers: ObjectId  # cset of usernames
+    following: ObjectId  # cset of usernames
+
+
+class WalterReTwis(ReTwisBackend):
+    def __init__(self, world: Deployment):
+        self.world = world
+        self.users: Dict[str, WalterReTwisUser] = {}
+        self._post_seq = itertools.count(1)
+
+    def register(self, username: str, site: int) -> WalterReTwisUser:
+        container = self.world.create_container(
+            "retwis:%s" % username, preferred_site=site
+        )
+        user = WalterReTwisUser(
+            name=username,
+            home_site=site,
+            container=container,
+            timeline=container.new_id(ObjectKind.CSET, local="timeline"),
+            followers=container.new_id(ObjectKind.CSET, local="followers"),
+            following=container.new_id(ObjectKind.CSET, local="following"),
+        )
+        self.users[username] = user
+        return user
+
+    def populate(self, n_users: int, follows_per_user: int, seed: int = 0) -> None:
+        """Register users round-robin across sites and preload a follower
+        graph (each user follows ``follows_per_user`` others)."""
+        import random
+
+        rng = random.Random(seed)
+        for i in range(n_users):
+            self.register("u%d" % i, i % self.world.n_sites)
+        names = list(self.users)
+        followers = {name: [] for name in names}
+        following = {name: [] for name in names}
+        for name in names:
+            others = rng.sample(names, min(follows_per_user + 1, len(names)))
+            for other in others:
+                if other != name and other not in following[name]:
+                    following[name].append(other)
+                    followers[other].append(name)
+        preload = {}
+        for name in names:
+            user = self.users[name]
+            if followers[name]:
+                preload[user.followers] = followers[name]
+            if following[name]:
+                preload[user.following] = following[name]
+        self.world.preload(preload)
+
+    # ------------------------------------------------------------------
+    # Operations (generators)
+    # ------------------------------------------------------------------
+    def post(self, client: WalterClient, username: str, text: str):
+        user = self.users[username]
+        tx = client.start_tx()
+        followers = yield from client.set_read(tx, user.followers)
+        post_oid = client.new_id(user.container.id)
+        seq = next(self._post_seq)
+        yield from client.write(tx, post_oid, (username, text))
+        entry = (seq, post_oid)
+        yield from client.set_add(tx, user.timeline, entry)  # own timeline
+        for follower in followers.members():
+            follower_user = self.users[follower]
+            yield from client.set_add(tx, follower_user.timeline, entry)
+        status = yield from client.commit(tx)
+        return {"status": status, "post": post_oid}
+
+    def follow(self, client: WalterClient, username: str, other: str):
+        me, them = self.users[username], self.users[other]
+        tx = client.start_tx()
+        yield from client.set_add(tx, me.following, other)
+        yield from client.set_add(tx, them.followers, username)
+        status = yield from client.commit(tx)
+        return {"status": status}
+
+    def unfollow(self, client: WalterClient, username: str, other: str):
+        me, them = self.users[username], self.users[other]
+        tx = client.start_tx()
+        yield from client.set_del(tx, me.following, other)
+        yield from client.set_del(tx, them.followers, username)
+        status = yield from client.commit(tx)
+        return {"status": status}
+
+    def status(self, client: WalterClient, username: str) -> List[Post]:
+        user = self.users[username]
+        tx = client.start_tx()
+        entries = yield from client.read_cset_objects(
+            tx, user.timeline, limit=TIMELINE_SIZE, newest_first=True
+        )
+        yield from client.commit(tx)
+        posts = []
+        for (seq, oid), value in entries:
+            if value is None:
+                continue
+            author, text = value
+            posts.append(Post(post_id="%d" % seq, author=author, text=text))
+        return posts

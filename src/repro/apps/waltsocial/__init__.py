@@ -1,0 +1,6 @@
+"""WaltSocial: the paper's Facebook-like social network (§7)."""
+
+from .model import Profile, User, WaltSocialDB
+from .operations import WaltSocial
+
+__all__ = ["Profile", "User", "WaltSocial", "WaltSocialDB"]

@@ -1,0 +1,114 @@
+"""WaltSocial data model (paper §7).
+
+"Each user has a profile object for storing personal information (e.g.,
+name, email, hobbies) and several cset objects: a friend-list has oids of
+the profile objects of friends, a message-list has oids of received
+messages, an event-list has oids of events in the user's activity
+history, and an album-list has oids of photo albums, where each photo
+album is itself a cset with the oids of photo objects."
+
+"Each user has a container that stores her objects.  The container is
+replicated at all sites to optimize for reads.  The system directs a user
+to log into the preferred site of her container."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ...core.objects import Container, ObjectId, ObjectKind
+from ...deployment import Deployment
+
+
+@dataclass(frozen=True)
+class Profile:
+    """The value stored in a user's profile object (immutable: profile
+    updates write a fresh Profile)."""
+
+    name: str
+    email: str = ""
+    hobbies: str = ""
+    status: str = ""
+
+    def with_status(self, status: str) -> "Profile":
+        return Profile(self.name, self.email, self.hobbies, status)
+
+
+@dataclass
+class User:
+    """A user's container and well-known object ids."""
+
+    name: str
+    home_site: int
+    container: Container
+    profile: ObjectId
+    friend_list: ObjectId
+    message_list: ObjectId
+    event_list: ObjectId
+    album_list: ObjectId
+
+
+class WaltSocialDB:
+    """The user registry plus container/object bootstrapping."""
+
+    def __init__(self, world: Deployment):
+        self.world = world
+        self.users: Dict[str, User] = {}
+
+    def create_user(self, name: str, home_site: int) -> User:
+        """Register a user's container (preferred site = home site,
+        replicated everywhere) and mint her well-known objects."""
+        if name in self.users:
+            raise ValueError("user %r already exists" % (name,))
+        container = self.world.create_container(
+            "user:%s" % name, preferred_site=home_site
+        )
+        user = User(
+            name=name,
+            home_site=home_site,
+            container=container,
+            profile=container.new_id(local="profile"),
+            friend_list=container.new_id(ObjectKind.CSET, local="friends"),
+            message_list=container.new_id(ObjectKind.CSET, local="messages"),
+            event_list=container.new_id(ObjectKind.CSET, local="events"),
+            album_list=container.new_id(ObjectKind.CSET, local="albums"),
+        )
+        self.users[name] = user
+        return user
+
+    def populate(
+        self,
+        n_users: int,
+        name_prefix: str = "user",
+        statuses_per_user: int = 0,
+        wall_posts_per_user: int = 0,
+    ) -> None:
+        """Create users round-robin across sites and preload their data
+        (the §8.6 setup: users with prior status updates and wall posts)."""
+        preload = {}
+        for i in range(n_users):
+            site = i % self.world.n_sites
+            user = self.create_user("%s%d" % (name_prefix, i), site)
+            preload[user.profile] = Profile(name=user.name, email="%s@example.com" % user.name)
+            events = []
+            messages = []
+            for s in range(statuses_per_user):
+                oid = user.container.new_id(local="status-%d" % s)
+                preload[oid] = "status %d of %s" % (s, user.name)
+                events.append(oid)
+            for m in range(wall_posts_per_user):
+                oid = user.container.new_id(local="wall-%d" % m)
+                preload[oid] = "wall post %d on %s" % (m, user.name)
+                messages.append(oid)
+            if events:
+                preload[user.event_list] = events
+            if messages:
+                preload[user.message_list] = messages
+        self.world.preload(preload)
+
+    def user(self, name: str) -> User:
+        return self.users[name]
+
+    def __len__(self) -> int:
+        return len(self.users)

@@ -1,0 +1,163 @@
+"""WaltSocial operations (paper §7, Figs 15 and 21).
+
+Every operation is one Walter transaction issued through a client at the
+acting user's site.  The object counts per operation match Fig 21:
+
+=============  ==========  ============  ===========
+operation      objs read   objs written  csets written
+read-info      3           0             0
+befriend       2           0             2
+status-update  1           2             2
+post-message   2           2             2
+=============  ==========  ============  ===========
+"""
+
+from __future__ import annotations
+
+from ...client import WalterClient
+from .model import Profile, WaltSocialDB
+
+
+class WaltSocial:
+    """Application operations; all methods are generators run by clients."""
+
+    def __init__(self, db: WaltSocialDB):
+        self.db = db
+
+    # ------------------------------------------------------------------
+    # read-info: profile + friend-list + message-list (3 reads)
+    # ------------------------------------------------------------------
+    def read_info(self, client: WalterClient, username: str):
+        user = self.db.user(username)
+        tx = client.start_tx()
+        profile = yield from client.read(tx, user.profile)
+        friends = yield from client.set_read(tx, user.friend_list)
+        messages = yield from client.set_read(tx, user.message_list)
+        status = yield from client.commit(tx)
+        return {
+            "status": status,
+            "profile": profile,
+            "friends": sorted(str(f) for f in friends.members()),
+            "n_messages": len(list(messages.members())),
+        }
+
+    # ------------------------------------------------------------------
+    # befriend: Fig 15 -- symmetric friend-list adds in one transaction
+    # ------------------------------------------------------------------
+    def befriend(self, client: WalterClient, username_a: str, username_b: str):
+        a, b = self.db.user(username_a), self.db.user(username_b)
+        tx = client.start_tx()
+        profile_a = yield from client.read(tx, a.profile)
+        profile_b = yield from client.read(tx, b.profile)
+        yield from client.set_add(tx, a.friend_list, b.profile)
+        yield from client.set_add(tx, b.friend_list, a.profile)
+        status = yield from client.commit(tx)
+        return {"status": status, "a": profile_a, "b": profile_b}
+
+    def unfriend(self, client: WalterClient, username_a: str, username_b: str):
+        a, b = self.db.user(username_a), self.db.user(username_b)
+        tx = client.start_tx()
+        yield from client.set_del(tx, a.friend_list, b.profile)
+        yield from client.set_del(tx, b.friend_list, a.profile)
+        status = yield from client.commit(tx)
+        return {"status": status}
+
+    # ------------------------------------------------------------------
+    # status-update: new event object + profile rewrite + 2 cset adds
+    # ------------------------------------------------------------------
+    def status_update(self, client: WalterClient, username: str, text: str):
+        user = self.db.user(username)
+        tx = client.start_tx()
+        profile = yield from client.read(tx, user.profile)
+        profile = profile if isinstance(profile, Profile) else Profile(name=username)
+        event_oid = client.new_id(user.container.id)
+        yield from client.write(tx, event_oid, "status: %s" % text)
+        yield from client.write(tx, user.profile, profile.with_status(text))
+        yield from client.set_add(tx, user.event_list, event_oid)
+        yield from client.set_add(tx, user.message_list, event_oid)
+        status = yield from client.commit(tx)
+        return {"status": status, "event": event_oid}
+
+    # ------------------------------------------------------------------
+    # post-message: message object + event object + 2 cset adds
+    # ------------------------------------------------------------------
+    def post_message(self, client: WalterClient, sender: str, recipient: str, text: str):
+        src, dst = self.db.user(sender), self.db.user(recipient)
+        tx = client.start_tx()
+        profile_src = yield from client.read(tx, src.profile)
+        profile_dst = yield from client.read(tx, dst.profile)
+        message_oid = client.new_id(src.container.id)
+        event_oid = client.new_id(src.container.id)
+        yield from client.write(tx, message_oid, "%s -> %s: %s" % (sender, recipient, text))
+        yield from client.write(tx, event_oid, "sent message to %s" % recipient)
+        yield from client.set_add(tx, dst.message_list, message_oid)
+        yield from client.set_add(tx, src.event_list, event_oid)
+        status = yield from client.commit(tx)
+        return {
+            "status": status,
+            "message": message_oid,
+            "profiles": (profile_src, profile_dst),
+            "tx": tx,
+        }
+
+    def post_message_marked(self, client: WalterClient, sender: str, recipient: str, text: str):
+        """post-message with the §3.4 "in-flight" mark.
+
+        "One way to avoid possible confusion among users is for the
+        application to show an in-flight mark on a freshly posted
+        message; this mark is removed only when the message has been
+        committed at all sites."  The returned dict carries an
+        ``in_flight`` callable (True until globally visible) and the
+        transaction's ``visible_event`` to wait on.
+        """
+        result = yield from self.post_message(client, sender, recipient, text)
+        tx = result["tx"]
+        result["in_flight"] = lambda: not tx.visible_event.triggered
+        result["visible_event"] = tx.visible_event
+        return result
+
+    # ------------------------------------------------------------------
+    # Albums (§7: album-list of csets, each album a cset of photo oids)
+    # ------------------------------------------------------------------
+    def create_album(self, client: WalterClient, username: str, album_name: str):
+        """The §2 motivating example: create the album object, post a
+        wall update, and link the album -- atomically."""
+        user = self.db.user(username)
+        tx = client.start_tx()
+        from ...core.objects import ObjectKind
+
+        album_oid = client.new_id(user.container.id, ObjectKind.CSET)
+        wall_oid = client.new_id(user.container.id)
+        yield from client.write(tx, wall_oid, "%s created album %s" % (username, album_name))
+        yield from client.set_add(tx, user.album_list, (album_name, album_oid))
+        yield from client.set_add(tx, user.message_list, wall_oid)
+        status = yield from client.commit(tx)
+        return {"status": status, "album": album_oid}
+
+    def add_photo(self, client: WalterClient, username: str, album_oid, photo_bytes: bytes):
+        user = self.db.user(username)
+        tx = client.start_tx()
+        photo_oid = client.new_id(user.container.id)
+        yield from client.write(tx, photo_oid, photo_bytes)
+        yield from client.set_add(tx, album_oid, photo_oid)
+        yield from client.set_add(tx, user.event_list, photo_oid)
+        status = yield from client.commit(tx)
+        return {"status": status, "photo": photo_oid}
+
+    # ------------------------------------------------------------------
+    # Helpers for assertions in tests/examples
+    # ------------------------------------------------------------------
+    def friends_of(self, client: WalterClient, username: str):
+        """Friend profiles, applying the §3.5 count>=1 convention."""
+        user = self.db.user(username)
+        tx = client.start_tx()
+        friends = yield from client.set_read(tx, user.friend_list)
+        yield from client.commit(tx)
+        return list(friends.members())
+
+    def wall_of(self, client: WalterClient, username: str, limit: int = 10):
+        user = self.db.user(username)
+        tx = client.start_tx()
+        posts = yield from client.read_cset_objects(tx, user.message_list, limit=limit)
+        yield from client.commit(tx)
+        return [value for _elem, value in posts]

@@ -1,0 +1,12 @@
+"""Comparison systems: Berkeley-DB-like primary-copy SI, Redis-like KV."""
+
+from .bdb import BDBServer, ReadOnlyReplicaError, build_bdb_pair
+from .redis_like import ReadOnlySlaveError, RedisServer
+
+__all__ = [
+    "BDBServer",
+    "ReadOnlyReplicaError",
+    "ReadOnlySlaveError",
+    "RedisServer",
+    "build_bdb_pair",
+]

@@ -1,0 +1,98 @@
+"""Calibrated cost constants for the benchmark harness.
+
+These are the *only* tuned numbers in the reproduction.  They anchor the
+1-site base throughput near the paper's Fig 16 magnitudes; every other
+benchmark number (scaling across sites, latency distributions, slow
+commit, application throughput) is then an output of the simulation.
+
+Derivation (8 modelled cores per server, as on the extra-large EC2
+instances / two-quad-core private machines of §8.1):
+
+* Berkeley DB reads 80 Ktps  -> 8 cores / 80e3  = 100 us per read RPC.
+* Walter reads 72 Ktps       -> 8 cores / 72e3  ~ 111 us per read RPC
+  ("slightly lower because it does more work ... acquiring a local lock
+  and assigning a start timestamp vector", §8.2).
+* Walter writes 33.5 Ktps    -> serialized commit section of ~30 us.
+* Berkeley DB writes 32 Ktps -> ~31 us.
+* Fig 17 notes EC2 throughput is 50-60% of the private cluster's for the
+  same workload; we model that as a uniform CPU slowdown factor.
+"""
+
+from __future__ import annotations
+
+from ..server import ServerCosts
+from ..storage import (
+    FLUSH_EC2,
+    FLUSH_MEMORY,
+    FLUSH_WRITE_CACHING_OFF,
+    FLUSH_WRITE_CACHING_ON,
+)
+
+#: EC2 virtual cores deliver roughly this fraction of the private
+#: cluster's per-op speed for this workload (§8.3: "50-60%").
+EC2_SLOWDOWN = 1.8
+
+
+def walter_costs(platform: str = "ec2") -> ServerCosts:
+    """Calibrated Walter server costs for ``"ec2"`` or ``"private"``."""
+    scale = _scale(platform)
+    return ServerCosts(
+        cores=8,
+        read_op=111e-6 * scale,
+        # A buffered-update RPC costs about as much as a read RPC (the
+        # paper's mixed-workload throughput tracks the *request count*
+        # per transaction, §8.3, implying roughly uniform RPC cost).
+        write_op=111e-6 * scale,
+        # Per-commit-RPC CPU: conflict-check shell, commit-record
+        # marshalling, WAL buffer preparation, propagation enqueue.
+        commit_op=150e-6 * scale,
+        commit_critical=29.8e-6 * scale,
+        apply_remote=4.3e-6 * scale,
+    )
+
+
+def bdb_costs(platform: str = "private") -> ServerCosts:
+    """Calibrated Berkeley DB costs (Fig 16 ran on the private cluster)."""
+    scale = _scale(platform)
+    return ServerCosts(
+        cores=8,
+        read_op=100e-6 * scale,
+        write_op=50e-6 * scale,
+        commit_op=36e-6 * scale,
+        commit_critical=31.2e-6 * scale,
+        apply_remote=9e-6 * scale,
+    )
+
+
+def redis_costs() -> ServerCosts:
+    """Redis is single-threaded with very cheap per-op work (§8.7)."""
+    return ServerCosts(
+        cores=1,
+        read_op=12e-6,
+        write_op=12e-6,
+        commit_op=5e-6,
+        commit_critical=2e-6,
+        apply_remote=5e-6,
+    )
+
+
+#: Front-end (Apache+PHP) service time per ReTwis/WaltSocial application
+#: operation, and the number of front-end worker slots per site.  This is
+#: what bounds Fig 23's few-Kops/s magnitudes.
+FRONTEND_OP_SECONDS = 2.0e-3
+FRONTEND_WORKERS_PER_SITE = 20
+
+DISK_PRESETS = {
+    "ec2": FLUSH_EC2,
+    "write_caching_on": FLUSH_WRITE_CACHING_ON,
+    "write_caching_off": FLUSH_WRITE_CACHING_OFF,
+    "memory": FLUSH_MEMORY,
+}
+
+
+def _scale(platform: str) -> float:
+    if platform == "ec2":
+        return EC2_SLOWDOWN
+    if platform == "private":
+        return 1.0
+    raise ValueError("unknown platform %r" % (platform,))

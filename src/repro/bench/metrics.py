@@ -1,0 +1,114 @@
+"""Latency/throughput measurement utilities for the benchmark harness."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+class LatencyRecorder:
+    """Collects latency samples (simulated seconds) and summarizes them."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.samples: List[float] = []
+
+    def record(self, latency: float) -> None:
+        self.samples.append(latency)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def percentile(self, p: float) -> float:
+        """Linear-interpolation percentile, p in [0, 100]."""
+        if not self.samples:
+            raise ValueError("no samples in %r" % (self.name,))
+        data = sorted(self.samples)
+        if len(data) == 1:
+            return data[0]
+        rank = (p / 100.0) * (len(data) - 1)
+        low = int(math.floor(rank))
+        high = min(low + 1, len(data) - 1)
+        frac = rank - low
+        # a + frac*(b-a) rather than (1-frac)*a + frac*b: the former is
+        # exact when a == b, keeping percentiles monotone in p.
+        return data[low] + frac * (data[high] - data[low])
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    @property
+    def p999(self) -> float:
+        return self.percentile(99.9)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def max(self) -> float:
+        return max(self.samples)
+
+    @property
+    def min(self) -> float:
+        return min(self.samples)
+
+    def cdf(self, n_points: int = 50) -> List[Tuple[float, float]]:
+        """(latency, cumulative fraction) points for plotting/printing."""
+        if not self.samples:
+            return []
+        data = sorted(self.samples)
+        points = []
+        for i in range(1, n_points + 1):
+            frac = i / n_points
+            idx = min(len(data) - 1, int(frac * len(data)) - 1)
+            points.append((data[max(idx, 0)], frac))
+        return points
+
+    def summary_ms(self) -> Dict[str, float]:
+        return {
+            "p50_ms": self.p50 * 1000,
+            "p99_ms": self.p99 * 1000,
+            "p999_ms": self.p999 * 1000,
+            "mean_ms": self.mean * 1000,
+            "max_ms": self.max * 1000,
+            "n": float(len(self.samples)),
+        }
+
+
+@dataclass
+class BenchResult:
+    """Outcome of one closed-loop benchmark configuration."""
+
+    name: str
+    ops: int
+    errors: int
+    duration: float
+    latencies: LatencyRecorder
+    by_label: Dict[str, LatencyRecorder] = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Operations per simulated second."""
+        return self.ops / self.duration if self.duration > 0 else 0.0
+
+    @property
+    def ktps(self) -> float:
+        return self.throughput / 1000.0
+
+    def describe(self) -> str:
+        parts = [
+            "%s: %.1f Kops/s (%d ops / %.2fs)" % (self.name, self.ktps, self.ops, self.duration)
+        ]
+        if len(self.latencies):
+            parts.append(
+                "  latency p50=%.1fms p99=%.1fms p99.9=%.1fms"
+                % (self.latencies.p50 * 1e3, self.latencies.p99 * 1e3, self.latencies.p999 * 1e3)
+            )
+        return "\n".join(parts)

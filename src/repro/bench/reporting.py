@@ -1,0 +1,51 @@
+"""Paper-style output formatting for benchmark results."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+from .metrics import LatencyRecorder
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render an aligned ASCII table."""
+    rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells):
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return "%.1f" % value
+    return str(value)
+
+
+def format_cdf(recorder: LatencyRecorder, n_points: int = 10, unit: str = "ms") -> str:
+    """Print a compact CDF like the paper's latency figures."""
+    scale = 1000.0 if unit == "ms" else 1.0
+    lines = ["CDF of %s (%d samples):" % (recorder.name or "latency", len(recorder))]
+    for latency, frac in recorder.cdf(n_points):
+        bar = "#" * int(frac * 40)
+        lines.append("  %7.1f %s |%-40s| %4.0f%%" % (latency * scale, unit, bar, frac * 100))
+    return "\n".join(lines)
+
+
+def paper_comparison(
+    rows: Iterable[Tuple[str, float, float]], metric: str = "Ktps"
+) -> str:
+    """Table of (name, paper value, measured value) with the ratio."""
+    table_rows = []
+    for name, paper, measured in rows:
+        ratio = measured / paper if paper else float("nan")
+        table_rows.append((name, paper, measured, "%.2fx" % ratio))
+    return format_table(
+        ["experiment", "paper (%s)" % metric, "measured (%s)" % metric, "ratio"],
+        table_rows,
+    )

@@ -1,0 +1,335 @@
+"""Walter client library (paper Fig 14, §4.2, §6).
+
+Clients talk to the Walter server at their own site via RPC.  The API
+mirrors the C++ one: ``start``, ``read``, ``write``, ``setAdd``,
+``setDel``, ``setRead``, ``setReadId``, ``commit``, ``abort``, plus
+``new_id`` to mint fresh object ids.
+
+Optimizations from the paper are available explicitly:
+
+* the *start* of a transaction is always piggybacked onto its first
+  access (``start_tx`` itself costs no RPC);
+* passing ``last=True`` to an access piggybacks the *commit* onto it, so
+  a single-access transaction costs exactly one RPC (§8.2);
+* ``commit`` registers callbacks: the returned handle exposes events that
+  fire when the transaction is disaster-safe durable and globally visible
+  (§4.2).
+
+All operation methods are generators; drive them with ``yield from``
+inside a simulated process.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Hashable, Optional
+
+from ..core.cset import CSet
+from ..core.objects import ObjectId, ObjectKind
+from ..net import Host, Network
+from ..sim import Event, Kernel
+
+COMMITTED = "COMMITTED"
+ABORTED = "ABORTED"
+
+_client_tids = itertools.count(1)
+
+
+@dataclass
+class TxHandle:
+    """Client-side transaction handle."""
+
+    tid: str
+    client: "WalterClient"
+    status: Optional[str] = None
+    started: bool = False
+    ds_event: Optional[Event] = None
+    visible_event: Optional[Event] = None
+
+    @property
+    def committed(self) -> bool:
+        return self.status == COMMITTED
+
+
+class WalterClient(Host):
+    """An application client bound to its site's Walter server."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        network: Network,
+        site,
+        name: str,
+        server_address: str,
+        config,
+    ):
+        super().__init__(kernel, network, site, name)
+        self.server_address = server_address
+        self.config = config
+        self._handles = {}
+
+    # ------------------------------------------------------------------
+    # Transaction lifecycle
+    # ------------------------------------------------------------------
+    def start_tx(self) -> TxHandle:
+        """Local-only start; the server starts the transaction on the
+        first access RPC (piggybacked start)."""
+        tid = "%s:%d" % (self.address, next(_client_tids))
+        handle = TxHandle(
+            tid=tid,
+            client=self,
+            ds_event=self.kernel.event("ds:%s" % tid),
+            visible_event=self.kernel.event("vis:%s" % tid),
+        )
+        self._handles[tid] = handle
+        return handle
+
+    def begin(self, tx: TxHandle):
+        """Generator: eagerly start the transaction at the server (the
+        C++ API's explicit ``start()``).  Without this, the start -- and
+        the snapshot -- is taken at the first access RPC (§8.2)."""
+        result = yield from self.call(
+            self.server_address, "tx_start", tid=tx.tid, timeout=self._op_timeout()
+        )
+        tx.started = True
+        return result
+
+    def commit(self, tx: TxHandle):
+        """Generator: try to commit; returns COMMITTED or ABORTED."""
+        status = yield from self.call(
+            self.server_address,
+            "tx_commit",
+            tid=tx.tid,
+            notify=self.address,
+            allow_fresh=not tx.started,
+            timeout=self._op_timeout(),
+        )
+        self._finish(tx, status)
+        return status
+
+    def abort(self, tx: TxHandle):
+        status = yield from self.call(
+            self.server_address, "tx_abort", tid=tx.tid, timeout=self._op_timeout()
+        )
+        self._finish(tx, ABORTED)
+        return status
+
+    # ------------------------------------------------------------------
+    # Regular objects
+    # ------------------------------------------------------------------
+    def read(self, tx: TxHandle, oid: ObjectId, last: bool = False):
+        result = yield from self.call(
+            self.server_address,
+            "tx_read",
+            tid=tx.tid,
+            fresh=not tx.started,
+            oid=oid,
+            last=last,
+            notify=self.address if last else None,
+            timeout=self._op_timeout(),
+        )
+        return self._unpack(tx, result, last)
+
+    def write(self, tx: TxHandle, oid: ObjectId, data: Any, last: bool = False):
+        result = yield from self.call(
+            self.server_address,
+            "tx_write",
+            tid=tx.tid,
+            fresh=not tx.started,
+            oid=oid,
+            data=data,
+            last=last,
+            notify=self.address if last else None,
+            timeout=self._op_timeout(),
+        )
+        tx.started = True
+        if last:
+            self._finish(tx, result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Cset objects
+    # ------------------------------------------------------------------
+    def set_add(self, tx: TxHandle, oid: ObjectId, elem: Hashable, last: bool = False):
+        result = yield from self.call(
+            self.server_address,
+            "tx_set_add",
+            tid=tx.tid,
+            fresh=not tx.started,
+            oid=oid,
+            elem=elem,
+            last=last,
+            notify=self.address if last else None,
+            timeout=self._op_timeout(),
+        )
+        tx.started = True
+        if last:
+            self._finish(tx, result)
+        return result
+
+    def set_del(self, tx: TxHandle, oid: ObjectId, elem: Hashable, last: bool = False):
+        result = yield from self.call(
+            self.server_address,
+            "tx_set_del",
+            tid=tx.tid,
+            fresh=not tx.started,
+            oid=oid,
+            elem=elem,
+            last=last,
+            notify=self.address if last else None,
+            timeout=self._op_timeout(),
+        )
+        tx.started = True
+        if last:
+            self._finish(tx, result)
+        return result
+
+    def set_read(self, tx: TxHandle, oid: ObjectId) -> CSet:
+        cset = yield from self.call(
+            self.server_address,
+            "tx_set_read",
+            tid=tx.tid,
+            fresh=not tx.started,
+            oid=oid,
+            timeout=self._op_timeout(),
+        )
+        tx.started = True
+        return cset
+
+    def set_read_id(self, tx: TxHandle, oid: ObjectId, elem: Hashable) -> int:
+        count = yield from self.call(
+            self.server_address,
+            "tx_set_read_id",
+            tid=tx.tid,
+            oid=oid,
+            elem=elem,
+            timeout=self._op_timeout(),
+        )
+        tx.started = True
+        return count
+
+    # ------------------------------------------------------------------
+    # Combined operations (one RPC, §6)
+    # ------------------------------------------------------------------
+    def multiread(self, tx: TxHandle, oids, last: bool = False):
+        result = yield from self.call(
+            self.server_address,
+            "tx_multiread",
+            tid=tx.tid,
+            oids=list(oids),
+            last=last,
+            notify=self.address if last else None,
+            timeout=self._op_timeout(),
+        )
+        return self._unpack(tx, result, last)
+
+    def multiwrite(self, tx: TxHandle, writes, last: bool = False):
+        result = yield from self.call(
+            self.server_address,
+            "tx_multiwrite",
+            tid=tx.tid,
+            writes=list(writes),
+            last=last,
+            notify=self.address if last else None,
+            timeout=self._op_timeout(),
+        )
+        tx.started = True
+        if last:
+            self._finish(tx, result)
+        return result
+
+    def read_cset_objects(self, tx: TxHandle, oid: ObjectId, limit=None, newest_first=True):
+        result = yield from self.call(
+            self.server_address,
+            "tx_read_cset_objects",
+            tid=tx.tid,
+            oid=oid,
+            limit=limit,
+            newest_first=newest_first,
+            timeout=self._op_timeout(),
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    # Read-modify-write idioms (§3.4)
+    # ------------------------------------------------------------------
+    def read_modify_write(self, oid: ObjectId, fn, retries: int = 10):
+        """Generator: atomically apply ``fn(old_value) -> new_value``.
+
+        "Because PSI disallows write-write conflicts, a transaction can
+        implement any atomic read-modify-write operation" (§3.4).  The
+        transaction retries on conflict aborts; returns
+        ``(status, new_value)``.
+        """
+        for _attempt in range(retries):
+            tx = self.start_tx()
+            old = yield from self.read(tx, oid)
+            new = fn(old)
+            yield from self.write(tx, oid, new)
+            status = yield from self.commit(tx)
+            if status == COMMITTED:
+                return (status, new)
+        return (ABORTED, None)
+
+    def atomic_increment(self, oid: ObjectId, delta: int = 1, retries: int = 10):
+        """Generator: atomic counter increment (nil counts as zero)."""
+        result = yield from self.read_modify_write(
+            oid, lambda old: (old or 0) + delta, retries=retries
+        )
+        return result
+
+    def conditional_write(self, oid: ObjectId, expected: Any, new_value: Any):
+        """Generator: write ``new_value`` only if the object currently
+        holds ``expected`` (§3.4\'s conditional write / compare-and-set).
+        Returns ``(True, status)`` if the condition held and the write
+        committed, else ``(False, status)``."""
+        tx = self.start_tx()
+        current = yield from self.read(tx, oid)
+        if current != expected:
+            yield from self.abort(tx)
+            return (False, ABORTED)
+        yield from self.write(tx, oid, new_value)
+        status = yield from self.commit(tx)
+        return (status == COMMITTED, status)
+
+    # ------------------------------------------------------------------
+    # Object ids
+    # ------------------------------------------------------------------
+    def new_id(self, cid: str, kind: ObjectKind = ObjectKind.REGULAR) -> ObjectId:
+        """Mint a fresh oid in a container (Fig 14 ``newid``); objects
+        conceptually always exist initialized to nil, so this is local."""
+        return self.config.container(cid).new_id(kind)
+
+    # ------------------------------------------------------------------
+    # Durability callbacks (server casts)
+    # ------------------------------------------------------------------
+    def on_tx_ds_durable(self, src: str, tid: str):
+        handle = self._handles.get(tid)
+        if handle is not None and handle.ds_event is not None:
+            handle.ds_event.trigger_once(self.kernel.now)
+
+    def on_tx_visible(self, src: str, tid: str):
+        handle = self._handles.get(tid)
+        if handle is not None and handle.visible_event is not None:
+            handle.visible_event.trigger_once(self.kernel.now)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _unpack(self, tx: TxHandle, result, last: bool):
+        tx.started = True
+        if last:
+            value, status = result
+            self._finish(tx, status)
+            return value
+        return result
+
+    def _finish(self, tx: TxHandle, status: str) -> None:
+        tx.status = status
+        if status != COMMITTED:
+            # No durability milestones will ever arrive.
+            self._handles.pop(tx.tid, None)
+
+    def _op_timeout(self) -> float:
+        return 8.0 * self.network.topology.max_rtt_from(self.site.id) + 2.0

@@ -1,0 +1,16 @@
+"""Paxos-replicated configuration service with preferred-site leases."""
+
+from .lease import Lease, LeaseTable
+from .paxos import PaxosNode, ProposalFailed, make_paxos_group
+from .service import ConfigState, ConfigurationService, ContainerInfo
+
+__all__ = [
+    "ConfigState",
+    "ConfigurationService",
+    "ContainerInfo",
+    "Lease",
+    "LeaseTable",
+    "PaxosNode",
+    "ProposalFailed",
+    "make_paxos_group",
+]

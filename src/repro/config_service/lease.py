@@ -1,0 +1,76 @@
+"""Preferred-site leases (paper §5.1).
+
+"A Walter server confirms its role in the system by obtaining a lease
+from the configuration service ...  The lease assigns a set of containers
+to a preferred site, and it is held by the Walter server at that site."
+Servers reject operations for containers whose lease they do not hold, so
+stale configuration caches cannot violate safety.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import ConfigurationError
+from ..sim import Kernel
+
+
+@dataclass
+class Lease:
+    """A time-bounded grant of a scope (container group) to a holder site."""
+
+    scope: str
+    holder: int
+    granted_at: float
+    duration: float
+
+    @property
+    def expires_at(self) -> float:
+        return self.granted_at + self.duration
+
+    def valid(self, now: float) -> bool:
+        return now < self.expires_at
+
+
+class LeaseTable:
+    """Grants and tracks leases; at most one valid holder per scope.
+
+    A new holder can take a scope only when the previous lease expired or
+    was released -- this is what makes preferred-site reassignment after a
+    site failure safe (§5.7): the replacement site waits out the lease.
+    """
+
+    def __init__(self, kernel: Kernel, default_duration: float = 10.0):
+        self.kernel = kernel
+        self.default_duration = default_duration
+        self._leases: Dict[str, Lease] = {}
+
+    def grant(self, scope: str, holder: int, duration: Optional[float] = None) -> Lease:
+        current = self._leases.get(scope)
+        now = self.kernel.now
+        if current is not None and current.holder != holder and current.valid(now):
+            raise ConfigurationError(
+                "scope %r leased to site %d until t=%.3f"
+                % (scope, current.holder, current.expires_at)
+            )
+        lease = Lease(scope, holder, now, duration or self.default_duration)
+        self._leases[scope] = lease
+        return lease
+
+    def renew(self, scope: str, holder: int) -> Lease:
+        return self.grant(scope, holder)
+
+    def release(self, scope: str, holder: int) -> None:
+        current = self._leases.get(scope)
+        if current is not None and current.holder == holder:
+            del self._leases[scope]
+
+    def holder_of(self, scope: str) -> Optional[int]:
+        current = self._leases.get(scope)
+        if current is not None and current.valid(self.kernel.now):
+            return current.holder
+        return None
+
+    def holds(self, scope: str, holder: int) -> bool:
+        return self.holder_of(scope) == holder

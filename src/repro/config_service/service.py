@@ -1,0 +1,166 @@
+"""The replicated configuration service (paper §5.1, §5.7).
+
+State machine commands (proposed through Paxos, applied on every replica
+in slot order):
+
+* ``create_container`` -- register a container with its preferred site and
+  replica set;
+* ``remove_site`` -- begin a configuration excluding a failed site and
+  reassign the preferred site of its containers (aggressive recovery);
+* ``reintegrate_site`` -- bring a previously removed site back and return
+  its containers.
+
+The service tracks the active-site set and an epoch that increments on
+every reconfiguration; Walter servers compare epochs to detect stale
+container caches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Set
+
+from ..core.objects import Container
+from ..errors import ConfigurationError, NoSuchContainerError
+from ..net import Network
+from ..sim import Kernel
+from .lease import LeaseTable
+from .paxos import PaxosNode, make_paxos_group
+
+
+@dataclass
+class ContainerInfo:
+    cid: str
+    preferred_site: int
+    replica_sites: FrozenSet[int]
+
+    def to_container(self) -> Container:
+        return Container(self.cid, self.preferred_site, self.replica_sites)
+
+
+@dataclass
+class ConfigState:
+    """The replicated state machine's state (one copy per Paxos node)."""
+
+    n_sites: int
+    active_sites: Set[int] = field(default_factory=set)
+    containers: Dict[str, ContainerInfo] = field(default_factory=dict)
+    epoch: int = 0
+    #: Original preferred site of containers moved by remove_site, so
+    #: reintegration knows what to give back.
+    displaced: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.active_sites:
+            self.active_sites = set(range(self.n_sites))
+
+    def apply(self, command: Dict[str, Any]) -> None:
+        op = command["op"]
+        if op == "create_container":
+            info = ContainerInfo(
+                cid=command["cid"],
+                preferred_site=command["preferred_site"],
+                replica_sites=frozenset(command["replica_sites"]),
+            )
+            if info.preferred_site not in info.replica_sites:
+                raise ConfigurationError(
+                    "preferred site %d not in replica set" % info.preferred_site
+                )
+            self.containers[info.cid] = info
+        elif op == "remove_site":
+            site = command["site"]
+            target = command["reassign_to"]
+            self.active_sites.discard(site)
+            for info in self.containers.values():
+                if info.preferred_site == site:
+                    self.displaced[info.cid] = site
+                    replicas = set(info.replica_sites - {site}) | {target}
+                    info.preferred_site = target
+                    info.replica_sites = frozenset(replicas)
+            self.epoch += 1
+        elif op == "reintegrate_site":
+            site = command["site"]
+            self.active_sites.add(site)
+            for cid, original in list(self.displaced.items()):
+                if original == site:
+                    info = self.containers[cid]
+                    info.preferred_site = site
+                    info.replica_sites = frozenset(set(info.replica_sites) | {site})
+                    del self.displaced[cid]
+            self.epoch += 1
+        else:
+            raise ConfigurationError("unknown config command %r" % (op,))
+
+
+class ConfigurationService:
+    """Paxos-replicated configuration, one replica per site."""
+
+    def __init__(self, kernel: Kernel, network: Network, sites: List[int]):
+        self.kernel = kernel
+        self.sites = list(sites)
+        self.states: List[ConfigState] = [
+            ConfigState(n_sites=len(sites)) for _ in sites
+        ]
+
+        def factory(index: int):
+            state = self.states[index]
+
+            def apply_fn(_slot: int, command: Dict[str, Any]) -> None:
+                state.apply(command)
+
+            return apply_fn
+
+        self.nodes: List[PaxosNode] = make_paxos_group(
+            kernel, network, sites, apply_fn_factory=factory, name_prefix="config"
+        )
+        self.leases = LeaseTable(kernel)
+
+    # ------------------------------------------------------------------
+    # Command submission (generators -- run inside simulated processes)
+    # ------------------------------------------------------------------
+    def submit(self, command: Dict[str, Any], via: int = 0):
+        """Propose a command through the node at site index ``via`` and
+        wait until that node has applied it."""
+        node = self.nodes[via]
+        slot = yield from node.propose(command)
+        while node.applied_upto <= slot:
+            yield self.kernel.timeout(0.01)
+        return slot
+
+    def create_container(self, cid: str, preferred_site: int, replica_sites, via: int = 0):
+        yield from self.submit(
+            {
+                "op": "create_container",
+                "cid": cid,
+                "preferred_site": preferred_site,
+                "replica_sites": sorted(replica_sites),
+            },
+            via=via,
+        )
+        return self.states[via].containers[cid].to_container()
+
+    def remove_site(self, site: int, reassign_to: int, via: int = 0):
+        yield from self.submit(
+            {"op": "remove_site", "site": site, "reassign_to": reassign_to}, via=via
+        )
+
+    def reintegrate_site(self, site: int, via: int = 0):
+        yield from self.submit({"op": "reintegrate_site", "site": site}, via=via)
+
+    # ------------------------------------------------------------------
+    # Local queries (served from the replica's applied state)
+    # ------------------------------------------------------------------
+    def state_at(self, index: int) -> ConfigState:
+        return self.states[index]
+
+    def container_at(self, index: int, cid: str) -> Container:
+        info = self.states[index].containers.get(cid)
+        if info is None:
+            raise NoSuchContainerError("container %r unknown at replica %d" % (cid, index))
+        return info.to_container()
+
+    def consistent_prefixes(self) -> bool:
+        """All replicas applied consistent command prefixes (test oracle)."""
+        logs = [node.log_prefix() for node in self.nodes]
+        shortest = min(len(log) for log in logs)
+        return all(log[:shortest] == logs[0][:shortest] for log in logs)

@@ -1,0 +1,46 @@
+"""Core data model: versions, csets, objects, update buffers, histories."""
+
+from .cset import CSet
+from .history import HistoryEntry, ObjectHistory, SiteHistories
+from .objects import Container, ObjectId, ObjectKind
+from .transaction import CommitRecord, Transaction, TxStatus, fresh_tid
+from .updates import (
+    CSetAdd,
+    CSetDel,
+    DataUpdate,
+    Update,
+    apply_cset_ops,
+    cset_set,
+    last_data,
+    touched_oids,
+    updates_for,
+    write_set,
+)
+from .versions import VectorTimestamp, Version, merge_all
+
+__all__ = [
+    "CSet",
+    "CSetAdd",
+    "CSetDel",
+    "CommitRecord",
+    "Container",
+    "DataUpdate",
+    "HistoryEntry",
+    "ObjectHistory",
+    "ObjectId",
+    "ObjectKind",
+    "SiteHistories",
+    "Transaction",
+    "TxStatus",
+    "Update",
+    "VectorTimestamp",
+    "Version",
+    "apply_cset_ops",
+    "cset_set",
+    "fresh_tid",
+    "last_data",
+    "merge_all",
+    "touched_oids",
+    "updates_for",
+    "write_set",
+]

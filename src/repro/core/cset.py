@@ -1,0 +1,116 @@
+"""Counting sets (csets) -- the paper's conflict-free data type (§2, §3.3, §3.5).
+
+A cset maps element ids to integer counts, *possibly negative*.  ``add``
+increments an element's count, ``rem`` decrements it; because increment and
+decrement commute, concurrent cset updates never produce a write-write
+conflict and transactions touching only csets always fast-commit.
+
+Removing from an empty cset yields count -1 -- an "anti-element": a later
+add returns the cset to empty.
+
+Reading a cset returns the elements with **non-zero** count (§3.3).
+Applications using a cset as a conventional set should treat count >= 1 as
+present and count <= 0 as absent (§3.5); :meth:`CSet.members` implements
+that convention, while :meth:`CSet.counts` exposes raw counts for
+applications where the count itself is meaningful (shopping carts,
+reference counts, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, Mapping, Tuple
+
+
+class CSet:
+    """A mutable counting set.
+
+    The class is a plain data structure -- transactional behaviour (update
+    buffering, snapshot reads) is implemented by the history and server
+    layers, which *replay* ADD/DEL operations into a fresh CSet.
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, counts: Mapping[Hashable, int] = ()):
+        self._counts: Dict[Hashable, int] = {}
+        if counts:
+            for elem, count in dict(counts).items():
+                if count != 0:
+                    self._counts[elem] = int(count)
+
+    # ------------------------------------------------------------------
+    # Mutation (commutative)
+    # ------------------------------------------------------------------
+    def add(self, elem: Hashable, n: int = 1) -> None:
+        """Add ``n`` copies of ``elem`` (increment its count)."""
+        if n < 0:
+            raise ValueError("add count must be >= 0; use rem")
+        self._bump(elem, n)
+
+    def rem(self, elem: Hashable, n: int = 1) -> None:
+        """Remove ``n`` copies of ``elem`` (decrement its count).
+
+        Unlike a multiset, the count may go negative (anti-elements)."""
+        if n < 0:
+            raise ValueError("rem count must be >= 0; use add")
+        self._bump(elem, -n)
+
+    def _bump(self, elem: Hashable, delta: int) -> None:
+        new = self._counts.get(elem, 0) + delta
+        if new == 0:
+            self._counts.pop(elem, None)
+        else:
+            self._counts[elem] = new
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def count(self, elem: Hashable) -> int:
+        """The count of ``elem`` (0 when absent) -- the setReadId value."""
+        return self._counts.get(elem, 0)
+
+    def counts(self) -> Dict[Hashable, int]:
+        """All elements with non-zero count -- the setRead value (§3.3)."""
+        return dict(self._counts)
+
+    def members(self) -> Iterator[Hashable]:
+        """Elements with count >= 1: the conventional-set view (§3.5)."""
+        return (elem for elem, count in self._counts.items() if count >= 1)
+
+    def __contains__(self, elem: Hashable) -> bool:
+        return self._counts.get(elem, 0) >= 1
+
+    def __len__(self) -> int:
+        """Number of elements with non-zero count."""
+        return len(self._counts)
+
+    def __iter__(self) -> Iterator[Tuple[Hashable, int]]:
+        return iter(self._counts.items())
+
+    def is_empty(self) -> bool:
+        return not self._counts
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def copy(self) -> "CSet":
+        return CSet(self._counts)
+
+    def merge(self, other: "CSet") -> "CSet":
+        """Pointwise sum -- merging two replicas' update effects."""
+        merged = self.copy()
+        for elem, count in other._counts.items():
+            merged._bump(elem, count)
+        return merged
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, CSet) and self._counts == other._counts
+
+    def __hash__(self):
+        raise TypeError("CSet is mutable and unhashable")
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            "%r:%+d" % (e, c) for e, c in sorted(self._counts.items(), key=repr)
+        )
+        return "CSet{%s}" % inner

@@ -1,0 +1,184 @@
+"""Per-object version histories (the ``History_i[oid]`` variable of Fig 9).
+
+Each Walter server keeps, per object, the sequence of updates applied at
+that site, each tagged with the version ``⟨site, seqno⟩`` of the
+responsible transaction.  Entries are appended in the order transactions
+are applied locally, which for committed state is the site's commit order;
+since PSI forbids write-write conflicts, any two versions of the same
+regular object are causally ordered, and local apply order is consistent
+with that causal order.  Hence "the last update in the history visible to
+startVTS" (Fig 10) is well-defined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+from ..errors import TypeMismatchError
+from .cset import CSet
+from .objects import ObjectId, ObjectKind
+from .updates import CSetAdd, CSetDel, DataUpdate, Update
+from .versions import VectorTimestamp, Version
+
+
+@dataclass(frozen=True)
+class HistoryEntry:
+    """One update plus the version of the transaction that made it."""
+
+    update: Update
+    version: Version
+
+
+class ObjectHistory:
+    """The ordered update sequence of a single object at one site."""
+
+    __slots__ = ("oid", "_entries")
+
+    def __init__(self, oid: ObjectId):
+        self.oid = oid
+        self._entries: List[HistoryEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[HistoryEntry]:
+        return iter(self._entries)
+
+    def append(self, update: Update, version: Version) -> None:
+        if update.oid != self.oid:
+            raise ValueError("update for %s appended to history of %s" % (update.oid, self.oid))
+        self._entries.append(HistoryEntry(update, version))
+
+    def visible_entries(self, vts: VectorTimestamp) -> Iterator[HistoryEntry]:
+        """Entries whose version is visible to snapshot ``vts``, in order."""
+        return (e for e in self._entries if vts.visible(e.version))
+
+    def latest_visible(self, vts: VectorTimestamp) -> Optional[HistoryEntry]:
+        """The last visible entry (regular-object snapshot read)."""
+        result = None
+        for entry in self.visible_entries(vts):
+            result = entry
+        return result
+
+    def unmodified_since(self, vts: VectorTimestamp) -> bool:
+        """Fig 11's ``unmodified(oid, VTS)``: every version of the object in
+        the local history is visible to ``vts`` -- i.e. nothing was
+        committed here after the snapshot."""
+        return all(vts.visible(e.version) for e in self._entries)
+
+    def versions(self) -> List[Version]:
+        return [e.version for e in self._entries]
+
+    def truncate_versions(self, keep: Iterable[Version]) -> int:
+        """Remove entries whose version is not in ``keep``; returns count
+        removed.  Used by site-failure recovery to discard replicated data
+        of non-surviving transactions (§5.7)."""
+        keep_set = set(keep)
+        before = len(self._entries)
+        self._entries = [e for e in self._entries if e.version in keep_set]
+        return before - len(self._entries)
+
+    def gc_before(self, vts: VectorTimestamp) -> int:
+        """Garbage-collect superseded regular-object entries: drop every
+        visible entry except the last one (the visible snapshot value).
+        Cset histories are never GC'd this way because their state is the
+        sum of all entries."""
+        if self.oid.kind is ObjectKind.CSET:
+            return 0
+        last = self.latest_visible(vts)
+        if last is None:
+            return 0
+        before = len(self._entries)
+        self._entries = [
+            e for e in self._entries if e is last or not vts.visible(e.version)
+        ]
+        return before - len(self._entries)
+
+
+class SiteHistories:
+    """All object histories at one site, plus typed snapshot reads."""
+
+    def __init__(self):
+        self._histories: Dict[ObjectId, ObjectHistory] = {}
+
+    def history(self, oid: ObjectId) -> ObjectHistory:
+        hist = self._histories.get(oid)
+        if hist is None:
+            hist = ObjectHistory(oid)
+            self._histories[oid] = hist
+        return hist
+
+    def known_oids(self) -> List[ObjectId]:
+        return list(self._histories)
+
+    def __contains__(self, oid: ObjectId) -> bool:
+        return oid in self._histories
+
+    def apply(self, updates: Iterable[Update], version: Version) -> None:
+        """Fig 11's ``update(updates, version)``: append every update to
+        the matching object history, tagged with ``version``."""
+        for update in updates:
+            self.history(update.oid).append(update, version)
+
+    # ------------------------------------------------------------------
+    # Snapshot reads
+    # ------------------------------------------------------------------
+    def read_regular(
+        self, oid: ObjectId, vts: VectorTimestamp, buffer: Iterable[Update] = ()
+    ) -> Any:
+        """Regular-object snapshot read: the transaction's own buffered
+        write if any, else the last visible committed version, else nil."""
+        if oid.kind is not ObjectKind.REGULAR:
+            raise TypeMismatchError("read on cset object %s; use read_cset" % oid)
+        for update in reversed(list(buffer)):
+            if isinstance(update, DataUpdate) and update.oid == oid:
+                return update.data
+        entry = self.history(oid).latest_visible(vts)
+        if entry is None:
+            return None
+        assert isinstance(entry.update, DataUpdate)
+        return entry.update.data
+
+    def read_cset(
+        self, oid: ObjectId, vts: VectorTimestamp, buffer: Iterable[Update] = ()
+    ) -> CSet:
+        """Cset snapshot read: sum of visible ADD/DEL plus buffered ops."""
+        if oid.kind is not ObjectKind.CSET:
+            raise TypeMismatchError("setRead on regular object %s; use read_regular" % oid)
+        cset = CSet()
+        for entry in self.history(oid).visible_entries(vts):
+            self._apply_cset_entry(cset, entry.update)
+        for update in buffer:
+            if update.oid == oid:
+                self._apply_cset_entry(cset, update)
+        return cset
+
+    @staticmethod
+    def _apply_cset_entry(cset: CSet, update: Update) -> None:
+        if isinstance(update, CSetAdd):
+            cset.add(update.elem)
+        elif isinstance(update, CSetDel):
+            cset.rem(update.elem)
+        else:
+            raise TypeMismatchError("DATA update found in cset history: %r" % (update,))
+
+    def unmodified(self, oid: ObjectId, vts: VectorTimestamp) -> bool:
+        return self.history(oid).unmodified_since(vts)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def gc(self, vts: VectorTimestamp) -> int:
+        """GC superseded regular-object versions below snapshot ``vts``."""
+        return sum(h.gc_before(vts) for h in self._histories.values())
+
+    def snapshot_state(self, vts: VectorTimestamp) -> Dict[ObjectId, Any]:
+        """Materialize every object's value at snapshot ``vts`` (test aid)."""
+        state: Dict[ObjectId, Any] = {}
+        for oid in self._histories:
+            if oid.kind is ObjectKind.CSET:
+                state[oid] = self.read_cset(oid, vts)
+            else:
+                state[oid] = self.read_regular(oid, vts)
+        return state

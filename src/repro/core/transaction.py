@@ -1,0 +1,160 @@
+"""Transaction state shared by the spec models and the Walter servers."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, FrozenSet, Hashable, List, Optional
+
+from ..errors import TransactionStateError
+from .objects import ObjectId
+from .updates import (
+    CSetAdd,
+    CSetDel,
+    DataUpdate,
+    Update,
+    cset_set,
+    touched_oids,
+    write_set,
+)
+from .versions import VectorTimestamp, Version
+
+_tid_counter = itertools.count(1)
+
+
+def fresh_tid(prefix: str = "tx") -> str:
+    """Globally unique transaction id (unique within the process, which is
+    the whole simulated world)."""
+    return "%s-%d" % (prefix, next(_tid_counter))
+
+
+class TxStatus(enum.Enum):
+    """Lifecycle state of a transaction."""
+
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class Transaction:
+    """A transaction executing at one site.
+
+    Mirrors the attributes of the paper's pseudocode: ``tid``, ``site``,
+    ``startVTS`` (Fig 10), the update buffer, and on commit a version
+    ``⟨site, seqno⟩``.  Durability milestones (disaster-safe durable,
+    globally visible) are tracked for the client callbacks of §4.2.
+    """
+
+    tid: str
+    site: int
+    start_vts: VectorTimestamp
+    updates: List[Update] = field(default_factory=list)
+    status: TxStatus = TxStatus.ACTIVE
+    version: Optional[Version] = None
+    commit_time: Optional[float] = None
+    disaster_safe: bool = False
+    globally_visible: bool = False
+
+    # ------------------------------------------------------------------
+    # Buffering operations
+    # ------------------------------------------------------------------
+    def require_active(self) -> None:
+        if self.status is not TxStatus.ACTIVE:
+            raise TransactionStateError(
+                "transaction %s is %s" % (self.tid, self.status.value)
+            )
+
+    def buffer_write(self, oid: ObjectId, data: Any) -> None:
+        self.require_active()
+        self.updates.append(DataUpdate(oid, data))
+
+    def buffer_set_add(self, oid: ObjectId, elem: Hashable) -> None:
+        self.require_active()
+        self.updates.append(CSetAdd(oid, elem))
+
+    def buffer_set_del(self, oid: ObjectId, elem: Hashable) -> None:
+        self.require_active()
+        self.updates.append(CSetDel(oid, elem))
+
+    # ------------------------------------------------------------------
+    # Derived sets
+    # ------------------------------------------------------------------
+    @property
+    def write_set(self) -> FrozenSet[ObjectId]:
+        """Regular oids written (conflict-checked; excludes csets, Fig 11)."""
+        return write_set(self.updates)
+
+    @property
+    def cset_set(self) -> FrozenSet[ObjectId]:
+        return cset_set(self.updates)
+
+    @property
+    def touched(self) -> FrozenSet[ObjectId]:
+        return touched_oids(self.updates)
+
+    @property
+    def is_read_only(self) -> bool:
+        return not self.updates
+
+    # ------------------------------------------------------------------
+    # Outcomes
+    # ------------------------------------------------------------------
+    def mark_committed(self, version: Version, at: float) -> None:
+        self.require_active()
+        self.status = TxStatus.COMMITTED
+        self.version = version
+        self.commit_time = at
+
+    def mark_committed_read_only(self, at: float) -> None:
+        """Read-only transactions commit without a version: they make no
+        updates, so there is nothing to propagate and they are trivially
+        disaster-safe durable and globally visible."""
+        self.require_active()
+        if self.updates:
+            raise TransactionStateError(
+                "transaction %s has updates; not read-only" % self.tid
+            )
+        self.status = TxStatus.COMMITTED
+        self.commit_time = at
+        self.disaster_safe = True
+        self.globally_visible = True
+
+    def mark_aborted(self) -> None:
+        self.require_active()
+        self.status = TxStatus.ABORTED
+
+    def __repr__(self) -> str:
+        return "Transaction(%s@site%d %s)" % (self.tid, self.site, self.status.value)
+
+
+@dataclass
+class CommitRecord:
+    """What propagation ships between sites: the committed transaction's
+    identity, origin version, snapshot, and updates (Fig 13's ``x``)."""
+
+    tid: str
+    site: int
+    seqno: int
+    start_vts: VectorTimestamp
+    updates: List[Update]
+
+    @property
+    def version(self) -> Version:
+        return Version(self.site, self.seqno)
+
+    def payload_bytes(self) -> int:
+        """Rough wire size, used by the network bandwidth model."""
+        base = 64
+        per_update = 0
+        for u in self.updates:
+            if isinstance(u, DataUpdate):
+                data = u.data
+                if isinstance(data, (bytes, str)):
+                    per_update += 32 + len(data)
+                else:
+                    per_update += 96
+            else:
+                per_update += 48
+        return base + per_update

@@ -1,0 +1,134 @@
+"""Versions and vector timestamps (paper §5.2).
+
+The centralized PSI specification uses monotonic timestamps, which are
+expensive to produce across sites.  The Walter implementation replaces
+them with:
+
+* a **version** ``⟨site, seqno⟩`` assigned to a transaction at commit --
+  the site where it executed plus a per-site sequence number, and
+* a **vector timestamp** representing a snapshot: one sequence number per
+  site, counting how many transactions of that site are in the snapshot.
+
+A version ``⟨site, seqno⟩`` is *visible* to a vector timestamp ``VTS``
+iff ``seqno <= VTS[site]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Version:
+    """Commit version ``⟨site, seqno⟩`` of a transaction.
+
+    Ordering (site-major) is defined only so versions can be sorted for
+    stable test output; protocol code never relies on cross-site order.
+    """
+
+    site: int
+    seqno: int
+
+    def __str__(self) -> str:
+        return "<%d:%d>" % (self.site, self.seqno)
+
+
+class VectorTimestamp:
+    """An immutable snapshot vector: seqno per site.
+
+    Immutability keeps snapshot semantics honest -- a transaction's
+    ``startVTS`` must not drift while the transaction runs.  Servers hold a
+    *current* vector and replace it on every commit via :meth:`advance` /
+    :meth:`with_entry`.
+    """
+
+    __slots__ = ("_seqnos",)
+
+    def __init__(self, seqnos: Sequence[int]):
+        self._seqnos: Tuple[int, ...] = tuple(int(s) for s in seqnos)
+        if any(s < 0 for s in self._seqnos):
+            raise ValueError("sequence numbers must be >= 0: %r" % (seqnos,))
+
+    @classmethod
+    def zeros(cls, n_sites: int) -> "VectorTimestamp":
+        return cls((0,) * n_sites)
+
+    @property
+    def n_sites(self) -> int:
+        return len(self._seqnos)
+
+    def __getitem__(self, site: int) -> int:
+        return self._seqnos[site]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._seqnos)
+
+    def __len__(self) -> int:
+        return len(self._seqnos)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, VectorTimestamp) and self._seqnos == other._seqnos
+
+    def __hash__(self) -> int:
+        return hash(self._seqnos)
+
+    def __repr__(self) -> str:
+        return "VTS(%s)" % (", ".join(str(s) for s in self._seqnos))
+
+    def advance(self, site: int) -> "VectorTimestamp":
+        """A copy with ``site``'s entry incremented by one."""
+        seqnos = list(self._seqnos)
+        seqnos[site] += 1
+        return VectorTimestamp(seqnos)
+
+    def with_entry(self, site: int, seqno: int) -> "VectorTimestamp":
+        """A copy with ``site``'s entry replaced by ``seqno``."""
+        seqnos = list(self._seqnos)
+        seqnos[site] = seqno
+        return VectorTimestamp(seqnos)
+
+    def merge(self, other: "VectorTimestamp") -> "VectorTimestamp":
+        """Element-wise maximum (join in the vector-clock lattice)."""
+        self._check_same_width(other)
+        return VectorTimestamp(
+            tuple(max(a, b) for a, b in zip(self._seqnos, other._seqnos))
+        )
+
+    def dominates(self, other: "VectorTimestamp") -> bool:
+        """True iff every entry of self >= the matching entry of other.
+
+        This is the ``CommittedVTS >= x.startVTS`` test of Fig 13: the
+        local site has committed every transaction in x's snapshot.
+        """
+        self._check_same_width(other)
+        return all(a >= b for a, b in zip(self._seqnos, other._seqnos))
+
+    def __ge__(self, other: "VectorTimestamp") -> bool:
+        return self.dominates(other)
+
+    def __le__(self, other: "VectorTimestamp") -> bool:
+        return other.dominates(self)
+
+    def visible(self, version: Version) -> bool:
+        """Is ``version`` visible to this snapshot?  (§5.2)"""
+        if not 0 <= version.site < len(self._seqnos):
+            raise ValueError("version %s outside site universe" % (version,))
+        return version.seqno <= self._seqnos[version.site]
+
+    def _check_same_width(self, other: "VectorTimestamp") -> None:
+        if len(self._seqnos) != len(other._seqnos):
+            raise ValueError(
+                "vector width mismatch: %d vs %d"
+                % (len(self._seqnos), len(other._seqnos))
+            )
+
+
+def merge_all(vectors: Iterable[VectorTimestamp]) -> VectorTimestamp:
+    """Join of a non-empty collection of vector timestamps."""
+    result = None
+    for vts in vectors:
+        result = vts if result is None else result.merge(vts)
+    if result is None:
+        raise ValueError("merge_all of empty collection")
+    return result

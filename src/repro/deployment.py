@@ -1,0 +1,252 @@
+"""Deployment assembly: sites, servers, storage, clients, recovery.
+
+A :class:`Deployment` wires a full Walter installation over the simulated
+substrate: one :class:`~repro.server.WalterServer` per site on the EC2
+topology (§8.1), a shared configuration view, per-site replicated cluster
+storage, and client factories.  It also exposes the failure-handling
+workflows of §5.7 (server replacement, site removal, re-integration) as
+one-call operations used by tests and examples.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Generator, List, Optional
+
+from .client import WalterClient
+from .core.objects import Container
+from .net import Host, Network, Topology
+from .server import LocalConfig, ServerCosts, SiteRecoveryCoordinator, WalterServer
+from .sim import Kernel, RandomStreams
+from .spec.checker import ExecutionTrace
+from .storage import FLUSH_EC2, SiteStorage
+
+_deploy_seq = itertools.count(1)
+
+
+class Deployment:
+    """A complete multi-site Walter installation in one simulation."""
+
+    def __init__(
+        self,
+        n_sites: int = 4,
+        topology: Optional[Topology] = None,
+        seed: int = 0,
+        costs: Optional[ServerCosts] = None,
+        flush_latency: float = FLUSH_EC2,
+        f: int = 1,
+        ds_mode: str = "all_sites",
+        trace: bool = False,
+        jitter_frac: float = 0.05,
+        anti_starvation: bool = False,
+    ):
+        self.kernel = Kernel()
+        self.streams = RandomStreams(seed)
+        self.topology = topology or Topology.ec2(n_sites)
+        self.n_sites = len(self.topology)
+        self.network = Network(
+            self.kernel, self.topology, streams=self.streams, jitter_frac=jitter_frac
+        )
+        self.config = LocalConfig(self.n_sites)
+        self.trace = ExecutionTrace(n_sites=self.n_sites) if trace else None
+        self.costs = costs or ServerCosts()
+        self.f = f
+        self.ds_mode = ds_mode
+        self.anti_starvation = anti_starvation
+        self._deploy_id = next(_deploy_seq)
+
+        self.storages: List[SiteStorage] = [
+            SiteStorage(self.kernel, site, flush_latency, name="disk-%d-%d" % (self._deploy_id, site))
+            for site in range(self.n_sites)
+        ]
+        self.addresses: Dict[int, str] = {
+            site: "walter-%d-%d" % (self._deploy_id, site) for site in range(self.n_sites)
+        }
+        self.servers: List[WalterServer] = [
+            self._make_server(site) for site in range(self.n_sites)
+        ]
+        for server in self.servers:
+            server.start()
+        self._client_seq = itertools.count(1)
+        self._container_seq = itertools.count(1)
+
+    def _make_server(self, site: int, takeover: bool = False) -> WalterServer:
+        return WalterServer(
+            self.kernel,
+            self.network,
+            site_id=site,
+            name=self.addresses[site],
+            config=self.config,
+            storage=self.storages[site],
+            peers=self.addresses,
+            costs=self.costs,
+            f=self.f,
+            ds_mode=self.ds_mode,
+            trace=self.trace,
+            anti_starvation=self.anti_starvation,
+            takeover=takeover,
+        )
+
+    # ------------------------------------------------------------------
+    # Topology/objects
+    # ------------------------------------------------------------------
+    def server(self, site: int) -> WalterServer:
+        return self.servers[site]
+
+    def create_container(
+        self,
+        cid: Optional[str] = None,
+        preferred_site: int = 0,
+        replica_sites=None,
+    ) -> Container:
+        """Register a container; default replication is all sites (the
+        WaltSocial configuration: 'replicated at all sites to optimize for
+        reads', §7)."""
+        if cid is None:
+            cid = "container-%d" % next(self._container_seq)
+        if replica_sites is None:
+            replica_sites = range(self.n_sites)
+        container = Container(cid, preferred_site, frozenset(replica_sites))
+        return self.config.register(container)
+
+    def new_client(self, site: int, name: Optional[str] = None) -> WalterClient:
+        name = name or "client-%d-%d" % (self._deploy_id, next(self._client_seq))
+        client = WalterClient(
+            self.kernel,
+            self.network,
+            site,
+            name,
+            server_address=self.addresses[site],
+            config=self.config,
+        )
+        client.start()
+        return client
+
+    def preload(self, values) -> None:
+        """Seed objects as already-committed, fully-propagated site-0
+        transactions (used by benchmarks to populate the store without
+        simulating millions of warm-up writes).
+
+        ``values`` maps ObjectId -> bytes (regular) or, for csets, an
+        iterable of elements, a ``{elem: count}`` dict, or a CSet.
+        """
+        from .core.cset import CSet
+        from .core.transaction import CommitRecord
+        from .core.updates import CSetAdd, CSetDel, DataUpdate
+        from .core.versions import Version
+
+        seq = self.servers[0].curr_seqno
+        start_vts = self.servers[0].committed_vts
+        for oid, value in values.items():
+            seq += 1
+            version = Version(0, seq)
+            if oid.is_cset:
+                counts = value.counts() if isinstance(value, CSet) else value
+                if isinstance(counts, dict):
+                    updates = []
+                    for elem, count in counts.items():
+                        op = CSetAdd if count > 0 else CSetDel
+                        updates.extend(op(oid, elem) for _ in range(abs(count)))
+                else:
+                    updates = [CSetAdd(oid, elem) for elem in counts]
+            else:
+                updates = [DataUpdate(oid, value)]
+            record = CommitRecord(
+                tid="preload-%d" % seq,
+                site=0,
+                seqno=seq,
+                start_vts=start_vts,
+                updates=updates,
+            )
+            for server in self.servers:
+                server.histories.apply(updates, version)
+                server._records_by_version[version] = record
+            if self.trace is not None:
+                from .spec.checker import TracedTx
+
+                self.trace.record_commit(
+                    TracedTx(record.tid, 0, start_vts, version, updates, frozenset(
+                        u.oid for u in updates if isinstance(u, DataUpdate)
+                    ))
+                )
+                for site in range(self.n_sites):
+                    self.trace.record_site_commit(site, version)
+        for server in self.servers:
+            server.got_vts = server.got_vts.with_entry(0, seq)
+            server.committed_vts = server.committed_vts.with_entry(0, seq)
+        self.servers[0].curr_seqno = seq
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        return self.kernel.run(until=until)
+
+    def run_process(self, gen: Generator, within: float = 60.0):
+        """Spawn a process and run the world until it finishes."""
+        return self.kernel.run_process(gen, until=self.kernel.now + within)
+
+    def settle(self, duration: float = 2.0) -> None:
+        """Let in-flight propagation finish."""
+        self.kernel.run(until=self.kernel.now + duration)
+
+    # ------------------------------------------------------------------
+    # Failure handling (§5.7)
+    # ------------------------------------------------------------------
+    def crash_server(self, site: int) -> None:
+        """Crash the Walter server process at a site (storage survives)."""
+        self.servers[site].crash()
+
+    def replace_server(self, site: int) -> WalterServer:
+        """Start a replacement server over the site's cluster storage; it
+        recovers its state and resumes propagation (§5.7)."""
+        replacement = self._make_server(site, takeover=True)
+        replacement.restore_from_storage()
+        replacement.start()
+        self.servers[site] = replacement
+        return replacement
+
+    def fail_site(self, site: int) -> None:
+        """An entire site fails: server down, links severed."""
+        self.servers[site].crash()
+        for other in range(self.n_sites):
+            if other != site:
+                self.network.partition(site, other)
+
+    def remove_site(self, failed_site: int, reassign_to: int, within: float = 60.0) -> int:
+        """Aggressive recovery (§4.4/§5.7): drop the failed site, keep its
+        surviving transactions, reassign its containers.  Returns the
+        surviving seqno bound."""
+        coordinator = self._coordinator(at_site=reassign_to)
+        return self.run_process(
+            coordinator.remove_site(self.config, failed_site, reassign_to),
+            within=within,
+        )
+
+    def reintegrate_site(self, site: int, within: float = 60.0) -> WalterServer:
+        """Bring a removed site back: heal links, start a recovered server,
+        synchronize it, then return its containers (§5.7)."""
+        for other in range(self.n_sites):
+            if other != site:
+                self.network.heal(site, other)
+        replacement = self._make_server(site, takeover=True)
+        replacement.restore_from_storage()
+        replacement.start()
+        self.servers[site] = replacement
+        survivor = next(s for s in self.config.active_sites() if s != site)
+        coordinator = self._coordinator(at_site=survivor)
+        self.run_process(
+            coordinator.reintegrate_site(self.config, site, replacement.address),
+            within=within,
+        )
+        return replacement
+
+    def _coordinator(self, at_site: int = 0) -> SiteRecoveryCoordinator:
+        host = Host(
+            self.kernel,
+            self.network,
+            at_site,
+            "recovery-coord-%d-%d" % (self._deploy_id, next(self._client_seq)),
+        )
+        host.start()
+        return SiteRecoveryCoordinator(self.kernel, host, self.addresses)

@@ -1,0 +1,31 @@
+"""Simulated wide-area network: topology, message delivery, RPC."""
+
+from .network import Message, Network, NetworkStats
+from .rpc import Cast, Host, RpcError, RpcRemoteError, RpcReply, RpcRequest, RpcTimeout
+from .topology import (
+    EC2_CROSS_SITE_BANDWIDTH_BPS,
+    EC2_INTRA_SITE_BANDWIDTH_BPS,
+    EC2_RTT_MS,
+    EC2_SITE_NAMES,
+    Site,
+    Topology,
+)
+
+__all__ = [
+    "Cast",
+    "EC2_CROSS_SITE_BANDWIDTH_BPS",
+    "EC2_INTRA_SITE_BANDWIDTH_BPS",
+    "EC2_RTT_MS",
+    "EC2_SITE_NAMES",
+    "Host",
+    "Message",
+    "Network",
+    "NetworkStats",
+    "RpcError",
+    "RpcRemoteError",
+    "RpcReply",
+    "RpcRequest",
+    "RpcTimeout",
+    "Site",
+    "Topology",
+]

@@ -1,0 +1,187 @@
+"""Message-level network simulation.
+
+Hosts register a mailbox under a string address; :meth:`Network.send`
+delivers a message after the topology's one-way latency, a small jitter,
+and a serialization delay proportional to message size over the pairwise
+bandwidth.  Cross-site links also enforce the bandwidth cap as a shared
+FIFO pipe per (src-site, dst-site) pair, which is what produces the
+paper's batched-propagation behaviour under load.
+
+Fault injection (partitions, crashed hosts, message loss) lives here so
+that every protocol in the repository is exercised against the same
+failure model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Set, Tuple
+
+from ..sim import Kernel, RandomStreams, Store
+from .topology import Site, Topology
+
+
+@dataclass
+class Message:
+    """An addressed message in flight or delivered."""
+
+    src: str
+    dst: str
+    payload: Any
+    size_bytes: int
+    sent_at: float
+    delivered_at: Optional[float] = None
+
+
+@dataclass
+class NetworkStats:
+    """Counters exposed to tests and benchmarks."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped_partition: int = 0
+    dropped_crash: int = 0
+    dropped_random: int = 0
+    bytes_by_link: Dict[Tuple[int, int], int] = field(default_factory=dict)
+
+
+class Network:
+    """Delivers messages between registered hosts with simulated delays."""
+
+    #: Fixed per-message software overhead (RPC marshalling etc.), seconds.
+    SOFTWARE_OVERHEAD = 50e-6
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        topology: Topology,
+        streams: Optional[RandomStreams] = None,
+        jitter_frac: float = 0.05,
+        loss_rate: float = 0.0,
+    ):
+        self.kernel = kernel
+        self.topology = topology
+        self.streams = streams or RandomStreams(0)
+        self._rng = self.streams.stream("net.jitter")
+        self.jitter_frac = jitter_frac
+        self.loss_rate = loss_rate
+        self._mailboxes: Dict[str, Store] = {}
+        self._host_sites: Dict[str, Site] = {}
+        self._crashed: Set[str] = set()
+        self._partitioned: Set[Tuple[int, int]] = set()
+        # Next time at which each directed cross-site link is free; models
+        # the 22 Mbps pipe as FIFO serialization.
+        self._link_free_at: Dict[Tuple[int, int], float] = {}
+        self.stats = NetworkStats()
+
+    # ------------------------------------------------------------------
+    # Host management
+    # ------------------------------------------------------------------
+    def register(self, address: str, site, takeover: bool = False) -> Store:
+        """Create and return the mailbox for a host at ``site``.
+
+        ``takeover=True`` replaces a dead host at the same address (a
+        replacement Walter server keeps its predecessor's identity); the
+        old mailbox is discarded and the crash flag cleared.
+        """
+        if address in self._mailboxes and not takeover:
+            raise ValueError("address %r already registered" % (address,))
+        mailbox = Store(self.kernel, name="mbox:%s" % address)
+        self._mailboxes[address] = mailbox
+        self._host_sites[address] = self.topology.site(site)
+        self._crashed.discard(address)
+        return mailbox
+
+    def site_of(self, address: str) -> Site:
+        return self._host_sites[address]
+
+    def crash_host(self, address: str) -> None:
+        """Stop delivering to/from a host; queued mail is discarded."""
+        self._crashed.add(address)
+        self._mailboxes[address].drain()
+
+    def recover_host(self, address: str) -> None:
+        self._crashed.discard(address)
+
+    def is_crashed(self, address: str) -> bool:
+        return address in self._crashed
+
+    # ------------------------------------------------------------------
+    # Partitions
+    # ------------------------------------------------------------------
+    def partition(self, site_a, site_b) -> None:
+        """Sever connectivity between two sites (both directions)."""
+        a, b = self.topology.site(site_a).id, self.topology.site(site_b).id
+        self._partitioned.add((a, b))
+        self._partitioned.add((b, a))
+
+    def heal(self, site_a, site_b) -> None:
+        a, b = self.topology.site(site_a).id, self.topology.site(site_b).id
+        self._partitioned.discard((a, b))
+        self._partitioned.discard((b, a))
+
+    def heal_all(self) -> None:
+        self._partitioned.clear()
+
+    def is_partitioned(self, site_a, site_b) -> bool:
+        a, b = self.topology.site(site_a).id, self.topology.site(site_b).id
+        return (a, b) in self._partitioned
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, src: str, dst: str, payload: Any, size_bytes: int = 256) -> None:
+        """Send ``payload`` from host ``src`` to host ``dst``.
+
+        Delivery is asynchronous and unreliable under injected faults:
+        partitions and crashes silently drop (as with a TCP connection
+        that never completes), so protocols must tolerate loss.
+        """
+        self.stats.sent += 1
+        if src in self._crashed:
+            self.stats.dropped_crash += 1
+            return
+        if dst not in self._mailboxes:
+            raise ValueError("unknown destination %r" % (dst,))
+        src_site = self._host_sites[src]
+        dst_site = self._host_sites[dst]
+        if (src_site.id, dst_site.id) in self._partitioned:
+            self.stats.dropped_partition += 1
+            return
+        if self.loss_rate > 0 and self._rng.random() < self.loss_rate:
+            self.stats.dropped_random += 1
+            return
+
+        latency = self.topology.one_way(src_site, dst_site)
+        if self.jitter_frac > 0:
+            latency *= 1.0 + self._rng.random() * self.jitter_frac
+        serialize = size_bytes * 8.0 / self.topology.bandwidth_bps(src_site, dst_site)
+
+        now = self.kernel.now
+        if src_site.id != dst_site.id:
+            # FIFO pipe: serialization occupies the shared link.
+            link = (src_site.id, dst_site.id)
+            start = max(now, self._link_free_at.get(link, now))
+            self._link_free_at[link] = start + serialize
+            self.stats.bytes_by_link[link] = (
+                self.stats.bytes_by_link.get(link, 0) + size_bytes
+            )
+            deliver_at = start + serialize + latency + self.SOFTWARE_OVERHEAD
+        else:
+            deliver_at = now + serialize + latency + self.SOFTWARE_OVERHEAD
+
+        message = Message(src, dst, payload, size_bytes, sent_at=now)
+        self.kernel.call_at(deliver_at, self._deliver, message)
+
+    def _deliver(self, message: Message) -> None:
+        if message.dst in self._crashed:
+            self.stats.dropped_crash += 1
+            return
+        src_site = self._host_sites[message.src]
+        dst_site = self._host_sites[message.dst]
+        if (src_site.id, dst_site.id) in self._partitioned:
+            self.stats.dropped_partition += 1
+            return
+        message.delivered_at = self.kernel.now
+        self.stats.delivered += 1
+        self._mailboxes[message.dst].put(message)

@@ -1,0 +1,197 @@
+"""RPC layer between simulated hosts.
+
+Walter clients talk to their local server via remote procedure calls
+(paper §5.1), and servers talk to each other both via RPCs (the slow
+commit's prepare/abort) and via one-way protocol messages (PROPAGATE,
+DS-DURABLE, VISIBLE -- Fig 13).  Both styles are provided here.
+
+:class:`Host` is the base class for every networked component.  Subclasses
+expose RPC methods named ``rpc_<method>`` and one-way handlers named
+``on_<method>``; handlers may be plain functions or generators (which may
+block on simulated I/O).
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..sim import AnyOf, Event, Kernel
+from .network import Network
+
+
+class RpcError(Exception):
+    """Base class for RPC failures."""
+
+
+class RpcTimeout(RpcError):
+    """The reply did not arrive within the caller's deadline."""
+
+
+class RpcRemoteError(RpcError):
+    """The remote handler raised; carries the remote error string."""
+
+
+@dataclass
+class RpcRequest:
+    rpc_id: int
+    method: str
+    args: Dict[str, Any]
+    reply_to: str
+
+
+@dataclass
+class RpcReply:
+    rpc_id: int
+    value: Any = None
+    error: Optional[str] = None
+
+
+@dataclass
+class Cast:
+    """A one-way protocol message (no reply)."""
+
+    method: str
+    args: Dict[str, Any] = field(default_factory=dict)
+    src: str = ""
+
+
+class Host:
+    """A networked component: mailbox, dispatch loop, RPC client+server."""
+
+    #: Default request/reply sizes in bytes when the caller does not say.
+    DEFAULT_MSG_BYTES = 256
+
+    def __init__(self, kernel: Kernel, network: Network, site, name: str, takeover: bool = False):
+        self.kernel = kernel
+        self.network = network
+        self.site = network.topology.site(site)
+        self.address = name
+        self.mailbox = network.register(name, self.site, takeover=takeover)
+        self._pending: Dict[int, Event] = {}
+        self._next_rpc_id = 0
+        self._running = False
+        self._loop = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._loop = self.kernel.spawn(self._dispatch_loop(), name="dispatch:%s" % self.address)
+
+    def stop(self) -> None:
+        """Stop dispatching (used to model a host crash at the app level)."""
+        self._running = False
+        if self._loop is not None and not self._loop.done:
+            self._loop.interrupt("stopped")
+        for event in self._pending.values():
+            if not event.triggered:
+                event.fail(RpcTimeout("host %s stopped" % self.address))
+        self._pending.clear()
+
+    def crash(self) -> None:
+        """Crash this host: stop dispatching and drop network traffic."""
+        self.network.crash_host(self.address)
+        self.stop()
+
+    def _dispatch_loop(self):
+        from ..sim import Interrupt
+
+        try:
+            while self._running:
+                message = yield self.mailbox.get()
+                payload = message.payload
+                if isinstance(payload, RpcRequest):
+                    self.kernel.spawn(
+                        self._serve(payload),
+                        name="serve:%s.%s" % (self.address, payload.method),
+                    )
+                elif isinstance(payload, RpcReply):
+                    event = self._pending.pop(payload.rpc_id, None)
+                    if event is not None and not event.triggered:
+                        if payload.error is not None:
+                            event.fail(RpcRemoteError(payload.error))
+                        else:
+                            event.trigger(payload.value)
+                elif isinstance(payload, Cast):
+                    handler = getattr(self, "on_" + payload.method, None)
+                    if handler is None:
+                        raise RpcError(
+                            "%s has no handler on_%s" % (self.address, payload.method)
+                        )
+                    result = handler(payload.src, **payload.args)
+                    if inspect.isgenerator(result):
+                        self.kernel.spawn(
+                            result, name="on:%s.%s" % (self.address, payload.method)
+                        )
+                else:
+                    raise RpcError("unexpected payload %r" % (payload,))
+        except Interrupt:
+            return
+
+    def _serve(self, request: RpcRequest):
+        handler = getattr(self, "rpc_" + request.method, None)
+        reply = RpcReply(rpc_id=request.rpc_id)
+        if handler is None:
+            reply.error = "no such method %r on %s" % (request.method, self.address)
+        else:
+            try:
+                result = handler(**request.args)
+                if inspect.isgenerator(result):
+                    result = yield from result
+                reply.value = result
+            except Exception as exc:  # noqa: BLE001 - shipped to caller
+                reply.error = "%s: %s" % (type(exc).__name__, exc)
+        self.network.send(
+            self.address, request.reply_to, reply, size_bytes=self.DEFAULT_MSG_BYTES
+        )
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+    def call(
+        self,
+        dst: str,
+        method: str,
+        size_bytes: Optional[int] = None,
+        timeout: Optional[float] = None,
+        **args,
+    ):
+        """Generator: invoke ``method`` on host ``dst`` and return the value.
+
+        Use as ``value = yield from self.call(dst, "prepare", ...)``.
+        Raises :class:`RpcTimeout` if no reply arrives within ``timeout``
+        simulated seconds, and :class:`RpcRemoteError` if the remote handler
+        raised.
+        """
+        self._next_rpc_id += 1
+        rpc_id = self._next_rpc_id
+        event = self.kernel.event(name="rpc:%s->%s.%s" % (self.address, dst, method))
+        self._pending[rpc_id] = event
+        request = RpcRequest(rpc_id=rpc_id, method=method, args=args, reply_to=self.address)
+        self.network.send(
+            self.address, dst, request, size_bytes=size_bytes or self.DEFAULT_MSG_BYTES
+        )
+        if timeout is None:
+            value = yield event
+            return value
+        index, value = yield AnyOf([event, self.kernel.timeout(timeout)])
+        if index == 1:
+            self._pending.pop(rpc_id, None)
+            raise RpcTimeout(
+                "rpc %s.%s from %s timed out after %gs" % (dst, method, self.address, timeout)
+            )
+        return value
+
+    def cast(self, dst: str, method: str, size_bytes: Optional[int] = None, **args) -> None:
+        """Fire-and-forget protocol message to ``dst``."""
+        self.network.send(
+            self.address,
+            dst,
+            Cast(method=method, args=args, src=self.address),
+            size_bytes=size_bytes or self.DEFAULT_MSG_BYTES,
+        )

@@ -1,0 +1,16 @@
+"""The Walter server and its protocol components."""
+
+from .propagation import PropagationTracker
+from .recovery import SiteRecoveryCoordinator
+from .server import ServerStats, WalterServer
+from .state import ConfigView, LocalConfig, ServerCosts
+
+__all__ = [
+    "ConfigView",
+    "LocalConfig",
+    "PropagationTracker",
+    "ServerCosts",
+    "ServerStats",
+    "SiteRecoveryCoordinator",
+    "WalterServer",
+]

@@ -1,0 +1,257 @@
+"""Transaction execution (paper Fig 10, §5.3).
+
+Start assigns ``startVTS`` from the site's ``CommittedVTS``; reads come
+from the snapshot determined by ``startVTS`` plus the transaction's own
+update buffer; updates are buffered server-side (each update is one client
+RPC, as in the C++ implementation).  Reading an object that is not
+replicated locally fetches the visible versions from the object's
+preferred site and merges them with any local-history versions (§5.3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, List, Optional, Tuple
+
+from ..core.cset import CSet
+from ..core.objects import ObjectId, ObjectKind
+from ..core.transaction import Transaction, TxStatus
+from ..core.updates import CSetAdd, CSetDel, DataUpdate, last_data
+from ..errors import TransactionStateError
+from ..spec.checker import TracedRead
+
+
+class ExecutionMixin:
+    """startTx / read / write / setAdd / setDel / setRead (Fig 10)."""
+
+    # ------------------------------------------------------------------
+    # Transaction registry
+    # ------------------------------------------------------------------
+    def _get_tx(self, tid: str) -> Transaction:
+        tx = self._txs.get(tid)
+        if tx is None:
+            raise TransactionStateError("unknown transaction %r at %s" % (tid, self.address))
+        return tx
+
+    def _ensure_tx(self, tid: str, fresh: bool = True) -> Transaction:
+        """Start the transaction on first access (piggybacked start, §8.2).
+
+        ``fresh=False`` asserts the client already issued accesses for
+        this tid: if we do not know it, this server is a replacement that
+        lost the transaction's buffered updates -- fail loudly instead of
+        silently starting an empty transaction (which would let a commit
+        apply a *partial* update set).
+        """
+        tx = self._txs.get(tid)
+        if tx is None:
+            if not fresh:
+                raise TransactionStateError(
+                    "unknown transaction %r at %s (buffered updates lost "
+                    "in a server failure?)" % (tid, self.address)
+                )
+            tx = Transaction(tid=tid, site=self.site_id, start_vts=self.committed_vts)
+            self._txs[tid] = tx
+            self.stats.started += 1
+        return tx
+
+    def rpc_tx_start(self, tid: str):
+        yield from self.cpu.use(self.costs.read_op)
+        self._ensure_tx(tid)
+        return "OK"
+
+    def rpc_tx_abort(self, tid: str):
+        tx = self._txs.pop(tid, None)
+        if tx is not None and tx.status is TxStatus.ACTIVE:
+            tx.mark_aborted()
+            self.stats.aborts += 1
+        return "ABORTED"
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def rpc_tx_read(self, tid: str, oid: ObjectId, last: bool = False, notify: Optional[str] = None, fresh: bool = True):
+        yield from self.cpu.use(self.costs.read_op)
+        tx = self._ensure_tx(tid, fresh)
+        tx.require_active()
+        value = yield from self._read_value(tx, oid)
+        if last:
+            status = yield from self._commit_tx(tx, notify=notify)
+            return (value, status)
+        return value
+
+    def rpc_tx_set_read(self, tid: str, oid: ObjectId, last: bool = False, notify: Optional[str] = None, fresh: bool = True):
+        result = yield from self.rpc_tx_read(tid, oid, last=last, notify=notify, fresh=fresh)
+        return result
+
+    def rpc_tx_set_read_id(self, tid: str, oid: ObjectId, elem: Hashable):
+        yield from self.cpu.use(self.costs.read_op)
+        tx = self._ensure_tx(tid)
+        tx.require_active()
+        cset = yield from self._read_value(tx, oid)
+        return cset.count(elem)
+
+    def _read_value(self, tx: Transaction, oid: ObjectId):
+        """Fig 10 read: snapshot at startVTS + own buffer; remote fetch
+        for objects not replicated locally."""
+        container = self.config.container(oid.container)
+        if container.replicated_at(self.site_id):
+            if oid.kind is ObjectKind.CSET:
+                value = self.histories.read_cset(oid, tx.start_vts, tx.updates)
+            else:
+                value = self.histories.read_regular(oid, tx.start_vts, tx.updates)
+            self._trace_read(tx, oid, value)
+            return value
+        entries = yield from self.call(
+            self.peers[container.preferred_site],
+            "remote_read",
+            oid=oid,
+            start_vts=tx.start_vts,
+            timeout=self._rpc_timeout(),
+        )
+        return self._compose_value(tx, oid, entries)
+
+    def rpc_remote_read(self, oid: ObjectId, start_vts):
+        """Serve a read for a site that does not replicate ``oid``:
+        return the versions visible to the caller's snapshot."""
+        yield from self.cpu.use(self.costs.read_op)
+        history = self.histories.history(oid)
+        return [(e.update, e.version) for e in history.visible_entries(start_vts)]
+
+    def _compose_value(self, tx: Transaction, oid: ObjectId, remote_entries: List[Tuple]):
+        """Merge preferred-site versions with local-history versions (the
+        local history of a non-replicated object holds updates committed
+        here that are still propagating, §5.3) and the tx's own buffer."""
+        remote_versions = {version for _update, version in remote_entries}
+        local_only = [
+            (e.update, e.version)
+            for e in self.histories.history(oid).visible_entries(tx.start_vts)
+            if e.version not in remote_versions
+        ]
+        entries = list(remote_entries) + local_only
+        if oid.kind is ObjectKind.CSET:
+            cset = CSet()
+            for update, _version in entries:
+                if isinstance(update, CSetAdd):
+                    cset.add(update.elem)
+                elif isinstance(update, CSetDel):
+                    cset.rem(update.elem)
+            for update in tx.updates:
+                if isinstance(update, CSetAdd) and update.oid == oid:
+                    cset.add(update.elem)
+                elif isinstance(update, CSetDel) and update.oid == oid:
+                    cset.rem(update.elem)
+            return cset
+        found, data = last_data(tx.updates, oid)
+        if found:
+            return data
+        value = None
+        for update, _version in entries:
+            if isinstance(update, DataUpdate):
+                value = update.data
+        return value
+
+    # ------------------------------------------------------------------
+    # Buffered updates
+    # ------------------------------------------------------------------
+    def rpc_tx_write(self, tid: str, oid: ObjectId, data: Any, last: bool = False, notify: Optional[str] = None, fresh: bool = True):
+        yield from self.cpu.use(self.costs.write_op)
+        tx = self._ensure_tx(tid, fresh)
+        tx.buffer_write(oid, data)
+        if last:
+            return (yield from self._commit_tx(tx, notify=notify))
+        return "OK"
+
+    def rpc_tx_set_add(self, tid: str, oid: ObjectId, elem: Hashable, last: bool = False, notify: Optional[str] = None, fresh: bool = True):
+        yield from self.cpu.use(self.costs.write_op)
+        tx = self._ensure_tx(tid, fresh)
+        tx.buffer_set_add(oid, elem)
+        if last:
+            return (yield from self._commit_tx(tx, notify=notify))
+        return "OK"
+
+    def rpc_tx_set_del(self, tid: str, oid: ObjectId, elem: Hashable, last: bool = False, notify: Optional[str] = None, fresh: bool = True):
+        yield from self.cpu.use(self.costs.write_op)
+        tx = self._ensure_tx(tid, fresh)
+        tx.buffer_set_del(oid, elem)
+        if last:
+            return (yield from self._commit_tx(tx, notify=notify))
+        return "OK"
+
+    # ------------------------------------------------------------------
+    # Combined operations (§6: "functions that combine multiple
+    # operations in a single RPC ... for reading or writing many objects,
+    # and for reading all objects whose ids are in a cset")
+    # ------------------------------------------------------------------
+    def _batch_cost(self, n: int) -> float:
+        """One RPC shell plus a reduced per-extra-object cost."""
+        return self.costs.read_op + max(0, n - 1) * self.costs.read_op * 0.25
+
+    def rpc_tx_multiread(self, tid: str, oids: List[ObjectId], last: bool = False, notify: Optional[str] = None):
+        yield from self.cpu.use(self._batch_cost(len(oids)))
+        tx = self._ensure_tx(tid)
+        tx.require_active()
+        values = []
+        for oid in oids:
+            value = yield from self._read_value(tx, oid)
+            values.append(value)
+        if last:
+            status = yield from self._commit_tx(tx, notify=notify)
+            return (values, status)
+        return values
+
+    def rpc_tx_multiwrite(self, tid: str, writes, last: bool = False, notify: Optional[str] = None):
+        yield from self.cpu.use(self._batch_cost(len(writes)))
+        tx = self._ensure_tx(tid)
+        for oid, data in writes:
+            tx.buffer_write(oid, data)
+        if last:
+            return (yield from self._commit_tx(tx, notify=notify))
+        return "OK"
+
+    def rpc_tx_read_cset_objects(
+        self,
+        tid: str,
+        oid: ObjectId,
+        limit: Optional[int] = None,
+        newest_first: bool = True,
+    ):
+        """Read a cset and the objects its elements name, in one RPC.
+
+        Elements must be ObjectIds or tuples whose last item is an
+        ObjectId (e.g. ``(seqno, oid)`` for ordered timelines); tuples are
+        ordered by their leading sort key.
+        """
+        tx = self._ensure_tx(tid)
+        tx.require_active()
+        cset = yield from self._read_value(tx, oid)
+        members = list(cset.members())
+        try:
+            elems = sorted(members, reverse=newest_first)
+        except TypeError:
+            elems = sorted(members, key=repr, reverse=newest_first)
+        if limit is not None:
+            elems = elems[:limit]
+        yield from self.cpu.use(self._batch_cost(1 + len(elems)))
+        out = []
+        for elem in elems:
+            target = elem if isinstance(elem, ObjectId) else elem[-1]
+            value = yield from self._read_value(tx, target)
+            out.append((elem, value))
+        return out
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _rpc_timeout(self) -> float:
+        return 4.0 * self.network.topology.max_rtt_from(self.site_id) + 1.0
+
+    def _trace_read(self, tx: Transaction, oid: ObjectId, value) -> None:
+        if self.trace is None:
+            return
+        # Only pure snapshot reads are checkable against the site model:
+        # skip reads shadowed by the transaction's own buffer.
+        if any(u.oid == oid for u in tx.updates):
+            return
+        recorded = value.counts() if isinstance(value, CSet) else value
+        self.trace.record_read(
+            TracedRead(tx.tid, self.site_id, tx.start_vts, oid, recorded)
+        )

@@ -1,0 +1,132 @@
+"""Fast commit (paper Fig 11, §5.4).
+
+A transaction whose write-set (regular objects only; cset updates are
+excluded) contains only objects whose preferred site is local commits
+with a purely local check: every written object must be unmodified since
+``startVTS`` and unlocked (a locked object is mid-slow-commit).  The
+commit assigns the next local sequence number, applies the updates to the
+object histories, advances ``CommittedVTS_i[i]``, flushes the commit
+record (group commit), and forks asynchronous propagation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.transaction import CommitRecord, Transaction
+from ..core.versions import Version
+from ..errors import PreferredSiteUnavailableError
+from ..spec.checker import TracedTx
+
+COMMITTED = "COMMITTED"
+ABORTED = "ABORTED"
+
+
+class FastCommitMixin:
+    def rpc_tx_commit(self, tid: str, notify: Optional[str] = None, allow_fresh: bool = True):
+        yield from self.cpu.use(self.costs.commit_op)
+        # A commit may be the transaction's first server contact (an
+        # empty transaction): start it like any piggybacked first access.
+        # But if the *client* already issued accesses (allow_fresh=False)
+        # and we don't know the tid, this server is a replacement that
+        # lost the transaction's buffered updates -- fail loudly rather
+        # than silently committing an empty transaction.
+        if not allow_fresh and tid not in self._txs:
+            self._get_tx(tid)  # raises TransactionStateError
+        tx = self._ensure_tx(tid)
+        status = yield from self._commit_tx(tx, notify=notify)
+        return status
+
+    def _commit_tx(self, tx: Transaction, notify: Optional[str] = None):
+        """Fig 11 commitTx: dispatch to fast or slow commit."""
+        tx.require_active()
+        if tx.is_read_only:
+            tx.mark_committed_read_only(at=self.kernel.now)
+            self._txs.pop(tx.tid, None)
+            self.stats.commits += 1
+            self.stats.read_only_commits += 1
+            return COMMITTED
+        writeset = tx.write_set
+        self._check_leases(writeset)
+        if all(self.config.preferred_site(oid) == self.site_id for oid in writeset):
+            status = yield from self._fast_commit(tx, notify)
+        else:
+            status = yield from self._slow_commit(tx, notify)
+        self._txs.pop(tx.tid, None)
+        return status
+
+    def _check_leases(self, writeset) -> None:
+        """Reject writes to locally-preferred containers whose lease is
+        suspended (site failed, reassignment pending -- §5.7).  Objects
+        with remote preferred sites are checked authoritatively by the
+        participant's prepare vote; the coordinator's cache may be stale
+        (§5.1)."""
+        for oid in writeset:
+            preferred = self.config.preferred_site(oid)
+            if preferred != self.site_id:
+                continue
+            if not self.config.holds_preferred_lease(oid.container, preferred):
+                raise PreferredSiteUnavailableError(
+                    "container %r has no valid preferred-site lease" % (oid.container,)
+                )
+
+    def _fast_commit(self, tx: Transaction, notify: Optional[str] = None):
+        """Fig 11 fastCommit."""
+        yield self.commit_lock.acquire()
+        try:
+            # The serialized conflict check -- the contended region that
+            # bounds per-site write throughput (§8.3).
+            yield self.kernel.timeout(self.costs.commit_critical)
+            conflict = any(
+                not self.histories.unmodified(oid, tx.start_vts)
+                or oid in self.locked
+                or self._is_access_delayed(oid)
+                for oid in tx.write_set
+            )
+            if conflict:
+                tx.mark_aborted()
+                self.stats.aborts += 1
+                return ABORTED
+            version = self._apply_local_commit(tx)
+        finally:
+            self.commit_lock.release()
+        yield from self._finish_local_commit(tx, version, notify)
+        return COMMITTED
+
+    def _apply_local_commit(self, tx: Transaction) -> Version:
+        """The atomic region of Fig 11: assign seqno, apply updates,
+        advance CommittedVTS.  Runs with no yields (hence atomically)."""
+        self.curr_seqno += 1
+        version = Version(self.site_id, self.curr_seqno)
+        self.histories.apply(tx.updates, version)
+        self.committed_vts = self.committed_vts.with_entry(self.site_id, self.curr_seqno)
+        self.got_vts = self.got_vts.with_entry(self.site_id, self.curr_seqno)
+        if self.trace is not None:
+            self.trace.record_commit(
+                TracedTx(
+                    tid=tx.tid,
+                    site=self.site_id,
+                    start_vts=tx.start_vts,
+                    version=version,
+                    updates=list(tx.updates),
+                    write_set=tx.write_set,
+                )
+            )
+            self.trace.record_site_commit(self.site_id, version)
+        return version
+
+    def _finish_local_commit(self, tx: Transaction, version: Version, notify: Optional[str]):
+        """Durability (WAL flush / group commit) then async propagation."""
+        record = CommitRecord(
+            tid=tx.tid,
+            site=self.site_id,
+            seqno=version.seqno,
+            start_vts=tx.start_vts,
+            updates=list(tx.updates),
+        )
+        self._records_by_version[version] = record
+        yield self.storage.log.append({"kind": "local_commit", "record": record})
+        tx.mark_committed(version, at=self.kernel.now)
+        self.stats.commits += 1
+        self._enqueue_propagation(record, notify)
+        self._drain_pending()

@@ -1,0 +1,394 @@
+"""Asynchronous transaction propagation (paper Fig 13, §5.6).
+
+After a transaction commits locally it is propagated in the background:
+
+1. the origin sends PROPAGATE (in periodic batches -- "each batch remotely
+   copies all transactions that committed since the last batch", §6);
+2. a receiver applies the updates once it has (a) every transaction that
+   causally precedes x per ``x.startVTS`` and (b) all of x's site's
+   transactions with smaller seqnos (the GotVTS guard), then ACKs;
+3. when enough sites ACKed -- the experiments' definition is *all* sites
+   (§8.1), the spec's is f+1 sites per object including its preferred
+   site -- the transaction is **disaster-safe durable** and the origin
+   broadcasts DS-DURABLE;
+4. a receiver *commits* x (advances CommittedVTS, releases x's locks)
+   once x is DS-durable and the same causality guards hold against
+   CommittedVTS, then replies VISIBLE;
+5. when every site replied, x is **globally visible**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from ..core.transaction import CommitRecord
+from ..core.updates import touched_oids
+from ..sim import AllOf, AnyOf, Interrupt
+
+
+@dataclass
+class PropagationTracker:
+    """Origin-side state for one committed transaction in flight."""
+
+    record: CommitRecord
+    client: Optional[str] = None
+    acked: Set[int] = field(default_factory=set)
+    visible: Set[int] = field(default_factory=set)
+    ds_durable: bool = False
+    globally_visible: bool = False
+    ds_event: Optional[object] = None
+    visible_event: Optional[object] = None
+    committed_at: float = 0.0
+    ds_at: Optional[float] = None
+    visible_at: Optional[float] = None
+
+
+class PropagationMixin:
+    # ------------------------------------------------------------------
+    # Origin side
+    # ------------------------------------------------------------------
+    def _enqueue_propagation(self, record: CommitRecord, notify: Optional[str]) -> None:
+        tracker = PropagationTracker(
+            record=record,
+            client=notify,
+            acked={self.site_id},
+            visible={self.site_id},
+            ds_event=self.kernel.event("ds:%s" % record.tid),
+            visible_event=self.kernel.event("vis:%s" % record.tid),
+            committed_at=self.kernel.now,
+        )
+        self._trackers[record.tid] = tracker
+        self._outbox.put(record)
+        # A 1-site deployment (or f=0) may already satisfy durability.
+        self._maybe_ds(tracker)
+
+    def _propagation_loop(self):
+        """Batched propagation: ship everything committed since the last
+        batch, then wait for that batch to become DS-durable before the
+        next -- this serialization is what yields the [RTTmax, 2·RTTmax]
+        DS-durability latency distribution (Fig 19)."""
+        try:
+            while True:
+                if len(self._outbox):
+                    first = self._outbox.get_nowait()
+                else:
+                    index, first = yield AnyOf(
+                        [self._outbox.get(), self.kernel.timeout(self._batch_period() * 4)]
+                    )
+                    if index == 1:
+                        # Idle tick: retransmit anything stuck un-acked
+                        # (messages lost to partitions/crashes), then wait
+                        # for new work again.
+                        self._resend_unacked()
+                        continue
+                records: List[CommitRecord] = [first] + self._outbox.drain()
+                self._send_batch(records)
+                waits = [
+                    self._trackers[r.tid].ds_event
+                    for r in records
+                    if r.tid in self._trackers and not self._trackers[r.tid].ds_durable
+                ]
+                if waits:
+                    # Wait for the batch to become DS-durable, but no
+                    # longer than ~one max round trip: under load a
+                    # receiver may still be applying the previous batch,
+                    # and stalling dispatch would make the batch period
+                    # grow without bound instead of staying ~RTTmax.
+                    yield AnyOf(
+                        [AllOf(waits), self.kernel.timeout(self._batch_period())]
+                    )
+                self._resend_unacked()
+        except Interrupt:
+            return
+
+    def _batch_period(self) -> float:
+        """~One maximum round trip from this site (min 5 ms)."""
+        return max(0.005, self.network.topology.max_rtt_from(self.site_id))
+
+    def _resend_unacked(self) -> None:
+        """Retransmit records whose PROPAGATE (or DS-DURABLE) may have
+        been lost -- e.g. dropped by a partition that has since healed.
+        Receivers treat duplicates idempotently and simply re-ACK."""
+        now = self.kernel.now
+        stale = 3.0 * self._batch_period()
+        resend: List[CommitRecord] = []
+        for tracker in self._trackers.values():
+            if tracker.ds_durable:
+                if not tracker.globally_visible and now - (tracker.ds_at or now) > stale:
+                    # VISIBLE acks missing: re-announce DS durability.
+                    for site in self.config.active_sites():
+                        if site != self.site_id and site not in tracker.visible:
+                            self.cast(
+                                self.peers[site],
+                                "ds_durable",
+                                record=tracker.record,
+                                from_site=self.site_id,
+                            )
+                    tracker.ds_at = now
+                continue
+            if now - tracker.committed_at > stale:
+                resend.append(tracker.record)
+                tracker.committed_at = now  # back off further resends
+        if resend:
+            resend.sort(key=lambda r: r.seqno)
+            self._send_batch(resend)
+            self.stats.retransmissions += len(resend)
+
+    def _send_batch(self, records: List[CommitRecord]) -> None:
+        size = sum(r.payload_bytes() for r in records) + 64
+        for site in self.config.active_sites():
+            if site == self.site_id:
+                continue
+            self.cast(
+                self.peers[site],
+                "propagate",
+                size_bytes=size,
+                records=records,
+                from_site=self.site_id,
+            )
+        self.stats.batches_sent += 1
+
+    def on_propagate_ack(self, src: str, tid: str, site: int):
+        tracker = self._trackers.get(tid)
+        if tracker is None:
+            return
+        tracker.acked.add(site)
+        self._maybe_ds(tracker)
+
+    def on_visible_ack(self, src: str, tid: str, site: int):
+        tracker = self._trackers.get(tid)
+        if tracker is None:
+            return
+        tracker.visible.add(site)
+        self._maybe_visible(tracker)
+
+    def _maybe_ds(self, tracker: PropagationTracker) -> None:
+        if tracker.ds_durable or not self._ds_condition(tracker):
+            return
+        tracker.ds_durable = True
+        tracker.ds_at = self.kernel.now
+        tracker.ds_event.trigger_once(None)
+        self.storage.log.append({"kind": "ds_durable", "tid": tracker.record.tid})
+        for site in self.config.active_sites():
+            if site != self.site_id:
+                self.cast(
+                    self.peers[site],
+                    "ds_durable",
+                    record=tracker.record,
+                    from_site=self.site_id,
+                )
+        if tracker.client is not None:
+            self.cast(tracker.client, "tx_ds_durable", tid=tracker.record.tid)
+        self._maybe_visible(tracker)
+
+    def _ds_condition(self, tracker: PropagationTracker) -> bool:
+        if self.ds_mode == "all_sites":
+            # §8.1: "we consider a transaction to be disaster-safe durable
+            # when it is committed at all sites in the experiment".
+            return set(self.config.active_sites()) <= tracker.acked
+        # Spec mode (§4.4/Fig 13): f+1 sites replicating each object,
+        # including the object's preferred site.
+        for oid in touched_oids(tracker.record.updates):
+            container = self.config.container(oid.container)
+            replicating_acks = {
+                s for s in tracker.acked if container.replicated_at(s)
+            }
+            if len(replicating_acks) < self.f + 1:
+                return False
+            if container.preferred_site not in tracker.acked:
+                return False
+        return True
+
+    def _maybe_visible(self, tracker: PropagationTracker) -> None:
+        if tracker.globally_visible or not tracker.ds_durable:
+            return
+        if not set(self.config.active_sites()) <= tracker.visible:
+            return
+        tracker.globally_visible = True
+        tracker.visible_at = self.kernel.now
+        tracker.visible_event.trigger_once(None)
+        self.storage.log.append(
+            {"kind": "globally_visible", "tid": tracker.record.tid}
+        )
+        if tracker.client is not None:
+            self.cast(tracker.client, "tx_visible", tid=tracker.record.tid)
+        # Fully propagated: retire the tracker (late duplicate acks are
+        # ignored; the commit record stays in _records_by_version).
+        self._visible_tids.add(tracker.record.tid)
+        self._trackers.pop(tracker.record.tid, None)
+
+    def recheck_durability(self) -> None:
+        """Re-evaluate DS/visibility conditions, e.g. after the active-site
+        set shrank during reconfiguration (§5.7)."""
+        for tracker in list(self._trackers.values()):
+            self._maybe_ds(tracker)
+            self._maybe_visible(tracker)
+
+    def rpc_recheck_durability(self):
+        self.recheck_durability()
+        return "OK"
+
+    # ------------------------------------------------------------------
+    # Receiver side
+    # ------------------------------------------------------------------
+    #: Remote records applied per commit-lock acquisition.  Chunking is
+    #: what lets replication keep up under commit saturation (a FIFO lock
+    #: grants the apply path one turn per queue rotation) while bounding
+    #: how long a batch apply can stall committing transactions.
+    APPLY_CHUNK = 512
+
+    def on_propagate(self, src: str, records: List[CommitRecord], from_site: int):
+        """Apply a propagation batch.
+
+        Applies run in chunks under one commit-lock acquisition, and
+        durability is awaited once for the whole batch (the WAL
+        group-commits) -- otherwise a large batch would serialize
+        thousands of lock handoffs and flushes.
+        """
+        to_ack: List[str] = []
+        last_durable = None
+        records = list(records)
+        i = 0
+        while i < len(records):
+            record = records[i]
+            if self.got_vts[record.site] >= record.seqno:
+                # Duplicate (origin re-propagating after recovery): re-ACK.
+                to_ack.append(record.tid)
+                i += 1
+                continue
+            if not self._got_guard(record):
+                self._pending_remote.append((record, src))
+                i += 1
+                continue
+            yield self.commit_lock.acquire()
+            try:
+                applied = 0
+                while i < len(records) and applied < self.APPLY_CHUNK:
+                    record = records[i]
+                    if self.got_vts[record.site] >= record.seqno:
+                        to_ack.append(record.tid)
+                        i += 1
+                        continue
+                    if not self._got_guard(record):
+                        self._pending_remote.append((record, src))
+                        i += 1
+                        continue
+                    yield self.kernel.timeout(self.costs.apply_remote)
+                    version = record.version
+                    self.histories.apply(record.updates, version)
+                    self.got_vts = self.got_vts.with_entry(record.site, record.seqno)
+                    self._records_by_version[version] = record
+                    self.stats.remote_applied += 1
+                    last_durable = self.storage.log.append(
+                        {"kind": "remote_apply", "record": record}
+                    )
+                    to_ack.append(record.tid)
+                    applied += 1
+                    i += 1
+            finally:
+                self.commit_lock.release()
+            self._drain_pending()
+        if last_durable is not None:
+            yield last_durable  # batch durable before acknowledging
+        for tid in to_ack:
+            self.cast(src, "propagate_ack", tid=tid, site=self.site_id)
+
+    def _got_guard(self, record: CommitRecord) -> bool:
+        """Fig 13: GotVTS_i >= x.startVTS and GotVTS_i[j] = x.seqno - 1."""
+        return (
+            self.got_vts.dominates(record.start_vts)
+            and self.got_vts[record.site] == record.seqno - 1
+        )
+
+    def _apply_remote_inner(self, record: CommitRecord):
+        """Apply one remote record; returns its WAL-durability event
+        (not yet awaited).  Holds the commit lock briefly: applying
+        mutates the same histories the commit path does, which is why
+        per-site write throughput shrinks as sites are added even though
+        batched replication is cheaper than committing (§8.3)."""
+        yield self.commit_lock.acquire()
+        try:
+            yield self.kernel.timeout(self.costs.apply_remote)
+            version = record.version
+            self.histories.apply(record.updates, version)
+            self.got_vts = self.got_vts.with_entry(record.site, record.seqno)
+        finally:
+            self.commit_lock.release()
+        self._records_by_version[version] = record
+        self.stats.remote_applied += 1
+        return self.storage.log.append({"kind": "remote_apply", "record": record})
+
+    def _apply_remote(self, record: CommitRecord, reply_to: str):
+        """Apply + await durability + ACK for a single held-back record
+        (the _drain_pending path)."""
+        done = yield from self._apply_remote_inner(record)
+        yield done  # durable at this site before acknowledging
+        self.cast(reply_to, "propagate_ack", tid=record.tid, site=self.site_id)
+        self._drain_pending()  # our GotVTS advance may unblock held records
+
+    def on_ds_durable(self, src: str, record: CommitRecord, from_site: int):
+        if self.committed_vts[record.site] >= record.seqno:
+            self.cast(src, "visible_ack", tid=record.tid, site=self.site_id)
+            return
+        if not self._committed_guard(record):
+            self._pending_ds.append((record, src))
+            return
+        self._commit_remote(record, src)
+        self._drain_pending()
+
+    def _committed_guard(self, record: CommitRecord) -> bool:
+        """Fig 13: CommittedVTS_i >= x.startVTS, CommittedVTS_i[j] =
+        x.seqno - 1, and x was received (PROPAGATE applied)."""
+        return (
+            self.got_vts[record.site] >= record.seqno
+            and self.committed_vts.dominates(record.start_vts)
+            and self.committed_vts[record.site] == record.seqno - 1
+        )
+
+    def _commit_remote(self, record: CommitRecord, reply_to: Optional[str]) -> None:
+        self.committed_vts = self.committed_vts.with_entry(record.site, record.seqno)
+        self._release_locks(record.tid)
+        self.storage.log.append({"kind": "remote_commit", "version": record.version})
+        self.stats.remote_commits += 1
+        if self.trace is not None:
+            self.trace.record_site_commit(self.site_id, record.version)
+        if reply_to is not None:
+            self.cast(reply_to, "visible_ack", tid=record.tid, site=self.site_id)
+
+    # ------------------------------------------------------------------
+    # Guard re-evaluation
+    # ------------------------------------------------------------------
+    def _drain_pending(self) -> None:
+        """Re-scan held-back PROPAGATE/DS-DURABLE records until no guard
+        newly passes.  Called whenever GotVTS or CommittedVTS advances."""
+        progress = True
+        while progress:
+            progress = False
+            for i, (record, reply_to) in enumerate(list(self._pending_remote)):
+                if self.got_vts[record.site] >= record.seqno:
+                    self._pending_remote.pop(i)
+                    self.cast(reply_to, "propagate_ack", tid=record.tid, site=self.site_id)
+                    progress = True
+                    break
+                if self._got_guard(record):
+                    self._pending_remote.pop(i)
+                    self.kernel.spawn(
+                        self._apply_remote(record, reply_to),
+                        name="apply:%s" % record.tid,
+                    )
+                    # Optimistically advance in this scan; _apply_remote
+                    # bumps got_vts at its first step.
+                    progress = True
+                    break
+            for i, (record, reply_to) in enumerate(list(self._pending_ds)):
+                if self.committed_vts[record.site] >= record.seqno:
+                    self._pending_ds.pop(i)
+                    self.cast(reply_to, "visible_ack", tid=record.tid, site=self.site_id)
+                    progress = True
+                    break
+                if self._committed_guard(record):
+                    self._pending_ds.pop(i)
+                    self._commit_remote(record, reply_to)
+                    progress = True
+                    break

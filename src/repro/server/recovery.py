@@ -1,0 +1,306 @@
+"""Failure handling (paper §5.7).
+
+Three mechanisms:
+
+* **Server replacement.**  The transaction log lives in the site's
+  replicated cluster storage; a replacement server rebuilds its state
+  from the last checkpoint plus the log suffix and resumes propagation of
+  committed-but-not-fully-propagated transactions.
+
+* **Site removal (aggressive option).**  When a whole site fails, the
+  configuration service switches to a configuration excluding it.  A
+  transaction x of the failed site *survives* iff x, every transaction
+  that causally precedes x, and every transaction of the failed site with
+  a smaller seqno reached some surviving site.  Non-surviving replicated
+  data is discarded; propagation of survivors is completed; the failed
+  site's containers get a new preferred site.
+
+* **Site re-integration.**  The returning site first discards its
+  non-surviving transactions and synchronizes with the surviving sites,
+  then takes back the preferred-site role for its containers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..core.transaction import CommitRecord
+from ..core.versions import VectorTimestamp, Version
+
+
+class RecoveryMixin:
+    """Server-side recovery hooks (run on/against a Walter server)."""
+
+    # ------------------------------------------------------------------
+    # Replacement-server restart
+    # ------------------------------------------------------------------
+    def state_snapshot(self) -> Dict[str, Any]:
+        """What the background checkpointer captures (§6)."""
+        return {
+            "curr_seqno": self.curr_seqno,
+            "committed_vts": list(self.committed_vts),
+            "got_vts": list(self.got_vts),
+            "records": dict(self._records_by_version),
+            "ds_tids": {
+                tid for tid, t in self._trackers.items() if t.ds_durable
+            },
+            "visible_tids": set(self._visible_tids),
+        }
+
+    def restore_from_storage(self) -> int:
+        """Rebuild Fig 9 state from checkpoint + log suffix; returns the
+        number of log records replayed."""
+        state, suffix = self.storage.recover()
+        ds_tids, visible_tids = set(), set()
+        if state is not None:
+            self.curr_seqno = state["curr_seqno"]
+            self.committed_vts = VectorTimestamp(state["committed_vts"])
+            self.got_vts = VectorTimestamp(state["got_vts"])
+            self._records_by_version = dict(state["records"])
+            ds_tids = set(state["ds_tids"])
+            visible_tids = set(state["visible_tids"])
+            for version in sorted(self._records_by_version):
+                record = self._records_by_version[version]
+                if self.got_vts.visible(version):
+                    self.histories.apply(record.updates, version)
+        for payload in suffix:
+            self._replay_log_record(payload, ds_tids, visible_tids)
+        self._visible_tids = set(visible_tids)
+        self._resume_propagation(ds_tids, visible_tids)
+        return len(suffix)
+
+    def _replay_log_record(self, payload: Dict[str, Any], ds_tids, visible_tids) -> None:
+        kind = payload["kind"]
+        if kind == "local_commit":
+            record: CommitRecord = payload["record"]
+            version = record.version
+            if self.got_vts[record.site] >= record.seqno:
+                return  # already covered by the checkpoint
+            self.curr_seqno = max(self.curr_seqno, record.seqno)
+            self.histories.apply(record.updates, version)
+            self.committed_vts = self.committed_vts.with_entry(record.site, record.seqno)
+            self.got_vts = self.got_vts.with_entry(record.site, record.seqno)
+            self._records_by_version[version] = record
+        elif kind == "remote_apply":
+            record = payload["record"]
+            if self.got_vts[record.site] >= record.seqno:
+                return
+            self.histories.apply(record.updates, record.version)
+            self.got_vts = self.got_vts.with_entry(record.site, record.seqno)
+            self._records_by_version[record.version] = record
+        elif kind == "remote_commit":
+            version: Version = payload["version"]
+            if self.committed_vts[version.site] < version.seqno:
+                self.committed_vts = self.committed_vts.with_entry(
+                    version.site, version.seqno
+                )
+        elif kind == "ds_durable":
+            ds_tids.add(payload["tid"])
+        elif kind == "globally_visible":
+            visible_tids.add(payload["tid"])
+
+    def _resume_propagation(self, ds_tids, visible_tids) -> None:
+        """Re-enqueue local commits that are not yet globally visible --
+        receivers treat duplicates idempotently and re-ACK."""
+        for version in sorted(self._records_by_version):
+            if version.site != self.site_id:
+                continue
+            record = self._records_by_version[version]
+            if record.tid in visible_tids:
+                continue
+            self._enqueue_propagation(record, notify=None)
+            self.stats.resumed_propagations += 1
+
+    # ------------------------------------------------------------------
+    # RPCs used by the site-recovery coordinator
+    # ------------------------------------------------------------------
+    def rpc_recovery_report(self):
+        """What this site has received/committed, per origin site."""
+        return {
+            "site": self.site_id,
+            "got": list(self.got_vts),
+            "committed": list(self.committed_vts),
+        }
+
+    def rpc_recovery_fetch(self, site: int, from_seqno: int, to_seqno: int):
+        """Return the commit records of ``site`` in (from, to]."""
+        records = []
+        for seqno in range(from_seqno + 1, to_seqno + 1):
+            record = self._records_by_version.get(Version(site, seqno))
+            if record is not None:
+                records.append(record)
+        return records
+
+    def rpc_recovery_deliver(self, records: List[CommitRecord]):
+        """Apply fetched records (in order) as if propagated normally."""
+        for record in records:
+            if self.got_vts[record.site] >= record.seqno:
+                continue
+            yield from self.cpu.use(self.costs.apply_remote)
+            self.histories.apply(record.updates, record.version)
+            self.got_vts = self.got_vts.with_entry(record.site, record.seqno)
+            self._records_by_version[record.version] = record
+            yield self.storage.log.append({"kind": "remote_apply", "record": record})
+        self._drain_pending()
+        return "OK"
+
+    def rpc_recovery_finalize(self, failed_site: int, survive_upto: int):
+        """Discard non-surviving transactions of ``failed_site`` (those
+        with seqno > ``survive_upto``) and commit the survivors here."""
+        def survives(version: Version) -> bool:
+            return version.site != failed_site or version.seqno <= survive_upto
+
+        dropped = 0
+        for oid in self.histories.known_oids():
+            history = self.histories.history(oid)
+            dropped += history.truncate_versions(
+                [e.version for e in history if survives(e.version)]
+            )
+        for version in [v for v in self._records_by_version if not survives(v)]:
+            del self._records_by_version[version]
+        if self.got_vts[failed_site] > survive_upto:
+            self.got_vts = self.got_vts.with_entry(failed_site, survive_upto)
+        if self.committed_vts[failed_site] < survive_upto:
+            # Commit surviving transactions that were stuck mid-propagation.
+            for seqno in range(self.committed_vts[failed_site] + 1, survive_upto + 1):
+                record = self._records_by_version.get(Version(failed_site, seqno))
+                if record is not None:
+                    self._commit_remote(record, reply_to=None)
+        self._drain_pending()
+        return {"dropped": dropped}
+
+
+class SiteRecoveryCoordinator:
+    """Drives the aggressive site-removal and re-integration protocols.
+
+    In the paper this logic lives in the configuration service; here it is
+    a coordinator object whose methods are simulated processes run by the
+    deployment (which also updates the shared configuration view).
+    """
+
+    def __init__(self, kernel, coordinator_host, server_addresses: Dict[int, str]):
+        self.kernel = kernel
+        self.host = coordinator_host  # any Host able to issue RPCs
+        self.server_addresses = dict(server_addresses)
+
+    def remove_site(self, config, failed_site: int, reassign_to: int):
+        """Generator implementing §5.7 "Handling a site failure"
+        (aggressive option).  Returns the surviving seqno bound."""
+        # 1. Suspend the failed site's leases: writes to its containers
+        #    are postponed until reassignment completes.
+        config.suspend_leases_of_site(failed_site)
+        config.deactivate_site(failed_site)
+        survivors = [s for s in config.active_sites()]
+
+        # 2. Discover what survives: the largest prefix of the failed
+        #    site's transactions present at any surviving site.
+        reports = {}
+        for site in survivors:
+            report = yield from self.host.call(
+                self.server_addresses[site], "recovery_report", timeout=5.0
+            )
+            reports[site] = report
+        survive_upto = max(report["got"][failed_site] for report in reports.values())
+
+        # 3. Complete propagation of survivors: fetch missing records from
+        #    the most advanced site and deliver to the laggards.
+        donor = max(survivors, key=lambda s: reports[s]["got"][failed_site])
+        for site in survivors:
+            have = reports[site]["got"][failed_site]
+            if have < survive_upto:
+                records = yield from self.host.call(
+                    self.server_addresses[donor],
+                    "recovery_fetch",
+                    site=failed_site,
+                    from_seqno=have,
+                    to_seqno=survive_upto,
+                    timeout=5.0,
+                )
+                yield from self.host.call(
+                    self.server_addresses[site],
+                    "recovery_deliver",
+                    records=records,
+                    timeout=5.0,
+                )
+
+        # 4. Discard non-survivors and commit survivors everywhere.
+        for site in survivors:
+            yield from self.host.call(
+                self.server_addresses[site],
+                "recovery_finalize",
+                failed_site=failed_site,
+                survive_upto=survive_upto,
+                timeout=5.0,
+            )
+
+        # 5. Reassign the failed site's containers and re-evaluate
+        #    durability conditions under the shrunk active set.
+        for container in config.containers():
+            if container.preferred_site == failed_site:
+                config.reassign_preferred_site(
+                    container.id, reassign_to, remember_original=True
+                )
+        for site in survivors:
+            yield from self.host.call(
+                self.server_addresses[site], "recheck_durability", timeout=5.0
+            )
+        return survive_upto
+
+    def reintegrate_site(self, config, returning_site: int, returning_server_address: str):
+        """Generator implementing §5.7 "Re-integrating a previously failed
+        site": synchronize the returning server, then hand leases back."""
+        survivors = [s for s in config.active_sites() if s != returning_site]
+        donor = survivors[0]
+        report = yield from self.host.call(
+            self.server_addresses[donor], "recovery_report", timeout=5.0
+        )
+        returning_report = yield from self.host.call(
+            returning_server_address, "recovery_report", timeout=5.0
+        )
+        # The returning site discards transactions the new configuration
+        # abandoned (its own seqnos beyond what survived).
+        survive_upto = report["got"][returning_site]
+        yield from self.host.call(
+            returning_server_address,
+            "recovery_finalize",
+            failed_site=returning_site,
+            survive_upto=survive_upto,
+            timeout=5.0,
+        )
+        # Catch up on everything committed while it was away.
+        for origin in range(len(report["got"])):
+            have = returning_report["got"][origin]
+            if origin == returning_site:
+                have = min(have, survive_upto)
+            want = report["got"][origin]
+            if have < want:
+                records = yield from self.host.call(
+                    self.server_addresses[donor],
+                    "recovery_fetch",
+                    site=origin,
+                    from_seqno=have,
+                    to_seqno=want,
+                    timeout=5.0,
+                )
+                yield from self.host.call(
+                    returning_server_address,
+                    "recovery_deliver",
+                    records=records,
+                    timeout=5.0,
+                )
+        # Commit everything delivered (it is all DS-durable by survival).
+        for origin in range(len(report["got"])):
+            yield from self.host.call(
+                returning_server_address,
+                "recovery_finalize",
+                failed_site=origin,
+                survive_upto=report["committed"][origin]
+                if origin != returning_site
+                else survive_upto,
+                timeout=5.0,
+            )
+        config.activate_site(returning_site)
+        self.server_addresses[returning_site] = returning_server_address
+        # Hand displaced containers back to their original preferred site.
+        config.restore_displaced(returning_site)
+        return survive_upto

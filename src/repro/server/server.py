@@ -1,0 +1,173 @@
+"""The Walter server: one per site (paper §5.1), assembled from the
+protocol mixins that mirror the paper's figures:
+
+* :class:`~repro.server.execution.ExecutionMixin` -- Fig 10,
+* :class:`~repro.server.fast_commit.FastCommitMixin` -- Fig 11,
+* :class:`~repro.server.slow_commit.SlowCommitMixin` -- Fig 12,
+* :class:`~repro.server.propagation.PropagationMixin` -- Fig 13,
+* :class:`~repro.server.recovery.RecoveryMixin` -- §5.7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..core.history import SiteHistories
+from ..core.objects import ObjectId
+from ..core.versions import VectorTimestamp, Version
+from ..net import Host, Network
+from ..sim import Kernel, Lock, Resource, Store
+from ..spec.checker import ExecutionTrace
+from ..storage import SiteStorage
+from .execution import ExecutionMixin
+from .fast_commit import FastCommitMixin
+from .propagation import PropagationMixin, PropagationTracker
+from .recovery import RecoveryMixin
+from .slow_commit import SlowCommitMixin
+from .state import ConfigView, ServerCosts
+
+
+@dataclass
+class ServerStats:
+    """Counters used by tests and the benchmark harness."""
+
+    started: int = 0
+    commits: int = 0
+    aborts: int = 0
+    read_only_commits: int = 0
+    slow_commit_attempts: int = 0
+    slow_commits: int = 0
+    remote_applied: int = 0
+    remote_commits: int = 0
+    batches_sent: int = 0
+    resumed_propagations: int = 0
+    retransmissions: int = 0
+    gc_removed: int = 0
+
+
+class WalterServer(
+    ExecutionMixin,
+    FastCommitMixin,
+    SlowCommitMixin,
+    PropagationMixin,
+    RecoveryMixin,
+    Host,
+):
+    """A site's Walter server.
+
+    Parameters
+    ----------
+    config:
+        The server's view of container placement and leases.
+    storage:
+        The site's replicated cluster storage (WAL + checkpoints); owned
+        by the deployment so replacement servers can recover from it.
+    peers:
+        site id -> server address, for every site (including this one).
+    f:
+        Disaster-safe fault-tolerance parameter (§4.4); default 1.
+    ds_mode:
+        ``"all_sites"`` (the experiments' definition, §8.1) or
+        ``"f_plus_1"`` (the Fig 13 condition).
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        network: Network,
+        site_id: int,
+        name: str,
+        config: ConfigView,
+        storage: SiteStorage,
+        peers: Dict[int, str],
+        costs: Optional[ServerCosts] = None,
+        f: int = 1,
+        ds_mode: str = "all_sites",
+        trace: Optional[ExecutionTrace] = None,
+        anti_starvation: bool = False,
+        anti_starvation_delay: float = 0.010,
+        takeover: bool = False,
+    ):
+        super().__init__(kernel, network, site_id, name, takeover=takeover)
+        if ds_mode not in ("all_sites", "f_plus_1"):
+            raise ValueError("unknown ds_mode %r" % (ds_mode,))
+        self.site_id = site_id
+        self.config = config
+        self.storage = storage
+        self.peers = dict(peers)
+        self.costs = costs or ServerCosts()
+        self.f = f
+        self.ds_mode = ds_mode
+        self.trace = trace
+        self.anti_starvation = anti_starvation
+        self.anti_starvation_delay = anti_starvation_delay
+
+        n_sites = len(network.topology)
+        # Fig 9 variables.
+        self.curr_seqno = 0
+        self.committed_vts = VectorTimestamp.zeros(n_sites)
+        self.got_vts = VectorTimestamp.zeros(n_sites)
+        self.histories = SiteHistories()
+        # Protocol machinery.
+        self.locked: Dict[ObjectId, str] = {}
+        self.commit_lock = Lock(kernel, name="%s.commit" % name)
+        self.cpu = Resource(kernel, self.costs.cores, name="%s.cpu" % name)
+        self._txs: Dict[str, object] = {}
+        self._records_by_version: Dict[Version, object] = {}
+        self._trackers: Dict[str, PropagationTracker] = {}
+        self._outbox = Store(kernel, name="%s.outbox" % name)
+        self._pending_remote = []
+        self._pending_ds = []
+        self._visible_tids = set()
+        self._delayed_until: Dict[ObjectId, float] = {}
+        self.stats = ServerStats()
+        self._prop_loop = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        super().start()
+        if self._prop_loop is None or self._prop_loop.done:
+            self._prop_loop = self.kernel.spawn(
+                self._propagation_loop(), name="%s.propagation" % self.address
+            )
+
+    def stop(self) -> None:
+        if self._prop_loop is not None and not self._prop_loop.done:
+            self._prop_loop.interrupt("stopped")
+        super().stop()
+
+    def enable_checkpointing(self, interval: float = 30.0) -> None:
+        self.storage.attach_checkpointer(self.state_snapshot, interval=interval)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def gc_histories(self) -> int:
+        """Garbage-collect superseded regular-object versions that every
+        snapshot can no longer need (below the globally visible frontier)."""
+        return self.histories.gc(self.committed_vts)
+
+    def start_gc(self, interval: float = 5.0) -> None:
+        """Run history garbage collection periodically (§6: "the
+        persistent log is periodically garbage collected")."""
+        from ..sim import Interrupt
+
+        def loop():
+            try:
+                while True:
+                    yield self.kernel.timeout(interval)
+                    self.stats.gc_removed += self.gc_histories()
+            except Interrupt:
+                return
+
+        self._gc_loop = self.kernel.spawn(loop(), name="%s.gc" % self.address)
+
+    def __repr__(self) -> str:
+        return "<WalterServer %s site=%d seqno=%d>" % (
+            self.address,
+            self.site_id,
+            self.curr_seqno,
+        )

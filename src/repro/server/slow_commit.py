@@ -1,0 +1,126 @@
+"""Slow commit (paper Fig 12, §5.5).
+
+Transactions that write a regular object whose preferred site is remote
+run a two-phase commit among the *preferred sites* of the written objects
+(not across all replicas).  Phase 1 asks each such site to vote: YES and
+lock the objects if they are unmodified and unlocked, NO otherwise.  If
+all vote YES the coordinator commits exactly like fast commit; otherwise
+it tells the YES voters to release their locks.  Remote sites release a
+committed transaction's locks when it propagates to them (Fig 13).
+
+§6 notes slow commit can starve under repeated conflicting fast commits
+and sketches a fix -- briefly delaying fast-commit access to objects that
+aborted a slow commit; the authors did not implement it, we do (behind
+``anti_starvation``), since it is fully specified in one paragraph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.objects import ObjectId
+from ..core.transaction import Transaction
+from ..core.versions import VectorTimestamp
+from ..net import RpcError
+from ..sim import AllOf
+
+COMMITTED = "COMMITTED"
+ABORTED = "ABORTED"
+
+
+class SlowCommitMixin:
+    def _slow_commit(self, tx: Transaction, notify: Optional[str] = None):
+        """Fig 12 slowCommit: 2PC among preferred sites of written objects."""
+        self.stats.slow_commit_attempts += 1
+        sites = sorted({self.config.preferred_site(oid) for oid in tx.write_set})
+
+        def ask(site: int):
+            oids = [o for o in sorted(tx.write_set, key=str) if self.config.preferred_site(o) == site]
+            try:
+                vote = yield from self.call(
+                    self.peers[site],
+                    "prepare",
+                    tid=tx.tid,
+                    oids=oids,
+                    start_vts=tx.start_vts,
+                    timeout=self._rpc_timeout(),
+                )
+                return (site, bool(vote))
+            except RpcError:
+                return (site, False)
+
+        procs = [
+            self.kernel.spawn(ask(site), name="prepare:%s@%d" % (tx.tid, site))
+            for site in sites
+        ]
+        votes: Dict[int, bool] = dict((yield AllOf(procs)))
+
+        if all(votes.values()):
+            yield self.commit_lock.acquire()
+            try:
+                yield self.kernel.timeout(self.costs.commit_critical)
+                version = self._apply_local_commit(tx)
+            finally:
+                self.commit_lock.release()
+            self._release_locks(tx.tid)  # locks at this server (Fig 12)
+            yield from self._finish_local_commit(tx, version, notify)
+            self.stats.slow_commits += 1
+            return COMMITTED
+
+        # Tell the YES voters to unlock.
+        for site, vote in votes.items():
+            if vote:
+                self.cast(self.peers[site], "release_prepare", tid=tx.tid)
+        tx.mark_aborted()
+        self.stats.aborts += 1
+        return ABORTED
+
+    # ------------------------------------------------------------------
+    # Participant side
+    # ------------------------------------------------------------------
+    def rpc_prepare(self, tid: str, oids: List[ObjectId], start_vts: VectorTimestamp):
+        """Fig 12 prepare: vote YES and lock, or NO."""
+        yield from self.cpu.use(self.costs.commit_op)
+        for oid in oids:
+            if self.config.preferred_site(oid) != self.site_id:
+                return False  # stale coordinator cache; refuse (§5.1)
+            if not self.config.holds_preferred_lease(oid.container, self.site_id):
+                return False
+            if oid in self.locked and self.locked[oid] != tid:
+                return False
+            if not self.histories.unmodified(oid, start_vts):
+                # A fast commit beat this slow commit; mark the object so
+                # the retry can win (§6 anti-starvation).
+                self.mark_slow_commit_abort([oid])
+                return False
+        for oid in oids:
+            self.locked[oid] = tid
+        return True
+
+    def on_release_prepare(self, src: str, tid: str):
+        self._release_locks(tid)
+
+    def _release_locks(self, tid: str) -> None:
+        for oid in [o for o, owner in self.locked.items() if owner == tid]:
+            del self.locked[oid]
+
+    # ------------------------------------------------------------------
+    # Anti-starvation (§6, optional)
+    # ------------------------------------------------------------------
+    def mark_slow_commit_abort(self, oids) -> None:
+        """Delay fast-commit access to ``oids`` briefly so the next slow
+        commit attempt can win."""
+        if not self.anti_starvation:
+            return
+        until = self.kernel.now + self.anti_starvation_delay
+        for oid in oids:
+            self._delayed_until[oid] = until
+
+    def _is_access_delayed(self, oid: ObjectId) -> bool:
+        until = self._delayed_until.get(oid)
+        if until is None:
+            return False
+        if self.kernel.now >= until:
+            del self._delayed_until[oid]
+            return False
+        return True

@@ -1,0 +1,160 @@
+"""Walter server state (paper Fig 9) and configuration views.
+
+Per-site server variables:
+
+* ``CurrSeqNo_i`` -- last assigned local sequence number,
+* ``CommittedVTS_i`` -- per site, how many of its transactions committed here,
+* ``History_i[oid]`` -- per-object update sequences (``SiteHistories``),
+* ``GotVTS_i`` -- per site, how many of its transactions were *received* here,
+
+plus the slow-commit lock table, the commit critical section, and the
+modelled CPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+from ..core.objects import Container, ObjectId
+from ..errors import NoSuchContainerError
+
+
+@dataclass
+class ServerCosts:
+    """Calibrated CPU costs (seconds) -- see DESIGN.md §2 and
+    ``repro.bench.calibration``.  These are the only tuned constants; all
+    benchmark numbers are outputs of the simulation given these.
+    """
+
+    #: Modelled cores per server (extra-large EC2 instance: 8 vcores).
+    cores: int = 8
+    #: CPU time to serve one read RPC (includes snapshot lookup).
+    read_op: float = 100e-6
+    #: CPU time to serve one buffered-update RPC (write/setAdd/setDel).
+    write_op: float = 55e-6
+    #: Serialized critical section per committing update transaction --
+    #: the "highly contended lock" that bounds write throughput (§8.3).
+    commit_critical: float = 28e-6
+    #: CPU time to apply one remote transaction during propagation
+    #: (cheaper than committing: done in batches, §8.3).
+    apply_remote: float = 8e-6
+    #: CPU time for the commit RPC shell around the critical section.
+    commit_op: float = 40e-6
+
+
+class ConfigView:
+    """A server's view of container placement plus lease checks.
+
+    The default deployment shares one :class:`LocalConfig` among all
+    servers (an always-fresh cache).  Reconfiguration (site removal and
+    re-integration, §5.7) mutates it and revokes leases; a Paxos-backed
+    variant is wired in the failure-handling integration tests.
+    """
+
+    def container(self, cid: str) -> Container:
+        raise NotImplementedError
+
+    def holds_preferred_lease(self, cid: str, site: int) -> bool:
+        raise NotImplementedError
+
+    def active_sites(self) -> List[int]:
+        raise NotImplementedError
+
+    def preferred_site(self, oid: ObjectId) -> int:
+        """site(oid) in the paper's notation."""
+        return self.container(oid.container).preferred_site
+
+    def replicated_at(self, oid: ObjectId, site: int) -> bool:
+        return self.container(oid.container).replicated_at(site)
+
+
+class LocalConfig(ConfigView):
+    """Shared in-process configuration (the common deployment mode)."""
+
+    def __init__(self, n_sites: int):
+        self.n_sites = n_sites
+        self._containers: Dict[str, Container] = {}
+        self._active: Set[int] = set(range(n_sites))
+        #: cid -> site currently holding the preferred-site lease.
+        self._lease_holder: Dict[str, int] = {}
+        #: cid -> original preferred site, for containers moved by a site
+        #: removal (so re-integration can hand them back, §5.7).
+        self.displaced: Dict[str, int] = {}
+        self.epoch = 0
+
+    def register(self, container: Container) -> Container:
+        self._containers[container.id] = container
+        self._lease_holder[container.id] = container.preferred_site
+        return container
+
+    def container(self, cid: str) -> Container:
+        container = self._containers.get(cid)
+        if container is None:
+            raise NoSuchContainerError("unknown container %r" % (cid,))
+        return container
+
+    def containers(self) -> List[Container]:
+        return list(self._containers.values())
+
+    def holds_preferred_lease(self, cid: str, site: int) -> bool:
+        return self._lease_holder.get(cid) == site
+
+    def active_sites(self) -> List[int]:
+        return sorted(self._active)
+
+    def is_active(self, site: int) -> bool:
+        return site in self._active
+
+    # ------------------------------------------------------------------
+    # Reconfiguration (§5.7); driven by the deployment's recovery logic.
+    # ------------------------------------------------------------------
+    def suspend_leases_of_site(self, site: int) -> List[str]:
+        """Revoke leases held by a failed site; writes to its containers
+        are postponed until reassignment."""
+        revoked = []
+        for cid, holder in list(self._lease_holder.items()):
+            if holder == site:
+                del self._lease_holder[cid]
+                revoked.append(cid)
+        return revoked
+
+    def deactivate_site(self, site: int) -> None:
+        self._active.discard(site)
+        self.epoch += 1
+
+    def activate_site(self, site: int) -> None:
+        self._active.add(site)
+        self.epoch += 1
+
+    def reassign_preferred_site(
+        self, cid: str, new_site: int, remember_original: bool = False
+    ) -> None:
+        old = self._containers[cid]
+        if remember_original and cid not in self.displaced:
+            self.displaced[cid] = old.preferred_site
+        replicas = set(old.replica_sites) | {new_site}
+        self._containers[cid] = Container(cid, new_site, frozenset(replicas))
+        self._lease_holder[cid] = new_site
+
+    def restore_displaced(self, site: int) -> List[str]:
+        """Hand containers displaced from ``site`` back to it."""
+        restored = []
+        for cid, original in list(self.displaced.items()):
+            if original == site:
+                self.reassign_preferred_site(cid, site)
+                del self.displaced[cid]
+                restored.append(cid)
+        return restored
+
+
+@dataclass
+class ServerState:
+    """The Fig 9 variables, bundled so recovery can snapshot/restore them."""
+
+    site: int
+    n_sites: int
+    curr_seqno: int = 0
+
+    def describe(self) -> str:
+        return "site %d, seqno %d" % (self.site, self.curr_seqno)

@@ -1,0 +1,23 @@
+"""Discrete-event simulation substrate (kernel, resources, RNG streams)."""
+
+from .kernel import AllOf, AnyOf, Event, Interrupt, Kernel, Process, SimError, Timeout, Waitable
+from .rand import RandomStreams, derive_seed
+from .resources import Lock, Resource, Semaphore, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "Kernel",
+    "Lock",
+    "Process",
+    "RandomStreams",
+    "Resource",
+    "Semaphore",
+    "SimError",
+    "Store",
+    "Timeout",
+    "Waitable",
+    "derive_seed",
+]

@@ -1,0 +1,363 @@
+"""Deterministic discrete-event simulation kernel.
+
+The kernel is the substrate on which every distributed component of the
+reproduction runs: Walter servers, clients, the configuration service, the
+network, and the disk model are all simulated processes scheduled here.
+
+Processes are Python generators that ``yield`` *waitables*:
+
+* :class:`Timeout` -- resume after a simulated delay,
+* :class:`Event` -- resume when another process triggers the event,
+* :class:`Process` -- resume when another process finishes (a join); the
+  value of the ``yield`` expression is the joined process's return value.
+
+The kernel is strictly deterministic: events scheduled for the same
+simulated time fire in the order they were scheduled (a monotonic sequence
+number breaks ties), so a run with a fixed seed is bit-for-bit repeatable.
+This property is load-bearing for the test suite, which asserts exact
+transaction orderings, and for the benchmark harness, whose numbers must be
+stable across runs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+
+class SimError(Exception):
+    """Base class for simulation kernel errors."""
+
+
+class Interrupt(SimError):
+    """Raised inside a process that another process interrupted."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Waitable:
+    """Something a process may ``yield`` on.
+
+    Subclasses implement :meth:`_subscribe`, which registers a callback to
+    be invoked (exactly once) with ``(value, exception)`` when the waitable
+    completes.  If the waitable has already completed, the callback fires on
+    the next kernel step at the current simulated time.
+    """
+
+    def _subscribe(self, kernel: "Kernel", callback: Callable[[Any, Optional[BaseException]], None]) -> None:
+        raise NotImplementedError
+
+
+class Timeout(Waitable):
+    """Resume the yielding process after ``delay`` simulated seconds."""
+
+    __slots__ = ("delay", "value")
+
+    def __init__(self, delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError("timeout delay must be >= 0, got %r" % (delay,))
+        self.delay = delay
+        self.value = value
+
+    def _subscribe(self, kernel: "Kernel", callback) -> None:
+        kernel.call_after(self.delay, callback, self.value, None)
+
+
+class Event(Waitable):
+    """A one-shot event that processes can wait on.
+
+    ``trigger(value)`` wakes every waiter with ``value``; ``fail(exc)``
+    raises ``exc`` inside every waiter.  Triggering twice is an error --
+    distributed-protocol code that may race to complete an event should use
+    :meth:`trigger_once`.
+    """
+
+    __slots__ = ("kernel", "_done", "_value", "_exc", "_callbacks", "name")
+
+    def __init__(self, kernel: "Kernel", name: str = ""):
+        self.kernel = kernel
+        self.name = name
+        self._done = False
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._callbacks: List[Callable] = []
+
+    @property
+    def triggered(self) -> bool:
+        return self._done
+
+    @property
+    def value(self) -> Any:
+        if not self._done:
+            raise SimError("event %r not yet triggered" % (self.name,))
+        return self._value
+
+    def trigger(self, value: Any = None) -> None:
+        if self._done:
+            raise SimError("event %r triggered twice" % (self.name,))
+        self._done = True
+        self._value = value
+        self._flush()
+
+    def trigger_once(self, value: Any = None) -> bool:
+        """Trigger if not already done; return True if this call won."""
+        if self._done:
+            return False
+        self.trigger(value)
+        return True
+
+    def fail(self, exc: BaseException) -> None:
+        if self._done:
+            raise SimError("event %r triggered twice" % (self.name,))
+        self._done = True
+        self._exc = exc
+        self._flush()
+
+    def _flush(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            self.kernel.call_after(0.0, cb, self._value, self._exc)
+
+    def _subscribe(self, kernel: "Kernel", callback) -> None:
+        if self._done:
+            kernel.call_after(0.0, callback, self._value, self._exc)
+        else:
+            self._callbacks.append(callback)
+
+
+class AllOf(Waitable):
+    """Completes when every child waitable completes; value is the list of
+    child values in order.  The first child failure fails the whole group."""
+
+    def __init__(self, children: Iterable[Waitable]):
+        self.children = list(children)
+
+    def _subscribe(self, kernel: "Kernel", callback) -> None:
+        children = self.children
+        if not children:
+            kernel.call_after(0.0, callback, [], None)
+            return
+        results: List[Any] = [None] * len(children)
+        state = {"pending": len(children), "failed": False}
+
+        def make_child_cb(index: int):
+            def child_cb(value, exc):
+                if state["failed"]:
+                    return
+                if exc is not None:
+                    state["failed"] = True
+                    callback(None, exc)
+                    return
+                results[index] = value
+                state["pending"] -= 1
+                if state["pending"] == 0:
+                    callback(results, None)
+
+            return child_cb
+
+        for i, child in enumerate(children):
+            child._subscribe(kernel, make_child_cb(i))
+
+
+class AnyOf(Waitable):
+    """Completes when the first child completes; value is ``(index, value)``."""
+
+    def __init__(self, children: Iterable[Waitable]):
+        self.children = list(children)
+        if not self.children:
+            raise ValueError("AnyOf requires at least one child")
+
+    def _subscribe(self, kernel: "Kernel", callback) -> None:
+        state = {"done": False}
+
+        def make_child_cb(index: int):
+            def child_cb(value, exc):
+                if state["done"]:
+                    return
+                state["done"] = True
+                if exc is not None:
+                    callback(None, exc)
+                else:
+                    callback((index, value), None)
+
+            return child_cb
+
+        for i, child in enumerate(self.children):
+            child._subscribe(kernel, make_child_cb(i))
+
+
+class Process(Waitable):
+    """A running simulated process wrapping a generator.
+
+    Yield a Process to join it.  ``interrupt()`` throws :class:`Interrupt`
+    into the generator at the current simulated time.
+    """
+
+    __slots__ = ("kernel", "name", "_gen", "_done", "_value", "_exc", "_joiners", "_interrupted")
+
+    def __init__(self, kernel: "Kernel", gen: Generator, name: str = ""):
+        self.kernel = kernel
+        self.name = name or getattr(gen, "__name__", "process")
+        self._gen = gen
+        self._done = False
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._joiners: List[Callable] = []
+        self._interrupted = False
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def value(self) -> Any:
+        if not self._done:
+            raise SimError("process %r still running" % (self.name,))
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw Interrupt into the process on the next kernel step."""
+        if self._done:
+            return
+        self._interrupted = True
+        self.kernel.call_after(0.0, self._step, None, Interrupt(cause))
+
+    def _start(self) -> None:
+        self.kernel.call_after(0.0, self._step, None, None)
+
+    def _step(self, value: Any, exc: Optional[BaseException]) -> None:
+        if self._done:
+            return
+        try:
+            if exc is not None:
+                target = self._gen.throw(exc)
+            else:
+                target = self._gen.send(value)
+        except StopIteration as stop:
+            self._finish(getattr(stop, "value", None), None)
+            return
+        except BaseException as err:  # noqa: BLE001 - propagated to joiners
+            self._finish(None, err)
+            return
+        if not isinstance(target, Waitable):
+            self._finish(
+                None,
+                SimError(
+                    "process %r yielded %r, which is not a Waitable"
+                    % (self.name, target)
+                ),
+            )
+            return
+        target._subscribe(self.kernel, self._step)
+
+    def _finish(self, value: Any, exc: Optional[BaseException]) -> None:
+        self._done = True
+        self._value = value
+        self._exc = exc
+        joiners, self._joiners = self._joiners, []
+        if exc is not None and not joiners:
+            self.kernel._report_orphan_failure(self, exc)
+        for cb in joiners:
+            self.kernel.call_after(0.0, cb, value, exc)
+
+    def _subscribe(self, kernel: "Kernel", callback) -> None:
+        if self._done:
+            kernel.call_after(0.0, callback, self._value, self._exc)
+        else:
+            self._joiners.append(callback)
+
+    def __repr__(self) -> str:
+        state = "done" if self._done else "running"
+        return "<Process %s (%s)>" % (self.name, state)
+
+
+class Kernel:
+    """The discrete-event scheduler.
+
+    Time is a float in simulated seconds starting at 0.  ``run()`` executes
+    events in (time, insertion-order) order until the queue drains, a time
+    limit passes, or an orphan process failure surfaces.
+    """
+
+    def __init__(self):
+        self._now = 0.0
+        self._seq = 0
+        self._heap: List = []
+        self._orphan_failures: List = []
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def call_after(self, delay: float, fn: Callable, *args) -> None:
+        self.call_at(self._now + delay, fn, *args)
+
+    def call_at(self, time: float, fn: Callable, *args) -> None:
+        if time < self._now:
+            raise SimError("cannot schedule in the past (%r < %r)" % (time, self._now))
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, fn, args))
+
+    def spawn(self, gen: Generator, name: str = "") -> Process:
+        proc = Process(self, gen, name=name)
+        proc._start()
+        return proc
+
+    def event(self, name: str = "") -> Event:
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(delay, value)
+
+    def _report_orphan_failure(self, proc: Process, exc: BaseException) -> None:
+        self._orphan_failures.append((proc, exc))
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> float:
+        """Run until the event queue drains, simulated time reaches
+        ``until``, or ``stop_when()`` becomes true (checked between events).
+
+        Returns the simulated time at which the run stopped.  An exception
+        escaping a process that nobody joined is re-raised here -- silent
+        failure of a server process would otherwise invalidate benchmarks.
+        """
+        while self._heap:
+            if stop_when is not None and stop_when():
+                return self._now
+            time, _seq, fn, args = self._heap[0]
+            if until is not None and time > until:
+                self._now = until
+                break
+            heapq.heappop(self._heap)
+            self._now = time
+            fn(*args)
+            if self._orphan_failures:
+                _proc, exc = self._orphan_failures[0]
+                raise exc
+        else:
+            if until is not None and until > self._now and (
+                stop_when is None or not stop_when()
+            ):
+                self._now = until
+        return self._now
+
+    def run_process(self, gen: Generator, name: str = "", until: Optional[float] = None) -> Any:
+        """Spawn ``gen`` and run just until it completes; return its value.
+
+        The world stops at the completion of this process -- background
+        activity (e.g. asynchronous propagation) scheduled after that
+        moment stays queued, so tests can observe intermediate states.
+        Raises if the process did not finish by ``until``.
+        """
+        proc = self.spawn(gen, name=name)
+        self.run(until=until, stop_when=lambda: proc.done)
+        if not proc.done:
+            raise SimError("process %r did not finish by t=%r" % (proc.name, until))
+        return proc.value

@@ -1,0 +1,199 @@
+"""Synchronization and queueing primitives for simulated processes.
+
+These are the building blocks the Walter server uses to model contention:
+the server CPU is a :class:`Resource` with a service time per operation,
+the commit path serializes on a :class:`Lock` (the paper notes commit
+throughput is bounded by "a highly contended lock" inside the server), and
+message queues between components are :class:`Store` instances.
+
+All primitives are FIFO-fair: waiters are served in arrival order, which
+keeps runs deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, Optional
+
+from .kernel import Event, Kernel, SimError
+
+
+class Lock:
+    """A FIFO mutex for simulated processes.
+
+    Usage::
+
+        yield lock.acquire()
+        try:
+            ...
+        finally:
+            lock.release()
+    """
+
+    def __init__(self, kernel: Kernel, name: str = ""):
+        self.kernel = kernel
+        self.name = name
+        self._held = False
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def held(self) -> bool:
+        return self._held
+
+    def acquire(self) -> Event:
+        event = self.kernel.event(name="lock:%s" % self.name)
+        if not self._held and not self._waiters:
+            self._held = True
+            event.trigger(None)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        if not self._held:
+            raise SimError("release of unheld lock %r" % (self.name,))
+        if self._waiters:
+            self._waiters.popleft().trigger(None)
+        else:
+            self._held = False
+
+
+class Resource:
+    """A counted resource with FIFO admission (models server CPU cores).
+
+    ``use(duration)`` is a generator that acquires a slot, holds it for
+    ``duration`` simulated seconds, and releases it -- the standard way to
+    model a service time at a contended station.
+    """
+
+    def __init__(self, kernel: Kernel, capacity: int, name: str = ""):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.kernel = kernel
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+        self.total_busy_time = 0.0
+        self._busy_since: Optional[float] = None
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        event = self.kernel.event(name="res:%s" % self.name)
+        if self._in_use < self.capacity and not self._waiters:
+            self._grant(event)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def _grant(self, event: Event) -> None:
+        if self._in_use == 0:
+            self._busy_since = self.kernel.now
+        self._in_use += 1
+        event.trigger(None)
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimError("release of idle resource %r" % (self.name,))
+        self._in_use -= 1
+        if self._in_use == 0 and self._busy_since is not None:
+            self.total_busy_time += self.kernel.now - self._busy_since
+            self._busy_since = None
+        if self._waiters and self._in_use < self.capacity:
+            self._grant(self._waiters.popleft())
+
+    def use(self, duration: float) -> Generator:
+        """Generator: hold one slot for ``duration`` simulated seconds."""
+        yield self.acquire()
+        try:
+            yield self.kernel.timeout(duration)
+        finally:
+            self.release()
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` during which the resource was busy."""
+        busy = self.total_busy_time
+        if self._busy_since is not None:
+            busy += self.kernel.now - self._busy_since
+        return busy / elapsed if elapsed > 0 else 0.0
+
+
+class Store:
+    """An unbounded FIFO queue between processes.
+
+    ``put`` never blocks; ``get`` returns an Event that fires with the next
+    item.  This is the mailbox abstraction used for network delivery and
+    for the disk's group-commit batch queue.
+    """
+
+    def __init__(self, kernel: Kernel, name: str = ""):
+        self.kernel = kernel
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            self._getters.popleft().trigger(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        event = self.kernel.event(name="store:%s" % self.name)
+        if self._items:
+            event.trigger(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def get_nowait(self) -> Any:
+        if not self._items:
+            raise SimError("store %r is empty" % (self.name,))
+        return self._items.popleft()
+
+    def drain(self) -> list:
+        """Remove and return all queued items without blocking."""
+        items = list(self._items)
+        self._items.clear()
+        return items
+
+
+class Semaphore:
+    """A counting semaphore; ``acquire`` blocks when the count hits zero."""
+
+    def __init__(self, kernel: Kernel, value: int = 1, name: str = ""):
+        if value < 0:
+            raise ValueError("semaphore value must be >= 0")
+        self.kernel = kernel
+        self.name = name
+        self._value = value
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def acquire(self) -> Event:
+        event = self.kernel.event(name="sem:%s" % self.name)
+        if self._value > 0 and not self._waiters:
+            self._value -= 1
+            event.trigger(None)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        if self._waiters:
+            self._waiters.popleft().trigger(None)
+        else:
+            self._value += 1

@@ -1,0 +1,57 @@
+"""Executable specifications, anomaly scenarios, and the PSI trace checker."""
+
+from .anomalies import (
+    ANOMALY_NAMES,
+    EVENTUAL,
+    EXPECTED_TABLE,
+    ISOLATION_LEVELS,
+    PSI,
+    SERIALIZABILITY,
+    SNAPSHOT_ISOLATION,
+    anomaly_table,
+    check_anomaly,
+)
+from .checker import (
+    ExecutionTrace,
+    TracedRead,
+    TracedTx,
+    Violation,
+    check_commit_causality,
+    check_no_write_write_conflicts,
+    check_site_snapshot_reads,
+    check_trace,
+)
+from .eventual import EventualStore
+from .psi_spec import ParallelSnapshotIsolation, PSITx
+from .serializable import ObservedTx, is_serializable, replay_serial
+from .si_spec import ABORTED, COMMITTED, SnapshotIsolation, SpecTx
+
+__all__ = [
+    "ABORTED",
+    "ANOMALY_NAMES",
+    "COMMITTED",
+    "EVENTUAL",
+    "EXPECTED_TABLE",
+    "EventualStore",
+    "ExecutionTrace",
+    "ISOLATION_LEVELS",
+    "ObservedTx",
+    "PSI",
+    "PSITx",
+    "ParallelSnapshotIsolation",
+    "SERIALIZABILITY",
+    "SNAPSHOT_ISOLATION",
+    "SnapshotIsolation",
+    "SpecTx",
+    "TracedRead",
+    "TracedTx",
+    "Violation",
+    "anomaly_table",
+    "check_anomaly",
+    "check_commit_causality",
+    "check_no_write_write_conflicts",
+    "check_site_snapshot_reads",
+    "check_trace",
+    "is_serializable",
+    "replay_serial",
+]

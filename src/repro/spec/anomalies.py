@@ -1,0 +1,354 @@
+"""The six anomalies of Fig 8, demonstrated or refuted per isolation level.
+
+For each (anomaly, isolation level) pair this module *executes* the
+paper's example scenario against the matching reference model and reports
+whether the anomalous observation was producible:
+
+* serializability -- brute-force serial-order check over the observation,
+* snapshot isolation -- the Fig 1/2 spec engine,
+* PSI -- the Fig 4/5 spec engine (scenarios place transactions at sites),
+* eventual consistency -- the lazy-replication store.
+
+``anomaly_table()`` therefore regenerates Fig 8 from running code, and
+``EXPECTED_TABLE`` is the figure as printed in the paper; the test suite
+asserts they agree.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..core.objects import ObjectId, ObjectKind
+from .eventual import EventualStore
+from .psi_spec import COMMITTED, ParallelSnapshotIsolation
+from .serializable import ObservedTx, is_serializable
+from .si_spec import SnapshotIsolation
+
+A = ObjectId("anomaly", "A", ObjectKind.REGULAR)
+B = ObjectId("anomaly", "B", ObjectKind.REGULAR)
+
+SERIALIZABILITY = "serializability"
+SNAPSHOT_ISOLATION = "snapshot_isolation"
+PSI = "psi"
+EVENTUAL = "eventual"
+
+ISOLATION_LEVELS = [SERIALIZABILITY, SNAPSHOT_ISOLATION, PSI, EVENTUAL]
+
+ANOMALY_NAMES = [
+    "dirty_read",
+    "non_repeatable_read",
+    "lost_update",
+    "short_fork",
+    "long_fork",
+    "conflicting_fork",
+]
+
+#: Fig 8 as printed in the paper (True = the level allows the anomaly).
+EXPECTED_TABLE: Dict[str, Dict[str, bool]] = {
+    "dirty_read": {SERIALIZABILITY: False, SNAPSHOT_ISOLATION: False, PSI: False, EVENTUAL: True},
+    "non_repeatable_read": {SERIALIZABILITY: False, SNAPSHOT_ISOLATION: False, PSI: False, EVENTUAL: True},
+    "lost_update": {SERIALIZABILITY: False, SNAPSHOT_ISOLATION: False, PSI: False, EVENTUAL: True},
+    "short_fork": {SERIALIZABILITY: False, SNAPSHOT_ISOLATION: True, PSI: True, EVENTUAL: True},
+    "long_fork": {SERIALIZABILITY: False, SNAPSHOT_ISOLATION: False, PSI: True, EVENTUAL: True},
+    "conflicting_fork": {SERIALIZABILITY: False, SNAPSHOT_ISOLATION: False, PSI: False, EVENTUAL: True},
+}
+
+
+# ----------------------------------------------------------------------
+# Dirty read: T2 reads T1's uncommitted A=1; T1 goes on to write A=2.
+# ----------------------------------------------------------------------
+def _dirty_read(level: str) -> bool:
+    if level == SERIALIZABILITY:
+        t1 = ObservedTx("T1").write(A, 1).write(A, 2)
+        t2 = ObservedTx("T2").read(A, 1)
+        return is_serializable([t1, t2], {A: 0})
+    if level == SNAPSHOT_ISOLATION:
+        spec = SnapshotIsolation()
+        t1 = spec.start_tx()
+        spec.write(t1, A, 1)
+        t2 = spec.start_tx()
+        observed = spec.read(t2, A)  # T1 has not committed
+        spec.write(t1, A, 2)
+        spec.commit_tx(t1)
+        return observed == 1
+    if level == PSI:
+        spec = ParallelSnapshotIsolation(n_sites=2)
+        t1 = spec.start_tx(0)
+        spec.write(t1, A, 1)
+        t2 = spec.start_tx(0)
+        observed = spec.read(t2, A)
+        spec.write(t1, A, 2)
+        spec.commit_tx(t1)
+        return observed == 1
+    store = EventualStore(1)
+    # "Transaction" T1 is two bare writes; T2 reads between them.
+    store.write(0, A, 1)
+    observed = store.read(0, A)
+    store.write(0, A, 2)
+    return observed == 1
+
+
+# ----------------------------------------------------------------------
+# Non-repeatable read: T2 reads A twice straddling T1's commit of A=1.
+# ----------------------------------------------------------------------
+def _non_repeatable_read(level: str) -> bool:
+    if level == SERIALIZABILITY:
+        t1 = ObservedTx("T1").write(A, 1)
+        t2 = ObservedTx("T2").read(A, 0).read(A, 1)
+        return is_serializable([t1, t2], {A: 0})
+    if level == SNAPSHOT_ISOLATION:
+        spec = SnapshotIsolation()
+        t2 = spec.start_tx()
+        first = spec.read(t2, A)
+        t1 = spec.start_tx()
+        spec.write(t1, A, 1)
+        spec.commit_tx(t1)
+        second = spec.read(t2, A)
+        return first != second
+    if level == PSI:
+        spec = ParallelSnapshotIsolation(n_sites=2)
+        t2 = spec.start_tx(0)
+        first = spec.read(t2, A)
+        t1 = spec.start_tx(0)
+        spec.write(t1, A, 1)
+        spec.commit_tx(t1)
+        second = spec.read(t2, A)
+        return first != second
+    store = EventualStore(1)
+    first = store.read(0, A)
+    store.write(0, A, 1)
+    second = store.read(0, A)
+    return first != second
+
+
+# ----------------------------------------------------------------------
+# Lost update: T1 and T2 both read A=0 and write A; both commit.
+# ----------------------------------------------------------------------
+def _lost_update(level: str) -> bool:
+    if level == SERIALIZABILITY:
+        t1 = ObservedTx("T1").read(A, 0).write(A, 1)
+        t2 = ObservedTx("T2").read(A, 0).write(A, 2)
+        return is_serializable([t1, t2], {A: 0})
+    if level == SNAPSHOT_ISOLATION:
+        spec = SnapshotIsolation()
+        t1 = spec.start_tx()
+        t2 = spec.start_tx()
+        assert spec.read(t1, A) is None and spec.read(t2, A) is None
+        spec.write(t1, A, 1)
+        spec.write(t2, A, 2)
+        s1 = spec.commit_tx(t1)
+        s2 = spec.commit_tx(t2)
+        return s1 == COMMITTED and s2 == COMMITTED
+    if level == PSI:
+        # Concurrent writers at *different* sites: the second committer
+        # sees the first "currently propagating" and aborts (Fig 5).
+        spec = ParallelSnapshotIsolation(n_sites=2)
+        t1 = spec.start_tx(0)
+        t2 = spec.start_tx(1)
+        spec.write(t1, A, 1)
+        spec.write(t2, A, 2)
+        s1 = spec.commit_tx(t1)
+        s2 = spec.commit_tx(t2)
+        return s1 == COMMITTED and s2 == COMMITTED
+    store = EventualStore(2)
+    # Both replicas read A=0 and write; LWW resolution loses one update.
+    assert store.read(0, A) is None and store.read(1, A) is None
+    store.write(0, A, 1)
+    store.write(1, A, 2)
+    store.sync_all()
+    return store.converged(A) and store.read(0, A) in (1, 2)
+
+
+# ----------------------------------------------------------------------
+# Short fork (write skew): disjoint writes from the same snapshot; the
+# state forks and merges at commit.  T3 then reads A=B=1.
+# ----------------------------------------------------------------------
+def _short_fork(level: str) -> bool:
+    if level == SERIALIZABILITY:
+        t1 = ObservedTx("T1").read(A, 0).read(B, 0).write(A, 1)
+        t2 = ObservedTx("T2").read(A, 0).read(B, 0).write(B, 1)
+        t3 = ObservedTx("T3").read(A, 1).read(B, 1)
+        return is_serializable([t1, t2, t3], {A: 0, B: 0})
+    if level == SNAPSHOT_ISOLATION:
+        spec = SnapshotIsolation()
+        t1 = spec.start_tx()
+        t2 = spec.start_tx()
+        forked = (
+            spec.read(t1, A) is None
+            and spec.read(t1, B) is None
+            and spec.read(t2, A) is None
+            and spec.read(t2, B) is None
+        )
+        spec.write(t1, A, 1)
+        spec.write(t2, B, 1)
+        both = spec.commit_tx(t1) == COMMITTED and spec.commit_tx(t2) == COMMITTED
+        t3 = spec.start_tx()
+        merged = spec.read(t3, A) == 1 and spec.read(t3, B) == 1
+        return forked and both and merged
+    if level == PSI:
+        spec = ParallelSnapshotIsolation(n_sites=1)
+        t1 = spec.start_tx(0)
+        t2 = spec.start_tx(0)
+        spec.write(t1, A, 1)
+        spec.write(t2, B, 1)
+        both = spec.commit_tx(t1) == COMMITTED and spec.commit_tx(t2) == COMMITTED
+        t3 = spec.start_tx(0)
+        return both and spec.read(t3, A) == 1 and spec.read(t3, B) == 1
+    store = EventualStore(2)
+    store.write(0, A, 1)
+    store.write(1, B, 1)
+    store.sync_all()
+    return store.read(0, A) == 1 and store.read(0, B) == 1
+
+
+# ----------------------------------------------------------------------
+# Long fork: after T1 and T3 commit at different sites, T2 sees only
+# T1's write and T4 sees only T3's; the fork persists past commit and
+# merges later (T5 sees both).
+# ----------------------------------------------------------------------
+def _long_fork(level: str) -> bool:
+    if level == SERIALIZABILITY:
+        t1 = ObservedTx("T1").read(A, 0).read(B, 0).write(A, 1)
+        t2 = ObservedTx("T2").read(A, 1).read(B, 0)
+        t3 = ObservedTx("T3").read(A, 0).read(B, 0).write(B, 1)
+        t4 = ObservedTx("T4").read(A, 0).read(B, 1)
+        t5 = ObservedTx("T5").read(A, 1).read(B, 1)
+        return is_serializable([t1, t2, t3, t4, t5], {A: 0, B: 0})
+    if level == SNAPSHOT_ISOLATION:
+        # Exhaustively try every interleaving of the commit/start events;
+        # the single commit order of SI makes the four reads unsatisfiable.
+        return _long_fork_si_search()
+    if level == PSI:
+        spec = ParallelSnapshotIsolation(n_sites=2)
+        t1 = spec.start_tx(0)
+        spec.write(t1, A, 1)
+        spec.commit_tx(t1)
+        t3 = spec.start_tx(1)
+        spec.write(t3, B, 1)
+        spec.commit_tx(t3)
+        # After both commits, the state remains forked per site.
+        t2 = spec.start_tx(0)
+        fork_a = spec.read(t2, A) == 1 and spec.read(t2, B) is None
+        t4 = spec.start_tx(1)
+        fork_b = spec.read(t4, A) is None and spec.read(t4, B) == 1
+        spec.propagate_all()
+        t5 = spec.start_tx(0)
+        merged = spec.read(t5, A) == 1 and spec.read(t5, B) == 1
+        return fork_a and fork_b and merged
+    store = EventualStore(2)
+    store.write(0, A, 1)
+    fork_a = store.read(0, A) == 1 and store.read(0, B) is None
+    store.write(1, B, 1)
+    fork_b = store.read(1, A) is None and store.read(1, B) == 1
+    store.sync_all()
+    merged = store.read(0, A) == 1 and store.read(0, B) == 1
+    return fork_a and fork_b and merged
+
+
+def _long_fork_si_search() -> bool:
+    """Try every schedule of the long-fork scenario under the SI spec.
+
+    The schedule decision points are when T2 and T4 take their snapshots
+    relative to T1's and T3's commits; enumerate all four combinations
+    (each reader starts either before or after each writer commits) and
+    check whether any produces the forked reads.
+    """
+    for t2_after_t1 in (True, False):
+        for t2_after_t3 in (True, False):
+            for t4_after_t1 in (True, False):
+                for t4_after_t3 in (True, False):
+                    if _try_long_fork_si(
+                        t2_after_t1, t2_after_t3, t4_after_t1, t4_after_t3
+                    ):
+                        return True
+    return False
+
+
+def _try_long_fork_si(t2_after_t1, t2_after_t3, t4_after_t1, t4_after_t3) -> bool:
+    spec = SnapshotIsolation()
+    t1 = spec.start_tx()
+    spec.write(t1, A, 1)
+    t3 = spec.start_tx()
+    spec.write(t3, B, 1)
+    events = []
+    events.append((1 if t2_after_t1 else -1, 1 if t2_after_t3 else -1, "t2"))
+    events.append((1 if t4_after_t1 else -1, 1 if t4_after_t3 else -1, "t4"))
+    readers = {}
+    # Order: readers that start before both commits, then commit t1, then
+    # readers after t1 only, then commit t3, then readers after both.
+    for after1, after3, name in events:
+        if after1 < 0 and after3 < 0:
+            readers[name] = spec.start_tx()
+    spec.commit_tx(t1)
+    for after1, after3, name in events:
+        if after1 > 0 and after3 < 0:
+            readers[name] = spec.start_tx()
+    spec.commit_tx(t3)
+    for after1, after3, name in events:
+        if after3 > 0:
+            readers[name] = spec.start_tx()
+    t2, t4 = readers["t2"], readers["t4"]
+    return (
+        spec.read(t2, A) == 1
+        and spec.read(t2, B) is None
+        and spec.read(t4, A) is None
+        and spec.read(t4, B) == 1
+    )
+
+
+# ----------------------------------------------------------------------
+# Conflicting fork: concurrent conflicting writes both commit; external
+# logic merges (A becomes 3) and a later read observes the merge.
+# ----------------------------------------------------------------------
+def _conflicting_fork(level: str) -> bool:
+    if level == SERIALIZABILITY:
+        t1 = ObservedTx("T1").write(A, 1)
+        t2 = ObservedTx("T2").write(A, 2)
+        t3 = ObservedTx("T3").read(A, 3)
+        return is_serializable([t1, t2, t3], {A: 0})
+    if level == SNAPSHOT_ISOLATION:
+        spec = SnapshotIsolation()
+        t1 = spec.start_tx()
+        t2 = spec.start_tx()
+        spec.write(t1, A, 1)
+        spec.write(t2, A, 2)
+        return spec.commit_tx(t1) == COMMITTED and spec.commit_tx(t2) == COMMITTED
+    if level == PSI:
+        spec = ParallelSnapshotIsolation(n_sites=2)
+        t1 = spec.start_tx(0)
+        t2 = spec.start_tx(1)
+        spec.write(t1, A, 1)
+        spec.write(t2, A, 2)
+        return spec.commit_tx(t1) == COMMITTED and spec.commit_tx(t2) == COMMITTED
+    store = EventualStore(2, merge=lambda x, y: x + y)
+    store.write(0, A, 1)
+    store.write(1, A, 2)
+    store.sync_all()
+    return store.read(0, A) == 3 and store.read(1, A) == 3
+
+
+_CHECKS: Dict[str, Callable[[str], bool]] = {
+    "dirty_read": _dirty_read,
+    "non_repeatable_read": _non_repeatable_read,
+    "lost_update": _lost_update,
+    "short_fork": _short_fork,
+    "long_fork": _long_fork,
+    "conflicting_fork": _conflicting_fork,
+}
+
+
+def check_anomaly(anomaly: str, level: str) -> bool:
+    """Is ``anomaly`` producible under ``level``?  Executes the scenario."""
+    if anomaly not in _CHECKS:
+        raise ValueError("unknown anomaly %r" % (anomaly,))
+    if level not in ISOLATION_LEVELS:
+        raise ValueError("unknown isolation level %r" % (level,))
+    return _CHECKS[anomaly](level)
+
+
+def anomaly_table() -> Dict[str, Dict[str, bool]]:
+    """Regenerate Fig 8 by executing every scenario against every model."""
+    return {
+        anomaly: {level: check_anomaly(anomaly, level) for level in ISOLATION_LEVELS}
+        for anomaly in ANOMALY_NAMES
+    }

@@ -1,0 +1,205 @@
+"""Trace checker for the three PSI properties (§3.2).
+
+The distributed Walter implementation records an :class:`ExecutionTrace`
+while it runs (when tracing is enabled).  This module re-derives, from the
+trace alone, whether the execution satisfied:
+
+* PSI Property 1 (Site Snapshot Read): every read returned the state of
+  the object at the reader's site as of the reader's start snapshot;
+* PSI Property 2 (No Write-Write Conflicts): committed somewhere-
+  concurrent transactions have disjoint write sets -- operationally, any
+  two committed transactions with intersecting write sets must be
+  causally ordered (one's commit version visible in the other's snapshot);
+* PSI Property 3 (Commit Causality Across Sites): if T1 committed at T2's
+  site before T2 started, T1 commits before T2 at every site.
+
+This is the core model-based-testing oracle: integration tests run the
+real servers under randomized workloads (and fault injection), then call
+:func:`check_trace` on what happened.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from ..core.cset import CSet
+from ..core.history import SiteHistories
+from ..core.objects import ObjectId, ObjectKind
+from ..core.updates import Update
+from ..core.versions import VectorTimestamp, Version
+
+
+@dataclass
+class TracedTx:
+    """A committed transaction as recorded by the implementation."""
+
+    tid: str
+    site: int
+    start_vts: VectorTimestamp
+    version: Version
+    updates: List[Update]
+    write_set: frozenset
+
+
+@dataclass
+class TracedRead:
+    """One read observation: what some transaction saw."""
+
+    tid: str
+    site: int
+    start_vts: VectorTimestamp
+    oid: ObjectId
+    value: Any  # data for regular objects, Dict[elem, count] for csets
+
+
+@dataclass
+class ExecutionTrace:
+    """Everything the checker needs about one run."""
+
+    n_sites: int
+    transactions: Dict[str, TracedTx] = field(default_factory=dict)
+    #: Per site, the order in which transaction versions committed there
+    #: (the order CommittedVTS advanced).
+    site_commit_order: Dict[int, List[Version]] = field(default_factory=dict)
+    reads: List[TracedRead] = field(default_factory=list)
+
+    def record_commit(self, tx: TracedTx) -> None:
+        self.transactions[tx.tid] = tx
+
+    def record_site_commit(self, site: int, version: Version) -> None:
+        self.site_commit_order.setdefault(site, []).append(version)
+
+    def record_read(self, read: TracedRead) -> None:
+        self.reads.append(read)
+
+
+@dataclass
+class Violation:
+    property_name: str
+    detail: str
+
+    def __str__(self) -> str:
+        return "%s: %s" % (self.property_name, self.detail)
+
+
+def check_trace(trace: ExecutionTrace) -> List[Violation]:
+    """Return all PSI property violations found (empty list = clean)."""
+    violations: List[Violation] = []
+    violations.extend(check_site_snapshot_reads(trace))
+    violations.extend(check_no_write_write_conflicts(trace))
+    violations.extend(check_commit_causality(trace))
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Property 2: no write-write conflicts
+# ----------------------------------------------------------------------
+def check_no_write_write_conflicts(trace: ExecutionTrace) -> List[Violation]:
+    """Committed transactions with intersecting write sets must be
+    causally ordered: one's version is visible to the other's startVTS.
+    Two somewhere-concurrent conflicting commits violate PSI Property 2."""
+    violations = []
+    txs = list(trace.transactions.values())
+    for i, t1 in enumerate(txs):
+        for t2 in txs[i + 1:]:
+            overlap = t1.write_set & t2.write_set
+            if not overlap:
+                continue
+            t1_before_t2 = t2.start_vts.visible(t1.version)
+            t2_before_t1 = t1.start_vts.visible(t2.version)
+            if not (t1_before_t2 or t2_before_t1):
+                violations.append(
+                    Violation(
+                        "no-write-write-conflicts",
+                        "%s and %s are somewhere-concurrent and both wrote %s"
+                        % (t1.tid, t2.tid, sorted(str(o) for o in overlap)),
+                    )
+                )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Property 3: commit causality across sites
+# ----------------------------------------------------------------------
+def check_commit_causality(trace: ExecutionTrace) -> List[Violation]:
+    """If T1 is in T2's snapshot, T1 commits before T2 at every site
+    where both committed."""
+    violations = []
+    positions: Dict[int, Dict[Version, int]] = {
+        site: {v: i for i, v in enumerate(order)}
+        for site, order in trace.site_commit_order.items()
+    }
+    txs = list(trace.transactions.values())
+    for t1 in txs:
+        for t2 in txs:
+            if t1 is t2:
+                continue
+            if not t2.start_vts.visible(t1.version):
+                continue
+            for site, pos in positions.items():
+                p1 = pos.get(t1.version)
+                p2 = pos.get(t2.version)
+                if p1 is not None and p2 is not None and p1 > p2:
+                    violations.append(
+                        Violation(
+                            "commit-causality",
+                            "%s precedes %s causally but committed after it at site %d"
+                            % (t1.tid, t2.tid, site),
+                        )
+                    )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Property 1: site snapshot reads
+# ----------------------------------------------------------------------
+def check_site_snapshot_reads(trace: ExecutionTrace) -> List[Violation]:
+    """Replay each site's commit order into a model history and verify
+    every recorded read against the model's snapshot value."""
+    violations = []
+    by_version = {tx.version: tx for tx in trace.transactions.values()}
+    site_models: Dict[int, SiteHistories] = {}
+    for site, order in trace.site_commit_order.items():
+        model = SiteHistories()
+        for version in order:
+            tx = by_version.get(version)
+            if tx is None:
+                violations.append(
+                    Violation(
+                        "site-snapshot-read",
+                        "site %d committed unknown version %s" % (site, version),
+                    )
+                )
+                continue
+            model.apply(tx.updates, version)
+        site_models[site] = model
+
+    for read in trace.reads:
+        model = site_models.get(read.site)
+        if model is None:
+            # A site that committed nothing has empty state: nil reads only.
+            model = SiteHistories()
+        expected = _model_value(model, read.oid, read.start_vts)
+        actual = _normalize(read.value)
+        if expected != actual:
+            violations.append(
+                Violation(
+                    "site-snapshot-read",
+                    "%s at site %d read %s=%r but snapshot %r holds %r"
+                    % (read.tid, read.site, read.oid, actual, read.start_vts, expected),
+                )
+            )
+    return violations
+
+
+def _model_value(model: SiteHistories, oid: ObjectId, vts: VectorTimestamp):
+    if oid.kind is ObjectKind.CSET:
+        return model.read_cset(oid, vts).counts()
+    return model.read_regular(oid, vts)
+
+
+def _normalize(value):
+    if isinstance(value, CSet):
+        return value.counts()
+    return value

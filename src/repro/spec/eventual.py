@@ -1,0 +1,97 @@
+"""Eventually-consistent replicated store (the Fig 8 comparison point).
+
+A minimal model of systems like Dynamo/Bayou as the paper characterizes
+them: writes apply immediately at the local replica, replicas exchange
+state lazily, concurrent updates to the same object conflict and must be
+resolved -- by default last-writer-wins on a Lamport stamp, optionally by
+an application-supplied merge function (the "conflict-resolution logic"
+the paper wants to spare developers from).
+
+There are no transactions: a multi-object action is a sequence of
+independent writes, which is exactly why eventual consistency exhibits
+every anomaly in Fig 8.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..core.objects import ObjectId
+
+
+@dataclass(frozen=True)
+class Stamped:
+    """A value with its Lamport stamp (counter, replica) for LWW."""
+
+    value: Any
+    counter: int
+    replica: int
+
+    @property
+    def stamp(self) -> Tuple[int, int]:
+        return (self.counter, self.replica)
+
+
+MergeFn = Callable[[Any, Any], Any]
+
+
+class EventualStore:
+    """N replicas with lazy anti-entropy and pluggable conflict resolution."""
+
+    def __init__(self, n_replicas: int, merge: Optional[MergeFn] = None):
+        if n_replicas < 1:
+            raise ValueError("need at least one replica")
+        self.n_replicas = n_replicas
+        self._replicas: List[Dict[ObjectId, Stamped]] = [
+            {} for _ in range(n_replicas)
+        ]
+        self._clock = itertools.count(1)
+        self._merge = merge
+        self.conflicts_resolved = 0
+
+    def write(self, replica: int, oid: ObjectId, value: Any) -> None:
+        """Apply immediately at the local replica (no isolation)."""
+        self._replicas[replica][oid] = Stamped(value, next(self._clock), replica)
+
+    def read(self, replica: int, oid: ObjectId) -> Any:
+        stamped = self._replicas[replica].get(oid)
+        return stamped.value if stamped is not None else None
+
+    def sync(self, src: int, dst: int) -> None:
+        """One-way anti-entropy: fold src's state into dst."""
+        for oid, incoming in self._replicas[src].items():
+            local = self._replicas[dst].get(oid)
+            if local is None or local.stamp == incoming.stamp:
+                self._replicas[dst][oid] = incoming
+            elif self._is_concurrent_conflict(local, incoming):
+                self._replicas[dst][oid] = self._resolve(local, incoming)
+            elif incoming.stamp > local.stamp:
+                self._replicas[dst][oid] = incoming
+
+    def sync_all(self) -> None:
+        """Anti-entropy between all pairs until convergence."""
+        for _ in range(self.n_replicas):
+            for src in range(self.n_replicas):
+                for dst in range(self.n_replicas):
+                    if src != dst:
+                        self.sync(src, dst)
+
+    def converged(self, oid: ObjectId) -> bool:
+        values = [self.read(r, oid) for r in range(self.n_replicas)]
+        return all(v == values[0] for v in values)
+
+    @staticmethod
+    def _is_concurrent_conflict(a: Stamped, b: Stamped) -> bool:
+        # Different replicas wrote different values: a true conflict
+        # requiring resolution (LWW or application logic).
+        return a.replica != b.replica and a.value != b.value
+
+    def _resolve(self, a: Stamped, b: Stamped) -> Stamped:
+        self.conflicts_resolved += 1
+        if self._merge is not None:
+            merged = self._merge(a.value, b.value)
+            return Stamped(merged, max(a.counter, b.counter), min(a.replica, b.replica))
+        # Last-writer-wins: one concurrent update is silently lost.
+        return a if a.stamp > b.stamp else b

@@ -1,0 +1,64 @@
+"""Serializability reference model.
+
+For the Fig 8 anomaly table we need to decide whether an *observed*
+execution (a set of transactions with the reads they saw and the writes
+they made) is serializable.  The observation sets are tiny (2-5
+transactions), so a brute-force check over all serial orders is exact and
+fast: replay each permutation sequentially from the initial state and
+accept if every read matches what the transaction observed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from ..core.objects import ObjectId
+
+
+@dataclass
+class ObservedTx:
+    """A transaction's externally observed behaviour.
+
+    ``ops`` is the program-order list of operations:
+    ``("read", oid, observed_value)`` or ``("write", oid, value)``.
+    """
+
+    tid: str
+    ops: List[Tuple] = field(default_factory=list)
+
+    def read(self, oid: ObjectId, value: Any) -> "ObservedTx":
+        self.ops.append(("read", oid, value))
+        return self
+
+    def write(self, oid: ObjectId, value: Any) -> "ObservedTx":
+        self.ops.append(("write", oid, value))
+        return self
+
+
+def replay_serial(
+    order: List[ObservedTx], initial: Dict[ObjectId, Any]
+) -> bool:
+    """Replay transactions in ``order``; True iff every read matches."""
+    state = dict(initial)
+    for tx in order:
+        for op in tx.ops:
+            if op[0] == "read":
+                _kind, oid, expected = op
+                if state.get(oid) != expected:
+                    return False
+            else:
+                _kind, oid, value = op
+                state[oid] = value
+    return True
+
+
+def is_serializable(
+    observed: List[ObservedTx], initial: Dict[ObjectId, Any]
+) -> bool:
+    """True iff some serial order of ``observed`` explains every read."""
+    return any(
+        replay_serial(list(order), initial)
+        for order in itertools.permutations(observed)
+    )

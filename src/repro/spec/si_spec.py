@@ -1,0 +1,183 @@
+"""Executable specification of Snapshot Isolation (paper Figs 1 and 2).
+
+This is the paper's *centralized* abstract specification: a single log, a
+single monotonic timestamp source, operations executed one at a time.  It
+exists to be compared against -- the distributed implementation must
+emulate the return values of these operations -- and to demonstrate the
+anomaly table of Fig 8.
+
+The ``chooseOutcome`` function of Fig 2 contains one non-deterministic
+choice (when a write-conflicting transaction aborted after x started, or
+is still executing, the outcome may be either COMMITTED or ABORTED).
+Callers control it through the ``pessimistic`` flag: optimistic (default)
+commits when allowed, pessimistic aborts when allowed -- both are legal
+behaviours of the spec.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Hashable, List, Optional
+
+from ..errors import TransactionStateError
+from ..core.cset import CSet
+from ..core.objects import ObjectId
+from ..core.updates import CSetAdd, CSetDel, DataUpdate, Update, last_data, write_set
+
+COMMITTED = "COMMITTED"
+ABORTED = "ABORTED"
+
+
+@dataclass
+class LogEntry:
+    """A committed transaction's writes with its commit timestamp."""
+
+    timestamp: int
+    tid: str
+    updates: List[Update]
+
+
+@dataclass
+class SpecTx:
+    """Spec-level transaction attributes (Fig 1)."""
+
+    tid: str
+    start_ts: int
+    updates: List[Update] = field(default_factory=list)
+    status: str = "ACTIVE"
+    commit_ts: Optional[int] = None
+    abort_ts: Optional[int] = None
+
+    @property
+    def write_set(self):
+        return write_set(self.updates)
+
+
+class SnapshotIsolation:
+    """The Fig 1/2 specification, executed literally."""
+
+    def __init__(self, pessimistic: bool = False):
+        self._clock = itertools.count(1)
+        self.log: List[LogEntry] = []
+        self.transactions: List[SpecTx] = []
+        self.pessimistic = pessimistic
+        self._tids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Operations (Fig 1)
+    # ------------------------------------------------------------------
+    def start_tx(self) -> SpecTx:
+        tx = SpecTx(tid="si-%d" % next(self._tids), start_ts=next(self._clock))
+        self.transactions.append(tx)
+        return tx
+
+    def write(self, tx: SpecTx, oid: ObjectId, data: Any) -> None:
+        self._require_active(tx)
+        tx.updates.append(DataUpdate(oid, data))
+
+    def read(self, tx: SpecTx, oid: ObjectId) -> Any:
+        """State of oid from x.updates and Log up to x.startTs."""
+        self._require_active(tx)
+        found, data = last_data(tx.updates, oid)
+        if found:
+            return data
+        value = None
+        for entry in self.log:
+            if entry.timestamp > tx.start_ts:
+                break
+            for update in entry.updates:
+                if isinstance(update, DataUpdate) and update.oid == oid:
+                    value = update.data
+        return value
+
+    def set_add(self, tx: SpecTx, oid: ObjectId, elem: Hashable) -> None:
+        self._require_active(tx)
+        tx.updates.append(CSetAdd(oid, elem))
+
+    def set_del(self, tx: SpecTx, oid: ObjectId, elem: Hashable) -> None:
+        self._require_active(tx)
+        tx.updates.append(CSetDel(oid, elem))
+
+    def set_read(self, tx: SpecTx, oid: ObjectId) -> CSet:
+        self._require_active(tx)
+        cset = CSet()
+        for entry in self.log:
+            if entry.timestamp > tx.start_ts:
+                break
+            self._fold_cset(cset, entry.updates, oid)
+        self._fold_cset(cset, tx.updates, oid)
+        return cset
+
+    def commit_tx(self, tx: SpecTx) -> str:
+        self._require_active(tx)
+        tx.commit_ts = next(self._clock)
+        tx.status = self._choose_outcome(tx)
+        if tx.status == COMMITTED:
+            self.log.append(LogEntry(tx.commit_ts, tx.tid, list(tx.updates)))
+        else:
+            tx.abort_ts = tx.commit_ts
+            tx.commit_ts = None
+        return tx.status
+
+    def abort_tx(self, tx: SpecTx) -> str:
+        self._require_active(tx)
+        tx.status = ABORTED
+        tx.abort_ts = next(self._clock)
+        return tx.status
+
+    # ------------------------------------------------------------------
+    # chooseOutcome (Fig 2)
+    # ------------------------------------------------------------------
+    def _choose_outcome(self, tx: SpecTx) -> str:
+        conflicting_committed = any(
+            other.status == COMMITTED
+            and other.commit_ts is not None
+            and other.commit_ts > tx.start_ts
+            and self._write_conflict(tx, other)
+            for other in self.transactions
+            if other is not tx
+        )
+        if conflicting_committed:
+            return ABORTED
+        conflicting_pending = any(
+            (
+                (other.status == ABORTED and (other.abort_ts or 0) > tx.start_ts)
+                or other.status == "ACTIVE"
+            )
+            and self._write_conflict(tx, other)
+            for other in self.transactions
+            if other is not tx
+        )
+        if conflicting_pending:
+            return ABORTED if self.pessimistic else COMMITTED
+        return COMMITTED
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _write_conflict(a: SpecTx, b: SpecTx) -> bool:
+        return bool(a.write_set & b.write_set)
+
+    @staticmethod
+    def _fold_cset(cset: CSet, updates: List[Update], oid: ObjectId) -> None:
+        for update in updates:
+            if isinstance(update, CSetAdd) and update.oid == oid:
+                cset.add(update.elem)
+            elif isinstance(update, CSetDel) and update.oid == oid:
+                cset.rem(update.elem)
+
+    @staticmethod
+    def _require_active(tx: SpecTx) -> None:
+        if tx.status != "ACTIVE":
+            raise TransactionStateError("spec transaction %s is %s" % (tx.tid, tx.status))
+
+    def committed_value(self, oid: ObjectId) -> Any:
+        """Latest committed value (reads from the log's end)."""
+        value = None
+        for entry in self.log:
+            for update in entry.updates:
+                if isinstance(update, DataUpdate) and update.oid == oid:
+                    value = update.data
+        return value

@@ -1,0 +1,89 @@
+"""In-memory object cache with cset-preferring eviction (paper §6).
+
+"The entries in the in-memory cache are evicted on an LRU basis.  Since it
+is expensive to reconstruct csets from the log, the eviction policy
+prefers to evict regular objects rather than csets."
+
+Implemented as two LRU queues (regular and cset); eviction drains the
+regular queue first and touches csets only when no regular entry remains.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+from ..core.objects import ObjectId, ObjectKind
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions_regular: int = 0
+    evictions_cset: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ObjectCache:
+    """LRU cache keyed by ObjectId, preferring to evict regular objects."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._regular: "OrderedDict[ObjectId, Any]" = OrderedDict()
+        self._cset: "OrderedDict[ObjectId, Any]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._regular) + len(self._cset)
+
+    def __contains__(self, oid: ObjectId) -> bool:
+        return oid in self._regular or oid in self._cset
+
+    def _queue_for(self, oid: ObjectId) -> "OrderedDict[ObjectId, Any]":
+        return self._cset if oid.kind is ObjectKind.CSET else self._regular
+
+    def get(self, oid: ObjectId) -> Tuple[bool, Any]:
+        """Return ``(hit, value)``; a hit refreshes LRU recency."""
+        queue = self._queue_for(oid)
+        if oid in queue:
+            queue.move_to_end(oid)
+            self.stats.hits += 1
+            return True, queue[oid]
+        self.stats.misses += 1
+        return False, None
+
+    def put(self, oid: ObjectId, value: Any) -> Optional[ObjectId]:
+        """Insert/refresh; returns the evicted oid if any."""
+        queue = self._queue_for(oid)
+        if oid in queue:
+            queue[oid] = value
+            queue.move_to_end(oid)
+            return None
+        queue[oid] = value
+        if len(self) <= self.capacity:
+            return None
+        return self._evict()
+
+    def _evict(self) -> ObjectId:
+        if self._regular:
+            victim, _ = self._regular.popitem(last=False)
+            self.stats.evictions_regular += 1
+        else:
+            victim, _ = self._cset.popitem(last=False)
+            self.stats.evictions_cset += 1
+        return victim
+
+    def invalidate(self, oid: ObjectId) -> None:
+        self._queue_for(oid).pop(oid, None)
+
+    def clear(self) -> None:
+        self._regular.clear()
+        self._cset.clear()

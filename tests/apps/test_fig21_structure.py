@@ -1,0 +1,67 @@
+"""Pin each WaltSocial operation's transaction structure to Fig 21:
+
+    operation      objs+csets read   objs written   csets written
+    read-info      3                 0              0
+    befriend       2                 0              2
+    status-update  1                 2              2
+    post-message   2                 2              2
+
+Verified against the execution trace: the committed transaction's update
+buffer gives the write counts, and the recorded snapshot reads give the
+read counts.
+"""
+
+import pytest
+
+from repro.apps.waltsocial import WaltSocial, WaltSocialDB
+from repro.core.updates import CSetAdd, CSetDel, DataUpdate
+from repro.deployment import Deployment
+from repro.storage import FLUSH_MEMORY
+
+FIG21 = {
+    "read_info": (3, 0, 0),
+    "befriend": (2, 0, 2),
+    "status_update": (1, 2, 2),
+    "post_message": (2, 2, 2),
+}
+
+
+def run_op(op_name):
+    world = Deployment(n_sites=1, flush_latency=FLUSH_MEMORY, trace=True)
+    db = WaltSocialDB(world)
+    db.populate(2)
+    social = WaltSocial(db)
+    client = world.new_client(0)
+    if op_name == "read_info":
+        gen = social.read_info(client, "user0")
+    elif op_name == "befriend":
+        gen = social.befriend(client, "user0", "user1")
+    elif op_name == "status_update":
+        gen = social.status_update(client, "user0", "hello")
+    else:
+        gen = social.post_message(client, "user0", "user1", "hey")
+    result = world.run_process(gen)
+    assert result["status"] == "COMMITTED"
+    return world.trace
+
+
+@pytest.mark.parametrize("op_name", list(FIG21))
+def test_operation_structure_matches_fig21(op_name):
+    expected_reads, expected_writes, expected_csets = FIG21[op_name]
+    trace = run_op(op_name)
+
+    reads = len(trace.reads)
+    assert reads == expected_reads, "%s read %d objects, Fig 21 says %d" % (
+        op_name, reads, expected_reads,
+    )
+
+    committed = [tx for tx in trace.transactions.values() if not tx.tid.startswith("preload")]
+    if expected_writes == 0 and expected_csets == 0:
+        assert committed == []  # read-only transaction
+        return
+    assert len(committed) == 1
+    updates = committed[0].updates
+    data_writes = sum(1 for u in updates if isinstance(u, DataUpdate))
+    cset_writes = len({u.oid for u in updates if isinstance(u, (CSetAdd, CSetDel))})
+    assert data_writes == expected_writes, op_name
+    assert cset_writes == expected_csets, op_name

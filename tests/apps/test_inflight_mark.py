@@ -1,0 +1,60 @@
+"""The §3.4 in-flight mark: a freshly posted message is marked until it
+has committed at all sites."""
+
+from repro.apps.waltsocial import WaltSocial, WaltSocialDB
+from repro.deployment import Deployment
+from repro.storage import FLUSH_MEMORY
+
+
+def make_app():
+    world = Deployment(n_sites=2, flush_latency=FLUSH_MEMORY, jitter_frac=0.0)
+    db = WaltSocialDB(world)
+    db.populate(2)
+    return world, WaltSocial(db)
+
+
+def test_mark_present_immediately_after_commit():
+    world, social = make_app()
+    client = world.new_client(0)
+
+    def scenario():
+        result = yield from social.post_message_marked(client, "user0", "user1", "hi")
+        assert result["status"] == "COMMITTED"
+        return result
+
+    result = world.run_process(scenario())
+    # Commit is local; global visibility needs a WAN round trip.
+    assert result["in_flight"]() is True
+
+
+def test_mark_removed_when_globally_visible():
+    world, social = make_app()
+    client = world.new_client(0)
+
+    def scenario():
+        result = yield from social.post_message_marked(client, "user0", "user1", "hi")
+        yield result["visible_event"]
+        return result
+
+    result = world.run_process(scenario(), within=120.0)
+    assert result["in_flight"]() is False
+    # Once the mark clears, the post really is visible at the other site.
+    client1 = world.new_client(1)
+    wall = world.run_process(social.wall_of(client1, "user1"))
+    assert any("hi" in str(p) for p in wall)
+
+
+def test_mark_clears_after_roughly_two_round_trips():
+    world, social = make_app()
+    client = world.new_client(0)
+
+    def scenario():
+        result = yield from social.post_message_marked(client, "user0", "user1", "hi")
+        committed_at = world.kernel.now
+        yield result["visible_event"]
+        return world.kernel.now - committed_at
+
+    elapsed = world.run_process(scenario(), within=120.0)
+    rtt = world.topology.rtt("VA", "CA")
+    # DS durability within [RTT, 2RTT], visibility ~one more RTT.
+    assert rtt * 1.5 <= elapsed <= rtt * 3.5 + 0.05

@@ -1,0 +1,128 @@
+"""Tests for the WaltSocial application (paper §7)."""
+
+import pytest
+
+from repro.apps.waltsocial import Profile, WaltSocial, WaltSocialDB
+from repro.deployment import Deployment
+from repro.storage import FLUSH_MEMORY
+
+
+@pytest.fixture
+def app():
+    world = Deployment(n_sites=2, flush_latency=FLUSH_MEMORY, jitter_frac=0.0)
+    db = WaltSocialDB(world)
+    db.populate(4, statuses_per_user=2, wall_posts_per_user=1)
+    return world, db, WaltSocial(db)
+
+
+def test_populate_creates_users_across_sites(app):
+    world, db, social = app
+    assert len(db) == 4
+    assert db.user("user0").home_site == 0
+    assert db.user("user1").home_site == 1
+    assert db.user("user2").home_site == 0
+
+
+def test_read_info_returns_profile_and_lists(app):
+    world, db, social = app
+    client = world.new_client(0)
+    info = world.run_process(social.read_info(client, "user0"))
+    assert info["status"] == "COMMITTED"
+    assert isinstance(info["profile"], Profile)
+    assert info["profile"].name == "user0"
+    assert info["n_messages"] == 1  # one preloaded wall post
+
+
+def test_befriend_is_symmetric_and_atomic(app):
+    world, db, social = app
+    client = world.new_client(0)
+    result = world.run_process(social.befriend(client, "user0", "user2"))
+    assert result["status"] == "COMMITTED"
+    friends0 = world.run_process(social.friends_of(client, "user0"))
+    friends2 = world.run_process(social.friends_of(client, "user2"))
+    assert db.user("user2").profile in friends0
+    assert db.user("user0").profile in friends2
+
+
+def test_befriend_from_different_sites_converges(app):
+    # Friend lists are csets: concurrent befriend ops at different sites
+    # both commit and merge.
+    world, db, social = app
+    client0 = world.new_client(0)
+    client1 = world.new_client(1)
+    p0 = world.kernel.spawn(social.befriend(client0, "user0", "user1"))
+    p1 = world.kernel.spawn(social.befriend(client1, "user1", "user2"))
+    world.run(until=10.0)
+    assert p0.value["status"] == "COMMITTED"
+    assert p1.value["status"] == "COMMITTED"
+    world.settle(3.0)
+    friends1 = world.run_process(social.friends_of(client0, "user1"))
+    assert db.user("user0").profile in friends1
+    assert db.user("user2").profile in friends1
+
+
+def test_unfriend_removes_both_sides(app):
+    world, db, social = app
+    client = world.new_client(0)
+    world.run_process(social.befriend(client, "user0", "user2"))
+    world.run_process(social.unfriend(client, "user0", "user2"))
+    friends0 = world.run_process(social.friends_of(client, "user0"))
+    assert db.user("user2").profile not in friends0
+
+
+def test_status_update_rewrites_profile_and_lists(app):
+    world, db, social = app
+    client = world.new_client(0)
+    result = world.run_process(social.status_update(client, "user0", "hello world"))
+    assert result["status"] == "COMMITTED"
+    info = world.run_process(social.read_info(client, "user0"))
+    assert info["profile"].status == "hello world"
+    assert info["n_messages"] == 2  # preloaded wall post + status event
+
+
+def test_post_message_lands_on_recipient_wall(app):
+    world, db, social = app
+    client = world.new_client(0)
+    result = world.run_process(social.post_message(client, "user0", "user2", "hi!"))
+    assert result["status"] == "COMMITTED"
+    wall = world.run_process(social.wall_of(client, "user2"))
+    assert any(isinstance(p, str) and "hi!" in p for p in wall)
+
+
+def test_cross_site_post_message_visible_after_propagation(app):
+    world, db, social = app
+    client0 = world.new_client(0)
+    client1 = world.new_client(1)
+    # user1's home is site 1; user0 posts from site 0 (cset: fast commit).
+    result = world.run_process(social.post_message(client0, "user0", "user1", "cross-site"))
+    assert result["status"] == "COMMITTED"
+    assert world.server(0).stats.slow_commit_attempts == 0
+    world.settle(3.0)
+    wall = world.run_process(social.wall_of(client1, "user1"))
+    assert any("cross-site" in str(p) for p in wall)
+
+
+def test_album_create_and_add_photo(app):
+    world, db, social = app
+    client = world.new_client(0)
+    created = world.run_process(social.create_album(client, "user0", "holiday"))
+    assert created["status"] == "COMMITTED"
+    added = world.run_process(
+        social.add_photo(client, "user0", created["album"], b"\x89PNG...")
+    )
+    assert added["status"] == "COMMITTED"
+    # The album (a cset) contains the photo oid.
+    def check():
+        tx = client.start_tx()
+        album = yield from client.set_read(tx, created["album"])
+        yield from client.commit(tx)
+        return list(album.members())
+
+    photos = world.run_process(check())
+    assert added["photo"] in photos
+
+
+def test_duplicate_user_rejected(app):
+    world, db, social = app
+    with pytest.raises(ValueError):
+        db.create_user("user0", 0)

@@ -1,0 +1,134 @@
+"""Tests for the Berkeley-DB-like baseline."""
+
+import pytest
+
+from repro.baselines import BDBServer, build_bdb_pair
+from repro.net import Host, Network, RpcRemoteError, Topology
+from repro.sim import Kernel
+
+
+def make_world():
+    kernel = Kernel()
+    net = Network(kernel, Topology.ec2(2), jitter_frac=0.0)
+    primary, replica = build_bdb_pair(kernel, net, flush_latency=0.0)
+    client = Host(kernel, net, 0, "bdb-client")
+    client.start()
+    return kernel, client, primary, replica
+
+
+def test_put_get_roundtrip():
+    kernel, client, primary, replica = make_world()
+
+    def scenario():
+        yield from client.call("bdb-primary", "put", key="k", value=b"v")
+        value = yield from client.call("bdb-primary", "get", key="k")
+        return value
+
+    assert kernel.run_process(scenario(), until=10.0) == b"v"
+
+
+def test_get_missing_is_none():
+    kernel, client, *_ = make_world()
+
+    def scenario():
+        return (yield from client.call("bdb-primary", "get", key="nope"))
+
+    assert kernel.run_process(scenario(), until=10.0) is None
+
+
+def test_replica_rejects_writes():
+    kernel, client, *_ = make_world()
+
+    def scenario():
+        with pytest.raises(RpcRemoteError):
+            yield from client.call("bdb-replica", "put", key="k", value=b"v")
+        return True
+
+    assert kernel.run_process(scenario(), until=10.0) is True
+
+
+def test_async_replication_reaches_replica():
+    kernel, client, primary, replica = make_world()
+
+    def scenario():
+        yield from client.call("bdb-primary", "put", key="k", value=b"v")
+        # Not yet at the replica (asynchronous).
+        early = yield from client.call("bdb-replica", "get", key="k")
+        yield kernel.timeout(0.5)  # ship interval + WAN latency
+        late = yield from client.call("bdb-replica", "get", key="k")
+        return (early, late)
+
+    early, late = kernel.run_process(scenario(), until=10.0)
+    assert early is None
+    assert late == b"v"
+
+
+def test_si_transaction_snapshot_and_conflict():
+    kernel, client, primary, replica = make_world()
+
+    def scenario():
+        yield from client.call("bdb-primary", "tx_begin", tid="t1")
+        yield from client.call("bdb-primary", "tx_begin", tid="t2")
+        v1 = yield from client.call("bdb-primary", "tx_get", tid="t1", key="a")
+        assert v1 is None
+        yield from client.call("bdb-primary", "tx_put", tid="t1", key="a", value=1)
+        yield from client.call("bdb-primary", "tx_put", tid="t2", key="a", value=2)
+        s1 = yield from client.call("bdb-primary", "tx_commit", tid="t1")
+        s2 = yield from client.call("bdb-primary", "tx_commit", tid="t2")
+        final = yield from client.call("bdb-primary", "get", key="a")
+        return (s1, s2, final)
+
+    assert kernel.run_process(scenario(), until=10.0) == ("COMMITTED", "ABORTED", 1)
+
+
+def test_si_snapshot_read_is_stable():
+    kernel, client, primary, replica = make_world()
+
+    def scenario():
+        yield from client.call("bdb-primary", "put", key="a", value=0)
+        yield from client.call("bdb-primary", "tx_begin", tid="reader")
+        first = yield from client.call("bdb-primary", "tx_get", tid="reader", key="a")
+        yield from client.call("bdb-primary", "put", key="a", value=99)
+        second = yield from client.call("bdb-primary", "tx_get", tid="reader", key="a")
+        yield from client.call("bdb-primary", "tx_commit", tid="reader")
+        return (first, second)
+
+    assert kernel.run_process(scenario(), until=10.0) == (0, 0)
+
+
+def test_read_only_tx_commits_without_conflict_check():
+    kernel, client, primary, replica = make_world()
+
+    def scenario():
+        yield from client.call("bdb-primary", "tx_begin", tid="ro")
+        yield from client.call("bdb-primary", "tx_get", tid="ro", key="a")
+        return (yield from client.call("bdb-primary", "tx_commit", tid="ro"))
+
+    assert kernel.run_process(scenario(), until=10.0) == "COMMITTED"
+
+
+def test_tx_abort_discards_writes():
+    kernel, client, primary, replica = make_world()
+
+    def scenario():
+        yield from client.call("bdb-primary", "tx_begin", tid="t")
+        yield from client.call("bdb-primary", "tx_put", tid="t", key="a", value=1)
+        yield from client.call("bdb-primary", "tx_abort", tid="t")
+        return (yield from client.call("bdb-primary", "get", key="a"))
+
+    assert kernel.run_process(scenario(), until=10.0) is None
+
+
+def test_disjoint_tx_both_commit():
+    kernel, client, primary, replica = make_world()
+
+    def scenario():
+        yield from client.call("bdb-primary", "tx_begin", tid="t1")
+        yield from client.call("bdb-primary", "tx_begin", tid="t2")
+        yield from client.call("bdb-primary", "tx_put", tid="t1", key="a", value=1)
+        yield from client.call("bdb-primary", "tx_put", tid="t2", key="b", value=2)
+        s1 = yield from client.call("bdb-primary", "tx_commit", tid="t1")
+        s2 = yield from client.call("bdb-primary", "tx_commit", tid="t2")
+        return (s1, s2)
+
+    assert kernel.run_process(scenario(), until=10.0) == ("COMMITTED", "COMMITTED")

@@ -1,0 +1,98 @@
+"""Tests for the Redis-like baseline."""
+
+import pytest
+
+from repro.baselines import RedisServer
+from repro.net import Host, Network, RpcRemoteError, Topology
+from repro.sim import Kernel
+
+
+def make_world(with_slave=False):
+    kernel = Kernel()
+    net = Network(kernel, Topology.ec2(2), jitter_frac=0.0)
+    master = RedisServer(
+        kernel, net, 0, "redis-master",
+        slaves=["redis-slave"] if with_slave else None,
+    )
+    slave = None
+    if with_slave:
+        slave = RedisServer(kernel, net, 1, "redis-slave", role="slave")
+        slave.start()
+    master.start()
+    client = Host(kernel, net, 0, "redis-client")
+    client.start()
+    return kernel, client, master, slave
+
+
+def call(kernel, client, method, **args):
+    def scenario():
+        return (yield from client.call("redis-master", method, **args))
+
+    return kernel.run_process(scenario(), until=kernel.now + 10.0)
+
+
+def test_set_get():
+    kernel, client, *_ = make_world()
+    assert call(kernel, client, "set", key="k", value="v") == "OK"
+    assert call(kernel, client, "get", key="k") == "v"
+    assert call(kernel, client, "get", key="missing") is None
+
+
+def test_incr_is_atomic_counter():
+    kernel, client, *_ = make_world()
+    assert call(kernel, client, "incr", key="seq") == 1
+    assert call(kernel, client, "incr", key="seq") == 2
+
+
+def test_lpush_lrange_order():
+    kernel, client, *_ = make_world()
+    for v in ["a", "b", "c"]:
+        call(kernel, client, "lpush", key="tl", value=v)
+    # Most recent first, stop index inclusive (Redis semantics).
+    assert call(kernel, client, "lrange", key="tl", start=0, stop=1) == ["c", "b"]
+    assert call(kernel, client, "lrange", key="tl", start=0, stop=9) == ["c", "b", "a"]
+
+
+def test_sadd_srem_smembers():
+    kernel, client, *_ = make_world()
+    assert call(kernel, client, "sadd", key="s", member="x") == 1
+    assert call(kernel, client, "sadd", key="s", member="x") == 0
+    assert call(kernel, client, "smembers", key="s") == {"x"}
+    assert call(kernel, client, "srem", key="s", member="x") == 1
+    assert call(kernel, client, "smembers", key="s") == set()
+
+
+def test_mget():
+    kernel, client, *_ = make_world()
+    call(kernel, client, "set", key="a", value=1)
+    call(kernel, client, "set", key="b", value=2)
+    assert call(kernel, client, "mget", keys=["a", "missing", "b"]) == [1, None, 2]
+
+
+def test_slave_is_read_only_and_replicates():
+    kernel, client, master, slave = make_world(with_slave=True)
+
+    def scenario():
+        yield from client.call("redis-master", "set", key="k", value="v")
+        with pytest.raises(RpcRemoteError):
+            yield from client.call("redis-slave", "set", key="x", value="y")
+        yield kernel.timeout(0.5)
+        return (yield from client.call("redis-slave", "get", key="k"))
+
+    assert kernel.run_process(scenario(), until=10.0) == "v"
+
+
+def test_single_threaded_commands_serialize():
+    kernel, client, master, _ = make_world()
+    finish_times = []
+
+    def one(i):
+        yield from client.call("redis-master", "set", key="k%d" % i, value=i)
+        finish_times.append(kernel.now)
+
+    for i in range(3):
+        kernel.spawn(one(i))
+    kernel.run(until=10.0)
+    # Three commands with capacity-1 CPU: completions strictly spaced.
+    assert len(finish_times) == 3
+    assert finish_times[0] < finish_times[1] < finish_times[2]

@@ -1,0 +1,164 @@
+"""Tests for the benchmark harness: metrics, closed-loop driver, reports."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bench import (
+    LatencyRecorder,
+    format_cdf,
+    format_table,
+    paper_comparison,
+    populate,
+    read_tx_factory,
+    run_closed_loop,
+    write_tx_factory,
+)
+from repro.bench.metrics import BenchResult
+from repro.deployment import Deployment
+from repro.storage import FLUSH_MEMORY
+
+
+class TestLatencyRecorder:
+    def test_percentiles_simple(self):
+        rec = LatencyRecorder()
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0]:
+            rec.record(v)
+        assert rec.percentile(0) == 1.0
+        assert rec.percentile(50) == 3.0
+        assert rec.percentile(100) == 5.0
+        assert rec.percentile(25) == 2.0
+
+    def test_percentile_interpolates(self):
+        rec = LatencyRecorder()
+        rec.record(0.0)
+        rec.record(1.0)
+        assert rec.percentile(50) == pytest.approx(0.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder("empty").percentile(50)
+
+    def test_single_sample(self):
+        rec = LatencyRecorder()
+        rec.record(7.0)
+        assert rec.p50 == rec.p99 == rec.p999 == 7.0
+
+    def test_summary_and_stats(self):
+        rec = LatencyRecorder()
+        for v in [0.001, 0.002, 0.003]:
+            rec.record(v)
+        summary = rec.summary_ms()
+        assert summary["mean_ms"] == pytest.approx(2.0)
+        assert summary["n"] == 3
+        assert rec.min == 0.001 and rec.max == 0.003
+
+    def test_cdf_monotone(self):
+        rec = LatencyRecorder()
+        for i in range(100):
+            rec.record(i / 100.0)
+        points = rec.cdf(10)
+        latencies = [p[0] for p in points]
+        fractions = [p[1] for p in points]
+        assert latencies == sorted(latencies)
+        assert fractions[-1] == 1.0
+
+    @given(st.lists(st.floats(0.0, 1e3), min_size=1, max_size=200))
+    def test_percentile_bounds(self, samples):
+        rec = LatencyRecorder()
+        for s in samples:
+            rec.record(s)
+        for p in (0, 25, 50, 75, 99, 100):
+            value = rec.percentile(p)
+            assert min(samples) <= value <= max(samples)
+
+    @given(st.lists(st.floats(0.0, 1e3), min_size=2, max_size=100))
+    def test_percentile_monotone_in_p(self, samples):
+        rec = LatencyRecorder()
+        for s in samples:
+            rec.record(s)
+        values = [rec.percentile(p) for p in (0, 10, 50, 90, 100)]
+        assert values == sorted(values)
+
+
+class TestBenchResult:
+    def test_throughput(self):
+        rec = LatencyRecorder()
+        rec.record(0.01)
+        result = BenchResult("x", ops=500, errors=0, duration=0.5, latencies=rec)
+        assert result.throughput == 1000.0
+        assert result.ktps == 1.0
+        assert "1.0 Kops/s" in result.describe()
+
+    def test_zero_duration(self):
+        result = BenchResult("x", 0, 0, 0.0, LatencyRecorder())
+        assert result.throughput == 0.0
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [["x", 1.25], ["yyy", 2]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "1.2" in out and "yyy" in out
+
+    def test_paper_comparison_ratio(self):
+        out = paper_comparison([("exp", 10.0, 5.0)])
+        assert "0.50x" in out
+
+    def test_format_cdf(self):
+        rec = LatencyRecorder("test")
+        for i in range(10):
+            rec.record(i * 0.001)
+        out = format_cdf(rec, n_points=5)
+        assert "100%" in out
+        assert "ms" in out
+
+
+class TestClosedLoop:
+    def test_counts_only_measurement_window(self):
+        world = Deployment(n_sites=1, flush_latency=FLUSH_MEMORY, jitter_frac=0.0)
+        keys = populate(world, n_keys=100)
+        result = run_closed_loop(
+            world, read_tx_factory(keys, 1), clients_per_site=4,
+            warmup=0.05, measure=0.1, name="smoke",
+        )
+        assert result.ops > 0
+        assert result.errors == 0
+        assert result.duration == pytest.approx(0.1)
+        assert len(result.latencies) == result.ops
+        assert "read-1" in result.by_label
+
+    def test_deterministic_given_seed(self):
+        def one():
+            world = Deployment(n_sites=1, flush_latency=FLUSH_MEMORY, seed=5)
+            keys = populate(world, n_keys=100)
+            return run_closed_loop(
+                world, write_tx_factory(keys, 1), clients_per_site=4,
+                warmup=0.05, measure=0.1, seed=99,
+            ).ops
+
+        assert one() == one()
+
+    def test_errors_counted_not_fatal(self):
+        world = Deployment(n_sites=1, flush_latency=FLUSH_MEMORY, jitter_frac=0.0)
+        populate(world, n_keys=10)
+
+        def flaky_factory(client, rng):
+            state = {"n": 0}
+
+            def op():
+                state["n"] += 1
+                yield client.kernel.timeout(0.001)
+                if state["n"] % 2 == 0:
+                    raise RuntimeError("boom")
+                return "ok"
+
+            return op
+
+        result = run_closed_loop(
+            world, flaky_factory, clients_per_site=2,
+            warmup=0.01, measure=0.1, name="flaky",
+        )
+        assert result.ops > 0
+        assert result.errors > 0

@@ -1,0 +1,117 @@
+"""Tests for the §3.4 read-modify-write client idioms."""
+
+import pytest
+
+from repro.deployment import Deployment
+from repro.storage import FLUSH_MEMORY
+
+
+@pytest.fixture
+def world():
+    d = Deployment(n_sites=1, flush_latency=FLUSH_MEMORY, jitter_frac=0.0)
+    d.create_container("c", preferred_site=0)
+    return d
+
+
+def test_atomic_increment_from_nil(world):
+    client = world.new_client(0)
+    oid = client.new_id("c")
+    status, value = world.run_process(client.atomic_increment(oid))
+    assert (status, value) == ("COMMITTED", 1)
+    status, value = world.run_process(client.atomic_increment(oid, delta=5))
+    assert (status, value) == ("COMMITTED", 6)
+
+
+def test_concurrent_increments_never_lose_updates(world):
+    # The lost-update anomaly is precluded: N concurrent increments
+    # always total N.
+    clients = [world.new_client(0) for _ in range(4)]
+    oid = clients[0].new_id("c")
+
+    def incrementer(client):
+        for _ in range(5):
+            status, _ = yield from client.atomic_increment(oid, retries=50)
+            assert status == "COMMITTED"
+
+    procs = [world.kernel.spawn(incrementer(c)) for c in clients]
+    world.run(until=30.0)
+    assert all(p.done for p in procs)
+
+    def reader():
+        tx = clients[0].start_tx()
+        value = yield from clients[0].read(tx, oid)
+        yield from clients[0].commit(tx)
+        return value
+
+    assert world.run_process(reader()) == 20
+
+
+def test_read_modify_write_custom_fn(world):
+    client = world.new_client(0)
+    oid = client.new_id("c")
+    status, value = world.run_process(
+        client.read_modify_write(oid, lambda old: (old or "") + "x")
+    )
+    assert (status, value) == ("COMMITTED", "x")
+    status, value = world.run_process(
+        client.read_modify_write(oid, lambda old: old + "y")
+    )
+    assert value == "xy"
+
+
+def test_conditional_write_succeeds_on_match(world):
+    client = world.new_client(0)
+    oid = client.new_id("c")
+    ok, status = world.run_process(client.conditional_write(oid, None, b"first"))
+    assert ok and status == "COMMITTED"
+    ok, status = world.run_process(client.conditional_write(oid, b"first", b"second"))
+    assert ok
+
+
+def test_conditional_write_fails_on_mismatch(world):
+    client = world.new_client(0)
+    oid = client.new_id("c")
+    world.run_process(client.conditional_write(oid, None, b"taken"))
+    ok, status = world.run_process(client.conditional_write(oid, None, b"usurper"))
+    assert not ok and status == "ABORTED"
+
+    def reader():
+        tx = client.start_tx()
+        value = yield from client.read(tx, oid)
+        yield from client.commit(tx)
+        return value
+
+    assert world.run_process(reader()) == b"taken"
+
+
+def test_rmw_gives_up_after_retries():
+    # Saturate the object with a competing writer that always wins.
+    world = Deployment(n_sites=1, flush_latency=FLUSH_MEMORY, jitter_frac=0.0)
+    world.create_container("c", preferred_site=0)
+    victim = world.new_client(0)
+    bully = world.new_client(0)
+    oid = victim.new_id("c")
+
+    def bully_loop():
+        while True:
+            tx = bully.start_tx()
+            yield from bully.write(tx, oid, b"bully")
+            yield from bully.commit(tx)
+
+    def slow_increment():
+        # A read-modify-write whose "modify" step takes long enough that
+        # the bully always commits in between.
+        for _ in range(3):
+            tx = victim.start_tx()
+            yield from victim.read(tx, oid)
+            yield victim.kernel.timeout(0.01)  # "thinking"
+            yield from victim.write(tx, oid, b"victim")
+            status = yield from victim.commit(tx)
+            if status == "COMMITTED":
+                return "COMMITTED"
+        return "GAVE-UP"
+
+    world.kernel.spawn(bully_loop())
+    proc = world.kernel.spawn(slow_increment())
+    world.run(until=5.0)
+    assert proc.value == "GAVE-UP"

@@ -1,0 +1,167 @@
+"""Tests for the Paxos substrate: agreement, ordering, fault tolerance."""
+
+import pytest
+
+from repro.config_service import ProposalFailed, make_paxos_group
+from repro.config_service.paxos import _unwrap
+from repro.net import Network, Topology
+from repro.sim import Kernel
+
+
+def make_group(n=3, n_sites=None):
+    kernel = Kernel()
+    topo = Topology.ec2(min(n_sites or n, 4))
+    net = Network(kernel, topo, jitter_frac=0.0)
+    sites = [i % len(topo) for i in range(n)]
+    nodes = make_paxos_group(kernel, net, sites)
+    return kernel, net, nodes
+
+
+def run_propose(kernel, node, value, within=30.0):
+    return kernel.run_process(node.propose(value), until=kernel.now + within)
+
+
+def test_single_proposal_chosen_everywhere():
+    kernel, net, nodes = make_group(3)
+    slot = run_propose(kernel, nodes[0], {"cmd": "a"})
+    assert slot == 0
+    kernel.run(until=kernel.now + 5.0)  # let learn messages spread
+    for node in nodes:
+        assert _unwrap(node.chosen[0]) == {"cmd": "a"}
+        assert node.log_prefix() == [{"cmd": "a"}]
+
+
+def test_sequential_proposals_fill_consecutive_slots():
+    kernel, net, nodes = make_group(3)
+    slots = [run_propose(kernel, nodes[0], "cmd-%d" % i) for i in range(3)]
+    assert slots == [0, 1, 2]
+
+
+def test_concurrent_proposers_agree_on_one_order():
+    kernel, net, nodes = make_group(3)
+
+    def proposer(node, value):
+        slot = yield from node.propose(value)
+        return slot
+
+    procs = [
+        kernel.spawn(proposer(nodes[i], "value-%d" % i), name="p%d" % i)
+        for i in range(3)
+    ]
+    kernel.run(until=60.0)
+    assert all(p.done for p in procs)
+    slots = sorted(p.value for p in procs)
+    assert slots == [0, 1, 2]  # all three values chosen, distinct slots
+    kernel.run(until=kernel.now + 5.0)
+    logs = [tuple(node.log_prefix()) for node in nodes]
+    assert logs[0] == logs[1] == logs[2]
+    assert sorted(logs[0]) == ["value-0", "value-1", "value-2"]
+
+
+def test_survives_minority_crash():
+    kernel, net, nodes = make_group(3)
+    nodes[2].crash()
+    slot = run_propose(kernel, nodes[0], "despite crash")
+    assert slot == 0
+    kernel.run(until=kernel.now + 5.0)
+    assert _unwrap(nodes[1].chosen[0]) == "despite crash"
+
+
+def test_majority_crash_blocks_progress():
+    kernel, net, nodes = make_group(3)
+    nodes[1].crash()
+    nodes[2].crash()
+
+    def proposer():
+        with pytest.raises(ProposalFailed):
+            yield from nodes[0].propose("doomed")
+        return True
+
+    assert kernel.run_process(proposer(), until=600.0) is True
+
+
+def test_proposal_succeeds_after_partition_heals():
+    kernel, net, nodes = make_group(3)
+    # Partition node 0 (VA) from both peers.
+    net.partition("VA", "CA")
+    net.partition("VA", "IE")
+
+    def healer():
+        yield kernel.timeout(3.0)
+        net.heal_all()
+
+    def proposer():
+        slot = yield from nodes[0].propose("after heal")
+        return slot
+
+    kernel.spawn(healer())
+    proc = kernel.spawn(proposer())
+    kernel.run(until=120.0)
+    assert proc.done and proc.value == 0
+
+
+def test_learner_applies_in_slot_order_despite_gaps():
+    kernel, net, nodes = make_group(3)
+    applied = []
+    nodes[0].apply_fn = lambda slot, value: applied.append((slot, value))
+    # Learn slot 1 before slot 0: nothing applies until 0 arrives.
+    nodes[0]._learn(1, "b")
+    assert applied == []
+    nodes[0]._learn(0, "a")
+    assert applied == [(0, "a"), (1, "b")]
+    assert nodes[0].applied_upto == 2
+
+
+def test_duplicate_learn_is_idempotent():
+    kernel, net, nodes = make_group(3)
+    applied = []
+    nodes[0].apply_fn = lambda slot, value: applied.append(value)
+    nodes[0]._learn(0, "a")
+    nodes[0]._learn(0, "a")
+    assert applied == ["a"]
+
+
+def test_acceptor_promise_rejects_lower_ballots():
+    kernel, net, nodes = make_group(3)
+    node = nodes[0]
+    assert node.rpc_prepare(0, (5, 0))["ok"]
+    assert not node.rpc_prepare(0, (4, 0))["ok"]
+    assert node.rpc_prepare(0, (6, 1))["ok"]
+
+
+def test_acceptor_accept_respects_promise():
+    kernel, net, nodes = make_group(3)
+    node = nodes[0]
+    node.rpc_prepare(0, (5, 0))
+    assert not node.rpc_accept(0, (4, 0), "low")["ok"]
+    assert node.rpc_accept(0, (5, 0), "exact")["ok"]
+    # A higher prepare supersedes.
+    reply = node.rpc_prepare(0, (9, 1))
+    assert reply["ok"]
+    assert reply["accepted_value"] == "exact"
+
+
+def test_chosen_value_survives_new_proposer():
+    # Classic safety: once a value is accepted by a majority, any later
+    # proposer adopts it.
+    kernel, net, nodes = make_group(3)
+    run_propose(kernel, nodes[0], "winner")
+
+    def second_proposer():
+        # Proposes a different value: it must land in a *later* slot.
+        slot = yield from nodes[1].propose("loser-then-winner")
+        return slot
+
+    slot = kernel.run_process(second_proposer(), until=60.0)
+    assert slot == 1
+    kernel.run(until=kernel.now + 5.0)
+    assert _unwrap(nodes[1].chosen[0]) == "winner"
+    assert _unwrap(nodes[1].chosen[1]) == "loser-then-winner"
+
+
+def test_five_node_group_survives_two_crashes():
+    kernel, net, nodes = make_group(5, n_sites=4)
+    nodes[3].crash()
+    nodes[4].crash()
+    slot = run_propose(kernel, nodes[0], "3-of-5")
+    assert slot == 0

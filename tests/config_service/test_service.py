@@ -1,0 +1,163 @@
+"""Tests for the replicated configuration service and lease table."""
+
+import pytest
+
+from repro.config_service import ConfigurationService, LeaseTable
+from repro.errors import ConfigurationError, NoSuchContainerError
+from repro.net import Network, Topology
+from repro.sim import Kernel
+
+
+def make_service(n_sites=3):
+    kernel = Kernel()
+    net = Network(kernel, Topology.ec2(n_sites), jitter_frac=0.0)
+    service = ConfigurationService(kernel, net, sites=list(range(n_sites)))
+    return kernel, net, service
+
+
+def test_create_container_replicates_to_all_nodes():
+    kernel, net, service = make_service()
+
+    def driver():
+        container = yield from service.create_container("alice", 0, {0, 1, 2})
+        return container
+
+    container = kernel.run_process(driver(), until=30.0)
+    assert container.preferred_site == 0
+    kernel.run(until=kernel.now + 5.0)
+    for i in range(3):
+        info = service.container_at(i, "alice")
+        assert info.preferred_site == 0
+        assert info.replica_sites == {0, 1, 2}
+    assert service.consistent_prefixes()
+
+
+def test_unknown_container_raises():
+    kernel, net, service = make_service()
+    with pytest.raises(NoSuchContainerError):
+        service.container_at(0, "nobody")
+
+
+def test_remove_site_reassigns_preferred_sites_and_bumps_epoch():
+    kernel, net, service = make_service()
+
+    def driver():
+        yield from service.create_container("alice", 2, {0, 1, 2})
+        yield from service.create_container("bob", 0, {0, 1, 2})
+        yield from service.remove_site(2, reassign_to=0)
+
+    kernel.run_process(driver(), until=60.0)
+    kernel.run(until=kernel.now + 5.0)
+    state = service.state_at(0)
+    assert state.active_sites == {0, 1}
+    assert state.epoch == 1
+    assert state.containers["alice"].preferred_site == 0
+    assert 2 not in state.containers["alice"].replica_sites
+    assert state.containers["bob"].preferred_site == 0  # untouched
+
+
+def test_reintegrate_site_restores_original_preferred_site():
+    kernel, net, service = make_service()
+
+    def driver():
+        yield from service.create_container("alice", 2, {0, 1, 2})
+        yield from service.remove_site(2, reassign_to=1)
+        yield from service.reintegrate_site(2)
+
+    kernel.run_process(driver(), until=90.0)
+    kernel.run(until=kernel.now + 5.0)
+    state = service.state_at(0)
+    assert state.active_sites == {0, 1, 2}
+    assert state.epoch == 2
+    assert state.containers["alice"].preferred_site == 2
+    assert 2 in state.containers["alice"].replica_sites
+    assert state.displaced == {}
+
+
+def test_commands_apply_in_same_order_on_all_replicas():
+    kernel, net, service = make_service()
+
+    def driver(via, cid, preferred):
+        yield from service.create_container(cid, preferred, {0, 1, 2}, via=via)
+
+    for via, cid in [(0, "a"), (1, "b"), (2, "c")]:
+        kernel.spawn(driver(via, cid, via))
+    kernel.run(until=120.0)
+    kernel.run(until=kernel.now + 5.0)
+    assert service.consistent_prefixes()
+    logs = [node.log_prefix() for node in service.nodes]
+    assert logs[0] == logs[1] == logs[2]
+    assert len(logs[0]) == 3
+
+
+def test_invalid_preferred_site_rejected_at_apply():
+    kernel, net, service = make_service()
+
+    def driver():
+        with pytest.raises(ConfigurationError):
+            yield from service.create_container("bad", 2, {0, 1})
+        return True
+
+    # The state machine's apply raises when the proposing node learns the
+    # chosen command; the error surfaces to the submitter.
+    assert kernel.run_process(driver(), until=30.0) is True
+
+
+class TestLeaseTable:
+    def test_grant_and_hold(self):
+        kernel = Kernel()
+        table = LeaseTable(kernel, default_duration=10.0)
+        lease = table.grant("alice", holder=0)
+        assert lease.valid(kernel.now)
+        assert table.holder_of("alice") == 0
+        assert table.holds("alice", 0)
+        assert not table.holds("alice", 1)
+
+    def test_conflicting_grant_rejected_while_valid(self):
+        kernel = Kernel()
+        table = LeaseTable(kernel, default_duration=10.0)
+        table.grant("alice", holder=0)
+        with pytest.raises(ConfigurationError):
+            table.grant("alice", holder=1)
+
+    def test_grant_after_expiry(self):
+        kernel = Kernel()
+        table = LeaseTable(kernel, default_duration=5.0)
+        table.grant("alice", holder=0)
+
+        def waiter():
+            yield kernel.timeout(6.0)
+            return table.grant("alice", holder=1)
+
+        lease = kernel.run_process(waiter())
+        assert lease.holder == 1
+        assert table.holder_of("alice") == 1
+
+    def test_renew_extends(self):
+        kernel = Kernel()
+        table = LeaseTable(kernel, default_duration=5.0)
+        table.grant("alice", holder=0)
+
+        def driver():
+            yield kernel.timeout(4.0)
+            table.renew("alice", 0)
+            yield kernel.timeout(4.0)  # t=8: original would have expired
+            return table.holder_of("alice")
+
+        assert kernel.run_process(driver()) == 0
+
+    def test_release_frees_scope(self):
+        kernel = Kernel()
+        table = LeaseTable(kernel, default_duration=100.0)
+        table.grant("alice", holder=0)
+        table.release("alice", holder=0)
+        assert table.holder_of("alice") is None
+        lease = table.grant("alice", holder=1)
+        assert lease.holder == 1
+
+    def test_release_by_non_holder_is_noop(self):
+        kernel = Kernel()
+        table = LeaseTable(kernel, default_duration=100.0)
+        table.grant("alice", holder=0)
+        table.release("alice", holder=1)
+        assert table.holder_of("alice") == 0

@@ -1,0 +1,155 @@
+"""Tests for counting sets, including the paper's commutativity claims."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import CSet
+
+
+def test_add_and_count():
+    cset = CSet()
+    cset.add("x")
+    assert cset.count("x") == 1
+    cset.add("x")
+    assert cset.count("x") == 2
+
+
+def test_rem_makes_anti_element():
+    # "removing element x from an empty cset results in -1 copies" (§2)
+    cset = CSet()
+    cset.rem("x")
+    assert cset.count("x") == -1
+    cset.add("x")
+    assert cset.count("x") == 0
+    assert cset.is_empty()
+
+
+def test_paper_example_orderings_converge():
+    # §2: add(x), add(y), rem(x) at one site and rem(x), add(x), add(y) at
+    # another both reach {y: 1}.
+    a = CSet()
+    a.add("x")
+    a.add("y")
+    a.rem("x")
+    b = CSet()
+    b.rem("x")
+    b.add("x")
+    b.add("y")
+    assert a == b
+    assert a.counts() == {"y": 1}
+
+
+def test_read_returns_nonzero_counts_only():
+    cset = CSet()
+    cset.add("pos")
+    cset.rem("neg")
+    cset.add("zero")
+    cset.rem("zero")
+    assert cset.counts() == {"pos": 1, "neg": -1}
+
+
+def test_members_hides_nonpositive_counts():
+    # §3.5: treat count >= 1 as present, count <= 0 as absent.
+    cset = CSet({"friend": 1, "ghost": -1, "double": 2})
+    assert sorted(cset.members()) == ["double", "friend"]
+    assert "friend" in cset
+    assert "ghost" not in cset
+    assert "absent" not in cset
+
+
+def test_len_counts_nonzero_entries():
+    cset = CSet({"a": 1, "b": -2})
+    assert len(cset) == 2
+
+
+def test_constructor_drops_zero_counts():
+    cset = CSet({"a": 0, "b": 1})
+    assert cset.counts() == {"b": 1}
+
+
+def test_add_rem_negative_n_rejected():
+    cset = CSet()
+    with pytest.raises(ValueError):
+        cset.add("x", -1)
+    with pytest.raises(ValueError):
+        cset.rem("x", -1)
+
+
+def test_bulk_add():
+    cset = CSet()
+    cset.add("x", 5)
+    cset.rem("x", 2)
+    assert cset.count("x") == 3
+
+
+def test_copy_is_independent():
+    a = CSet({"x": 1})
+    b = a.copy()
+    b.add("x")
+    assert a.count("x") == 1
+    assert b.count("x") == 2
+
+
+def test_merge_is_pointwise_sum():
+    a = CSet({"x": 1, "y": 2})
+    b = CSet({"x": -1, "z": 3})
+    merged = a.merge(b)
+    assert merged.counts() == {"y": 2, "z": 3}
+
+
+def test_unhashable():
+    with pytest.raises(TypeError):
+        hash(CSet())
+
+
+def test_iter_yields_items():
+    assert dict(iter(CSet({"a": 2}))) == {"a": 2}
+
+
+def test_repr_is_stable():
+    assert repr(CSet({"a": 1})) == "CSet{'a':+1}"
+
+
+# ----------------------------------------------------------------------
+# Property tests: cset operations commute -- the foundation of the
+# conflict-freedom argument (§2, §3.3).
+# ----------------------------------------------------------------------
+ops_strategy = st.lists(
+    st.tuples(st.sampled_from(["add", "rem"]), st.integers(0, 5)), max_size=30
+)
+
+
+def apply_ops(ops):
+    cset = CSet()
+    for op, elem in ops:
+        getattr(cset, op)(elem)
+    return cset
+
+
+@given(ops_strategy, st.randoms(use_true_random=False))
+def test_any_permutation_converges(ops, rng):
+    shuffled = list(ops)
+    rng.shuffle(shuffled)
+    assert apply_ops(ops) == apply_ops(shuffled)
+
+
+@given(ops_strategy, ops_strategy)
+def test_concurrent_interleavings_converge(ops_a, ops_b):
+    # Site 1 applies A then B; site 2 applies B then A -- replicas converge.
+    assert apply_ops(ops_a + ops_b) == apply_ops(ops_b + ops_a)
+
+
+@given(ops_strategy, ops_strategy)
+def test_merge_equals_sequential_application(ops_a, ops_b):
+    merged = apply_ops(ops_a).merge(apply_ops(ops_b))
+    assert merged == apply_ops(ops_a + ops_b)
+
+
+@given(ops_strategy)
+def test_add_then_rem_cancels(ops):
+    cset = apply_ops(ops)
+    snapshot = cset.counts()
+    cset.add("probe")
+    cset.rem("probe")
+    assert cset.counts() == snapshot

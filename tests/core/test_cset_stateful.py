@@ -1,0 +1,56 @@
+"""Stateful property test: CSet against collections.Counter semantics."""
+
+from collections import Counter
+
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core import CSet
+
+ELEMS = ["a", "b", "c", 0, 1]
+
+
+class CSetMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.cset = CSet()
+        self.model = Counter()
+
+    @rule(elem=st.sampled_from(ELEMS), n=st.integers(0, 5))
+    def add(self, elem, n):
+        self.cset.add(elem, n)
+        self.model[elem] += n
+
+    @rule(elem=st.sampled_from(ELEMS), n=st.integers(0, 5))
+    def rem(self, elem, n):
+        self.cset.rem(elem, n)
+        self.model[elem] -= n
+
+    @rule(other_ops=st.lists(st.tuples(st.sampled_from(ELEMS), st.integers(-3, 3)), max_size=5))
+    def merge(self, other_ops):
+        other = CSet()
+        for elem, delta in other_ops:
+            if delta >= 0:
+                other.add(elem, delta)
+            else:
+                other.rem(elem, -delta)
+            self.model[elem] += delta
+        self.cset = self.cset.merge(other)
+
+    @invariant()
+    def counts_match(self):
+        expected = {e: c for e, c in self.model.items() if c != 0}
+        assert self.cset.counts() == expected
+
+    @invariant()
+    def members_are_positive_counts(self):
+        assert set(self.cset.members()) == {
+            e for e, c in self.model.items() if c >= 1
+        }
+
+    @invariant()
+    def len_counts_nonzero(self):
+        assert len(self.cset) == sum(1 for c in self.model.values() if c != 0)
+
+
+TestCSetStateful = CSetMachine.TestCase

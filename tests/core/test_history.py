@@ -1,0 +1,184 @@
+"""Tests for per-object version histories and snapshot reads."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    CSet,
+    CSetAdd,
+    CSetDel,
+    DataUpdate,
+    ObjectHistory,
+    ObjectId,
+    ObjectKind,
+    SiteHistories,
+    VectorTimestamp,
+    Version,
+)
+from repro.errors import TypeMismatchError
+
+REG = ObjectId("c", "obj", ObjectKind.REGULAR)
+SET = ObjectId("c", "set", ObjectKind.CSET)
+
+
+def vts(*seqnos):
+    return VectorTimestamp(seqnos)
+
+
+class TestObjectHistory:
+    def test_append_and_iterate(self):
+        hist = ObjectHistory(REG)
+        hist.append(DataUpdate(REG, b"v1"), Version(0, 1))
+        hist.append(DataUpdate(REG, b"v2"), Version(1, 1))
+        assert len(hist) == 2
+        assert [e.version for e in hist] == [Version(0, 1), Version(1, 1)]
+
+    def test_append_wrong_oid_rejected(self):
+        hist = ObjectHistory(REG)
+        other = ObjectId("c", "other", ObjectKind.REGULAR)
+        with pytest.raises(ValueError):
+            hist.append(DataUpdate(other, b"x"), Version(0, 1))
+
+    def test_latest_visible_respects_snapshot(self):
+        hist = ObjectHistory(REG)
+        hist.append(DataUpdate(REG, b"v1"), Version(0, 1))
+        hist.append(DataUpdate(REG, b"v2"), Version(0, 2))
+        assert hist.latest_visible(vts(1, 0)).update.data == b"v1"
+        assert hist.latest_visible(vts(2, 0)).update.data == b"v2"
+        assert hist.latest_visible(vts(0, 0)) is None
+
+    def test_latest_visible_across_sites_uses_local_order(self):
+        # Local apply order defines recency; both versions visible.
+        hist = ObjectHistory(REG)
+        hist.append(DataUpdate(REG, b"from-site0"), Version(0, 1))
+        hist.append(DataUpdate(REG, b"from-site1"), Version(1, 1))
+        assert hist.latest_visible(vts(1, 1)).update.data == b"from-site1"
+
+    def test_unmodified_since(self):
+        hist = ObjectHistory(REG)
+        hist.append(DataUpdate(REG, b"v1"), Version(0, 1))
+        assert hist.unmodified_since(vts(1, 0))
+        assert not hist.unmodified_since(vts(0, 0))
+        hist.append(DataUpdate(REG, b"v2"), Version(1, 3))
+        assert hist.unmodified_since(vts(1, 3))
+        assert not hist.unmodified_since(vts(1, 2))
+
+    def test_empty_history_is_unmodified(self):
+        assert ObjectHistory(REG).unmodified_since(vts(0, 0))
+
+    def test_truncate_versions(self):
+        hist = ObjectHistory(REG)
+        hist.append(DataUpdate(REG, b"keep"), Version(0, 1))
+        hist.append(DataUpdate(REG, b"drop"), Version(1, 1))
+        removed = hist.truncate_versions([Version(0, 1)])
+        assert removed == 1
+        assert [e.update.data for e in hist] == [b"keep"]
+
+    def test_gc_keeps_latest_visible_and_future(self):
+        hist = ObjectHistory(REG)
+        hist.append(DataUpdate(REG, b"old"), Version(0, 1))
+        hist.append(DataUpdate(REG, b"current"), Version(0, 2))
+        hist.append(DataUpdate(REG, b"future"), Version(0, 5))
+        removed = hist.gc_before(vts(2))
+        assert removed == 1
+        assert [e.update.data for e in hist] == [b"current", b"future"]
+
+    def test_gc_never_touches_csets(self):
+        hist = ObjectHistory(SET)
+        hist.append(CSetAdd(SET, "x"), Version(0, 1))
+        hist.append(CSetAdd(SET, "x"), Version(0, 2))
+        assert hist.gc_before(vts(9)) == 0
+        assert len(hist) == 2
+
+
+class TestSiteHistories:
+    def test_read_regular_returns_nil_when_unwritten(self):
+        hists = SiteHistories()
+        assert hists.read_regular(REG, vts(0)) is None
+
+    def test_read_regular_snapshot(self):
+        hists = SiteHistories()
+        hists.apply([DataUpdate(REG, b"v1")], Version(0, 1))
+        hists.apply([DataUpdate(REG, b"v2")], Version(0, 2))
+        assert hists.read_regular(REG, vts(1)) == b"v1"
+        assert hists.read_regular(REG, vts(2)) == b"v2"
+
+    def test_read_regular_buffer_shadows_snapshot(self):
+        hists = SiteHistories()
+        hists.apply([DataUpdate(REG, b"committed")], Version(0, 1))
+        buffer = [DataUpdate(REG, b"mine")]
+        assert hists.read_regular(REG, vts(1), buffer) == b"mine"
+
+    def test_read_regular_type_check(self):
+        hists = SiteHistories()
+        with pytest.raises(TypeMismatchError):
+            hists.read_regular(SET, vts(0))
+
+    def test_read_cset_sums_visible_entries(self):
+        hists = SiteHistories()
+        hists.apply([CSetAdd(SET, "x")], Version(0, 1))
+        hists.apply([CSetAdd(SET, "x"), CSetDel(SET, "y")], Version(1, 1))
+        hists.apply([CSetDel(SET, "x")], Version(0, 2))
+        assert hists.read_cset(SET, vts(1, 0)).counts() == {"x": 1}
+        assert hists.read_cset(SET, vts(1, 1)).counts() == {"x": 2, "y": -1}
+        assert hists.read_cset(SET, vts(2, 1)).counts() == {"x": 1, "y": -1}
+
+    def test_read_cset_with_buffer(self):
+        hists = SiteHistories()
+        hists.apply([CSetAdd(SET, "x")], Version(0, 1))
+        buffer = [CSetAdd(SET, "y"), CSetDel(SET, "x")]
+        state = hists.read_cset(SET, vts(1), buffer)
+        assert state.counts() == {"y": 1}
+        assert isinstance(state, CSet)
+
+    def test_read_cset_type_check(self):
+        hists = SiteHistories()
+        with pytest.raises(TypeMismatchError):
+            hists.read_cset(REG, vts(0))
+
+    def test_unmodified_delegates(self):
+        hists = SiteHistories()
+        hists.apply([DataUpdate(REG, b"v")], Version(0, 3))
+        assert hists.unmodified(REG, vts(3))
+        assert not hists.unmodified(REG, vts(2))
+
+    def test_apply_routes_by_oid(self):
+        hists = SiteHistories()
+        hists.apply([DataUpdate(REG, b"v"), CSetAdd(SET, "e")], Version(0, 1))
+        assert len(hists.history(REG)) == 1
+        assert len(hists.history(SET)) == 1
+        assert REG in hists and SET in hists
+
+    def test_snapshot_state(self):
+        hists = SiteHistories()
+        hists.apply([DataUpdate(REG, b"v"), CSetAdd(SET, "e")], Version(0, 1))
+        state = hists.snapshot_state(vts(1))
+        assert state[REG] == b"v"
+        assert state[SET].counts() == {"e": 1}
+
+    def test_gc_totals(self):
+        hists = SiteHistories()
+        hists.apply([DataUpdate(REG, b"v1")], Version(0, 1))
+        hists.apply([DataUpdate(REG, b"v2")], Version(0, 2))
+        assert hists.gc(vts(2)) == 1
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["add", "del"]), st.integers(0, 3)),
+        max_size=20,
+    ),
+    st.integers(0, 20),
+)
+def test_cset_snapshot_prefix_property(ops, cut):
+    """Reading a cset at snapshot k equals applying the first k committed
+    operations directly -- history replay is exact."""
+    hists = SiteHistories()
+    expected = CSet()
+    for seqno, (op, elem) in enumerate(ops, start=1):
+        update = CSetAdd(SET, elem) if op == "add" else CSetDel(SET, elem)
+        hists.apply([update], Version(0, seqno))
+        if seqno <= cut:
+            expected.add(elem) if op == "add" else expected.rem(elem)
+    assert hists.read_cset(SET, vts(cut)) == expected

@@ -1,0 +1,116 @@
+"""Tests for object ids, containers, and update buffers."""
+
+import pytest
+
+from repro.core import (
+    CSetAdd,
+    CSetDel,
+    Container,
+    DataUpdate,
+    ObjectId,
+    ObjectKind,
+    apply_cset_ops,
+    cset_set,
+    last_data,
+    touched_oids,
+    updates_for,
+    write_set,
+)
+from repro.core import CSet
+from repro.errors import ConfigurationError, TypeMismatchError
+
+
+def rid(local="a", container="c"):
+    return ObjectId(container, local, ObjectKind.REGULAR)
+
+
+def cid(local="s", container="c"):
+    return ObjectId(container, local, ObjectKind.CSET)
+
+
+class TestObjectId:
+    def test_str_tags_kind(self):
+        assert str(rid()) == "c/a#r"
+        assert str(cid()) == "c/s#c"
+
+    def test_is_cset(self):
+        assert cid().is_cset
+        assert not rid().is_cset
+
+    def test_ids_are_value_types(self):
+        assert rid() == rid()
+        assert rid() != cid("a")  # same container/local, different kind
+        assert len({rid(), rid(), cid()}) == 2
+
+
+class TestContainer:
+    def test_new_id_unique_and_in_container(self):
+        cont = Container("user1", preferred_site=0, replica_sites={0, 1})
+        a = cont.new_id()
+        b = cont.new_id()
+        assert a != b
+        assert a.container == "user1"
+        assert a.kind is ObjectKind.REGULAR
+
+    def test_new_id_cset_and_explicit_local(self):
+        cont = Container("u", preferred_site=0, replica_sites={0})
+        oid = cont.new_id(ObjectKind.CSET, local="friends")
+        assert oid == ObjectId("u", "friends", ObjectKind.CSET)
+
+    def test_preferred_site_must_be_replica(self):
+        with pytest.raises(ConfigurationError):
+            Container("bad", preferred_site=2, replica_sites={0, 1})
+
+    def test_replicated_at(self):
+        cont = Container("u", preferred_site=0, replica_sites={0, 2})
+        assert cont.replicated_at(0)
+        assert not cont.replicated_at(1)
+
+
+class TestUpdateTypes:
+    def test_data_update_rejects_cset_oid(self):
+        with pytest.raises(TypeMismatchError):
+            DataUpdate(cid(), b"data")
+
+    def test_cset_ops_reject_regular_oid(self):
+        with pytest.raises(TypeMismatchError):
+            CSetAdd(rid(), "x")
+        with pytest.raises(TypeMismatchError):
+            CSetDel(rid(), "x")
+
+
+class TestBufferHelpers:
+    def setup_method(self):
+        self.buffer = [
+            DataUpdate(rid("a"), b"1"),
+            CSetAdd(cid("s"), "e1"),
+            DataUpdate(rid("b"), b"2"),
+            CSetDel(cid("s"), "e2"),
+            DataUpdate(rid("a"), b"3"),
+        ]
+
+    def test_write_set_excludes_csets(self):
+        # Fig 11: the write-set excludes updates to set objects.
+        assert write_set(self.buffer) == {rid("a"), rid("b")}
+
+    def test_cset_set(self):
+        assert cset_set(self.buffer) == {cid("s")}
+
+    def test_touched_oids(self):
+        assert touched_oids(self.buffer) == {rid("a"), rid("b"), cid("s")}
+
+    def test_updates_for_preserves_order(self):
+        upd = updates_for(self.buffer, rid("a"))
+        assert [u.data for u in upd] == [b"1", b"3"]
+
+    def test_last_data_shadowing(self):
+        found, data = last_data(self.buffer, rid("a"))
+        assert found and data == b"3"
+        found, data = last_data(self.buffer, rid("zzz"))
+        assert not found and data is None
+
+    def test_apply_cset_ops(self):
+        base = CSet({"e2": 1})
+        out = apply_cset_ops(base, self.buffer, cid("s"))
+        assert out.counts() == {"e1": 1}
+        assert base.counts() == {"e2": 1}  # input untouched

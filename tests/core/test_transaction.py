@@ -1,0 +1,99 @@
+"""Tests for the Transaction and CommitRecord data types."""
+
+import pytest
+
+from repro.core import (
+    CommitRecord,
+    ObjectId,
+    ObjectKind,
+    Transaction,
+    TxStatus,
+    VectorTimestamp,
+    Version,
+    fresh_tid,
+)
+from repro.errors import TransactionStateError
+
+REG = ObjectId("c", "r", ObjectKind.REGULAR)
+REG2 = ObjectId("c", "r2", ObjectKind.REGULAR)
+SET = ObjectId("c", "s", ObjectKind.CSET)
+
+
+def make_tx():
+    return Transaction(tid=fresh_tid(), site=0, start_vts=VectorTimestamp([0, 0]))
+
+
+def test_fresh_tids_are_unique():
+    assert fresh_tid() != fresh_tid()
+
+
+def test_buffering_and_derived_sets():
+    tx = make_tx()
+    tx.buffer_write(REG, b"a")
+    tx.buffer_set_add(SET, "x")
+    tx.buffer_set_del(SET, "y")
+    tx.buffer_write(REG2, b"b")
+    assert tx.write_set == {REG, REG2}
+    assert tx.cset_set == {SET}
+    assert tx.touched == {REG, REG2, SET}
+    assert not tx.is_read_only
+
+
+def test_read_only_flag():
+    assert make_tx().is_read_only
+
+
+def test_commit_lifecycle():
+    tx = make_tx()
+    tx.mark_committed(Version(0, 5), at=1.25)
+    assert tx.status is TxStatus.COMMITTED
+    assert tx.version == Version(0, 5)
+    assert tx.commit_time == 1.25
+
+
+def test_abort_lifecycle():
+    tx = make_tx()
+    tx.mark_aborted()
+    assert tx.status is TxStatus.ABORTED
+
+
+def test_operations_after_commit_rejected():
+    tx = make_tx()
+    tx.mark_committed(Version(0, 1), at=0.0)
+    with pytest.raises(TransactionStateError):
+        tx.buffer_write(REG, b"late")
+    with pytest.raises(TransactionStateError):
+        tx.mark_aborted()
+
+
+def test_operations_after_abort_rejected():
+    tx = make_tx()
+    tx.mark_aborted()
+    with pytest.raises(TransactionStateError):
+        tx.buffer_set_add(SET, "x")
+    with pytest.raises(TransactionStateError):
+        tx.mark_committed(Version(0, 1), at=0.0)
+
+
+def test_commit_record_version_and_size():
+    from repro.core import CSetAdd, DataUpdate
+
+    record = CommitRecord(
+        tid="t1",
+        site=2,
+        seqno=7,
+        start_vts=VectorTimestamp([0, 0, 0]),
+        updates=[DataUpdate(REG, b"x" * 100), CSetAdd(SET, "e")],
+    )
+    assert record.version == Version(2, 7)
+    size = record.payload_bytes()
+    assert size >= 100  # at least the data payload
+    assert size < 1000
+
+
+def test_commit_record_size_grows_with_data():
+    from repro.core import DataUpdate
+
+    small = CommitRecord("t", 0, 1, VectorTimestamp([0]), [DataUpdate(REG, b"x")])
+    large = CommitRecord("t", 0, 1, VectorTimestamp([0]), [DataUpdate(REG, b"x" * 1000)])
+    assert large.payload_bytes() > small.payload_bytes()

@@ -1,0 +1,119 @@
+"""Tests for the Deployment assembler itself."""
+
+import pytest
+
+from repro.deployment import Deployment
+from repro.errors import ConfigurationError
+from repro.net import Topology
+from repro.storage import FLUSH_MEMORY
+
+
+def test_default_deployment_is_four_ec2_sites():
+    world = Deployment()
+    assert world.n_sites == 4
+    assert [s.name for s in world.topology.sites] == ["VA", "CA", "IE", "SG"]
+    assert len(world.servers) == 4
+
+
+def test_custom_topology():
+    world = Deployment(topology=Topology.uniform(3, rtt_ms=50.0))
+    assert world.n_sites == 3
+
+
+def test_create_container_defaults_replicate_everywhere():
+    world = Deployment(n_sites=3)
+    container = world.create_container(preferred_site=1)
+    assert container.preferred_site == 1
+    assert container.replica_sites == {0, 1, 2}
+    assert world.config.container(container.id) is container
+
+
+def test_create_container_validates_replicas():
+    world = Deployment(n_sites=2)
+    with pytest.raises(ConfigurationError):
+        world.create_container(preferred_site=1, replica_sites={0})
+
+
+def test_auto_generated_container_ids_unique():
+    world = Deployment(n_sites=1)
+    a = world.create_container()
+    b = world.create_container()
+    assert a.id != b.id
+
+
+def test_clients_bind_to_their_site_server():
+    world = Deployment(n_sites=2, flush_latency=FLUSH_MEMORY)
+    client = world.new_client(1)
+    assert client.site.id == 1
+    assert client.server_address == world.addresses[1]
+
+
+def test_two_deployments_coexist():
+    # Address namespaces must not collide between deployments (each has
+    # its own kernel/network, but unique ids guard against cross-use).
+    w1 = Deployment(n_sites=1, flush_latency=FLUSH_MEMORY)
+    w2 = Deployment(n_sites=1, flush_latency=FLUSH_MEMORY)
+    assert w1.addresses[0] != w2.addresses[0]
+
+
+def test_invalid_ds_mode_rejected():
+    with pytest.raises(ValueError):
+        Deployment(n_sites=1, ds_mode="quorum")
+
+
+def test_f_plus_1_ds_mode_durable_without_all_sites():
+    # With f=1 and ds_mode="f_plus_1", a transaction is DS-durable after
+    # reaching 2 of 3 sites -- before the farthest site acks.
+    world = Deployment(
+        n_sites=3, f=1, ds_mode="f_plus_1", flush_latency=FLUSH_MEMORY,
+        jitter_frac=0.0,
+    )
+    world.create_container("c", preferred_site=0)
+    client = world.new_client(0)
+    oid = client.new_id("c")
+
+    def scenario():
+        tx = client.start_tx()
+        yield from client.write(tx, oid, b"v")
+        yield from client.commit(tx)
+        committed = world.kernel.now
+        ds_at = yield tx.ds_event
+        return ds_at - committed
+
+    latency = world.run_process(scenario(), within=120.0)
+    # CA (82 ms RTT) acks long before IE (87 ms) in the 3-site world --
+    # DS is reached at ~the CA round trip, under the IE one.
+    assert latency < 0.087 + 0.020
+
+
+def test_settle_advances_time():
+    world = Deployment(n_sites=1, flush_latency=FLUSH_MEMORY)
+    before = world.kernel.now
+    world.settle(1.5)
+    assert world.kernel.now == pytest.approx(before + 1.5)
+
+
+def test_f_plus_1_with_partial_replication_waits_for_replicas():
+    # Container replicated only at sites 0 and 2 (f=1): DS durability
+    # requires the ack from site 2 (the only other replica), so it takes
+    # about the VA-IE round trip even though CA acks much sooner.
+    world = Deployment(
+        n_sites=3, f=1, ds_mode="f_plus_1", flush_latency=FLUSH_MEMORY,
+        jitter_frac=0.0,
+    )
+    world.create_container("p", preferred_site=0, replica_sites={0, 2})
+    client = world.new_client(0)
+    oid = client.new_id("p")
+
+    def scenario():
+        tx = client.start_tx()
+        yield from client.write(tx, oid, b"v")
+        yield from client.commit(tx)
+        committed = world.kernel.now
+        yield tx.ds_event
+        return world.kernel.now - committed
+
+    latency = world.run_process(scenario(), within=120.0)
+    # Must wait for IE (87 ms RTT), not just CA (82 ms): the CA ack alone
+    # never satisfies the per-object replica condition.
+    assert latency >= 0.087 * 0.95

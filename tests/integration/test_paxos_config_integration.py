@@ -1,0 +1,107 @@
+"""Integration: drive a deployment's reconfiguration through the
+Paxos-replicated configuration service (§5.1 + §5.7 together).
+
+The deployment's servers consult a shared LocalConfig; here the
+authoritative decisions flow through the ConfigurationService (a Paxos
+group running on the same simulated network) and are mirrored into the
+deployment's config -- as the paper's lease-holding servers do with their
+caches of the configuration service's state.
+"""
+
+import pytest
+
+from repro.config_service import ConfigurationService
+from repro.deployment import Deployment
+from repro.storage import FLUSH_MEMORY
+
+
+def make_world():
+    world = Deployment(n_sites=3, flush_latency=FLUSH_MEMORY, jitter_frac=0.0)
+    service = ConfigurationService(world.kernel, world.network, sites=[0, 1, 2])
+    return world, service
+
+
+def mirror(world, service, replica=0):
+    """Apply the service's authoritative state to the deployment config."""
+    state = service.state_at(replica)
+    for cid, info in state.containers.items():
+        try:
+            current = world.config.container(cid)
+        except Exception:
+            current = None
+        if current is None:
+            world.config.register(info.to_container())
+        elif current.preferred_site != info.preferred_site:
+            world.config.reassign_preferred_site(cid, info.preferred_site)
+
+
+def test_container_creation_via_paxos():
+    world, service = make_world()
+
+    def driver():
+        yield from service.create_container("alice", 1, {0, 1, 2})
+
+    world.run_process(driver(), within=60.0)
+    world.settle(2.0)
+    mirror(world, service)
+
+    client = world.new_client(1)
+    oid = client.new_id("alice")
+
+    def tx():
+        handle = client.start_tx()
+        yield from client.write(handle, oid, b"via paxos")
+        return (yield from client.commit(handle))
+
+    assert world.run_process(tx()) == "COMMITTED"
+    assert world.server(1).stats.slow_commit_attempts == 0  # fast path
+
+
+def test_site_removal_decided_by_paxos_and_applied():
+    world, service = make_world()
+
+    def setup():
+        yield from service.create_container("c2", 2, {0, 1, 2})
+
+    world.run_process(setup(), within=60.0)
+    world.settle(2.0)
+    mirror(world, service)
+
+    # Site 2 fails; the removal decision goes through the (remaining)
+    # Paxos majority, then the deployment executes the data recovery.
+    world.fail_site(2)
+    service.nodes[2].crash()
+
+    def decide():
+        yield from service.remove_site(2, reassign_to=0, via=0)
+
+    world.run_process(decide(), within=120.0)
+    assert service.state_at(0).containers["c2"].preferred_site == 0
+    assert service.state_at(0).active_sites == {0, 1}
+
+    world.remove_site(failed_site=2, reassign_to=0, within=120.0)
+    mirror(world, service)
+    assert world.config.container("c2").preferred_site == 0
+
+    # Writes to the moved container now fast-commit at site 0.
+    client = world.new_client(0)
+    oid = client.new_id("c2")
+
+    def tx():
+        handle = client.start_tx()
+        yield from client.write(handle, oid, b"new preferred site")
+        return (yield from client.commit(handle))
+
+    assert world.run_process(tx(), within=60.0) == "COMMITTED"
+
+
+def test_service_survives_minority_failure_during_reconfig():
+    world, service = make_world()
+    service.nodes[1].crash()
+
+    def driver():
+        yield from service.create_container("resilient", 0, {0, 1, 2}, via=0)
+
+    world.run_process(driver(), within=120.0)
+    assert "resilient" in service.state_at(0).containers
+    assert service.consistent_prefixes()

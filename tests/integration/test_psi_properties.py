@@ -1,0 +1,178 @@
+"""Model-based testing: run the real distributed implementation under
+randomized workloads (and schedule jitter), record the execution trace,
+and check the three PSI properties of §3.2 with the spec checker.
+
+This is the central correctness argument of the reproduction: whatever
+schedules the simulator produces, every committed execution must satisfy
+Site Snapshot Reads, No Write-Write Conflicts, and Commit Causality.
+"""
+
+import random
+
+import pytest
+
+from repro.core import ObjectKind
+from repro.deployment import Deployment
+from repro.spec import check_trace
+from repro.storage import FLUSH_MEMORY
+
+
+def run_random_workload(
+    seed: int,
+    n_sites: int = 3,
+    n_clients_per_site: int = 2,
+    n_objects: int = 6,
+    n_csets: int = 2,
+    txs_per_client: int = 12,
+    inject_partition: bool = False,
+):
+    world = Deployment(
+        n_sites=n_sites, flush_latency=FLUSH_MEMORY, seed=seed, trace=True,
+        jitter_frac=0.10,
+    )
+    for site in range(n_sites):
+        world.create_container("c%d" % site, preferred_site=site)
+    rng = random.Random(seed)
+    oids = [
+        world.config.container("c%d" % rng.randrange(n_sites)).new_id()
+        for _ in range(n_objects)
+    ]
+    csets = [
+        world.config.container("c%d" % rng.randrange(n_sites)).new_id(ObjectKind.CSET)
+        for _ in range(n_csets)
+    ]
+
+    def client_loop(client, crng):
+        outcomes = []
+        for _ in range(txs_per_client):
+            yield client.kernel.timeout(crng.random() * 0.05)
+            tx = client.start_tx()
+            try:
+                for _op in range(crng.randint(1, 4)):
+                    kind = crng.random()
+                    if kind < 0.45:
+                        oid = crng.choice(oids)
+                        yield from client.read(tx, oid)
+                    elif kind < 0.75:
+                        oid = crng.choice(oids)
+                        yield from client.write(
+                            tx, oid, ("%s" % crng.random()).encode()
+                        )
+                    elif kind < 0.9:
+                        yield from client.set_add(tx, crng.choice(csets), crng.randrange(5))
+                    else:
+                        yield from client.set_del(tx, crng.choice(csets), crng.randrange(5))
+                status = yield from client.commit(tx)
+                outcomes.append(status)
+            except Exception:
+                outcomes.append("ERROR")
+        return outcomes
+
+    procs = []
+    for site in range(n_sites):
+        for c in range(n_clients_per_site):
+            client = world.new_client(site)
+            crng = random.Random(seed * 1000 + site * 10 + c)
+            procs.append(world.kernel.spawn(client_loop(client, crng)))
+
+    if inject_partition:
+        def partitioner():
+            yield world.kernel.timeout(0.2)
+            world.network.partition(0, 1)
+            yield world.kernel.timeout(0.5)
+            world.network.heal(0, 1)
+
+        world.kernel.spawn(partitioner())
+
+    world.run(until=30.0)
+    world.settle(5.0)
+    assert all(p.done for p in procs)
+    committed = sum(p.value.count("COMMITTED") for p in procs)
+    return world, committed
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+def test_random_workload_satisfies_psi(seed):
+    world, committed = run_random_workload(seed)
+    assert committed > 0
+    violations = check_trace(world.trace)
+    assert violations == [], "\n".join(str(v) for v in violations)
+
+
+@pytest.mark.parametrize("seed", [11, 12, 13])
+def test_random_workload_with_partition_satisfies_psi(seed):
+    world, committed = run_random_workload(seed, inject_partition=True)
+    assert committed > 0
+    violations = check_trace(world.trace)
+    assert violations == [], "\n".join(str(v) for v in violations)
+
+
+def test_heavy_contention_single_object_satisfies_psi():
+    # Every client hammers one object: heavy aborts, but PSI must hold.
+    world = Deployment(n_sites=2, flush_latency=FLUSH_MEMORY, seed=42, trace=True)
+    world.create_container("hot", preferred_site=0)
+    oid = world.config.container("hot").new_id()
+    statuses = []
+
+    def hammer(client, crng):
+        for _ in range(15):
+            yield client.kernel.timeout(crng.random() * 0.02)
+            tx = client.start_tx()
+            yield from client.read(tx, oid)
+            yield from client.write(tx, oid, ("%s" % crng.random()).encode())
+            status = yield from client.commit(tx)
+            statuses.append(status)
+
+    for site in range(2):
+        for c in range(3):
+            world.kernel.spawn(hammer(world.new_client(site), random.Random(site * 7 + c)))
+    world.run(until=30.0)
+    world.settle(5.0)
+    assert "COMMITTED" in statuses
+    assert "ABORTED" in statuses  # contention produced conflicts
+    violations = check_trace(world.trace)
+    assert violations == [], "\n".join(str(v) for v in violations)
+
+
+def test_cset_contention_commits_everything():
+    # The same contention on a cset aborts nothing (conflict-freedom).
+    world = Deployment(n_sites=2, flush_latency=FLUSH_MEMORY, seed=43, trace=True)
+    world.create_container("hot", preferred_site=0)
+    cset_oid = world.config.container("hot").new_id(ObjectKind.CSET)
+    statuses = []
+
+    def hammer(client, crng):
+        for _ in range(15):
+            yield client.kernel.timeout(crng.random() * 0.02)
+            tx = client.start_tx()
+            if crng.random() < 0.5:
+                yield from client.set_add(tx, cset_oid, crng.randrange(3))
+            else:
+                yield from client.set_del(tx, cset_oid, crng.randrange(3))
+            statuses.append((yield from client.commit(tx)))
+
+    for site in range(2):
+        for c in range(3):
+            world.kernel.spawn(hammer(world.new_client(site), random.Random(site * 9 + c)))
+    world.run(until=30.0)
+    world.settle(5.0)
+    assert statuses and all(s == "COMMITTED" for s in statuses)
+    violations = check_trace(world.trace)
+    assert violations == [], "\n".join(str(v) for v in violations)
+
+
+def test_cset_replicas_converge_to_same_counts():
+    world, _ = run_random_workload(seed=77, n_objects=2, n_csets=3)
+    world.settle(10.0)
+    # After settling, all sites agree on every cset's counts at their
+    # committed frontier.
+    csets = [
+        oid for oid in world.servers[0].histories.known_oids() if oid.is_cset
+    ]
+    for oid in csets:
+        values = []
+        for server in world.servers:
+            values.append(
+                server.histories.read_cset(oid, server.committed_vts).counts()
+            )
+        assert all(v == values[0] for v in values), "divergent cset %s: %r" % (oid, values)

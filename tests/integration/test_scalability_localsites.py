@@ -1,0 +1,160 @@
+"""§5.8 scalability: multiple "local sites" per data center.
+
+"A simple way to scale the system is to divide a data center into
+several local sites, each with its own server, and then partition the
+objects across the local sites in the data center ... Walter supports
+partial replication and allows transactions to operate on an object not
+replicated at the site -- in which case, the transaction accesses the
+object at another site within the same data center."
+"""
+
+import pytest
+
+from repro.core import ObjectKind
+from repro.deployment import Deployment
+from repro.net import Topology
+from repro.storage import FLUSH_MEMORY
+
+
+def make_datacenter_world(sites_per_dc=(2, 1)):
+    topo = Topology.datacenters(sites_per_dc, wan_rtt_ms=85.0, lan_rtt_ms=0.3)
+    world = Deployment(topology=topo, flush_latency=FLUSH_MEMORY, jitter_frac=0.0)
+    return world
+
+
+def test_datacenter_topology_latencies():
+    topo = Topology.datacenters([2, 2])
+    assert len(topo) == 4
+    assert topo.rtt(0, 1) == pytest.approx(0.0003)   # same DC: LAN
+    assert topo.rtt(0, 2) == pytest.approx(0.085)    # cross DC: WAN
+    assert topo.dc_of[0] == topo.dc_of[1] == 0
+    assert topo.dc_of[2] == topo.dc_of[3] == 1
+
+
+def test_partitioned_objects_accessible_across_local_sites():
+    # DC0 has local sites 0 and 1; an object partitioned to local site 1
+    # (not replicated at 0) is read from local site 0 via a LAN fetch.
+    world = make_datacenter_world((2, 1))
+    world.create_container("p", preferred_site=1, replica_sites={1, 2})
+    client0 = world.new_client(0)
+    client1 = world.new_client(1)
+    oid = client1.new_id("p")
+
+    def writer():
+        tx = client1.start_tx()
+        yield from client1.write(tx, oid, b"partitioned")
+        return (yield from client1.commit(tx))
+
+    assert world.run_process(writer()) == "COMMITTED"
+    world.settle(1.0)
+
+    def lan_reader():
+        tx = client0.start_tx()
+        start = world.kernel.now
+        value = yield from client0.read(tx, oid)
+        elapsed = world.kernel.now - start
+        yield from client0.commit(tx)
+        return (value, elapsed)
+
+    value, elapsed = world.run_process(lan_reader())
+    assert value == b"partitioned"
+    # The remote fetch crossed the LAN, not the WAN.
+    assert elapsed < 0.005
+
+
+def test_writes_partition_across_local_site_commit_locks():
+    # Two local sites in DC0: writes to each partition fast-commit on
+    # their own server, so the data center's aggregate write capacity has
+    # two independent commit locks (the §5.8 scaling argument).
+    world = make_datacenter_world((2, 1))
+    world.create_container("part0", preferred_site=0, replica_sites={0, 1, 2})
+    world.create_container("part1", preferred_site=1, replica_sites={0, 1, 2})
+    client_a = world.new_client(0)
+    client_b = world.new_client(1)
+    oid_a = client_a.new_id("part0")
+    oid_b = client_b.new_id("part1")
+
+    def writer(client, oid):
+        statuses = []
+        for _ in range(5):
+            tx = client.start_tx()
+            yield from client.write(tx, oid, b"x")
+            statuses.append((yield from client.commit(tx)))
+        return statuses
+
+    pa = world.kernel.spawn(writer(client_a, oid_a))
+    pb = world.kernel.spawn(writer(client_b, oid_b))
+    world.run(until=10.0)
+    assert pa.value == ["COMMITTED"] * 5
+    assert pb.value == ["COMMITTED"] * 5
+    # Each local server committed its own partition's writes.
+    assert world.server(0).stats.commits >= 5
+    assert world.server(1).stats.commits >= 5
+    assert world.server(0).stats.slow_commit_attempts == 0
+    assert world.server(1).stats.slow_commit_attempts == 0
+
+
+def test_divergence_hidden_when_user_pinned_to_local_site():
+    # §5.8: "applications can be designed so that a user always logs into
+    # the same local site in the data center" -- a user pinned to local
+    # site 0 always observes her own writes in order.
+    world = make_datacenter_world((2, 1))
+    world.create_container("u", preferred_site=0)
+    client = world.new_client(0)
+    oid = client.new_id("u")
+
+    def session():
+        values = []
+        for i in range(4):
+            tx = client.start_tx()
+            yield from client.write(tx, oid, b"v%d" % i)
+            yield from client.commit(tx)
+            tx2 = client.start_tx()
+            values.append((yield from client.read(tx2, oid)))
+            yield from client.commit(tx2)
+        return values
+
+    assert world.run_process(session()) == [b"v0", b"v1", b"v2", b"v3"]
+
+
+def test_cross_dc_propagation_still_works():
+    world = make_datacenter_world((2, 1))
+    world.create_container("c", preferred_site=0)
+    client0 = world.new_client(0)
+    client2 = world.new_client(2)  # the other data center
+    oid = client0.new_id("c")
+
+    def writer():
+        tx = client0.start_tx()
+        yield from client0.write(tx, oid, b"wan")
+        return (yield from client0.commit(tx))
+
+    assert world.run_process(writer()) == "COMMITTED"
+    world.settle(1.0)
+
+    def reader():
+        tx = client2.start_tx()
+        value = yield from client2.read(tx, oid)
+        yield from client2.commit(tx)
+        return value
+
+    assert world.run_process(reader()) == b"wan"
+
+
+def test_periodic_gc_prunes_histories():
+    world = Deployment(n_sites=1, flush_latency=FLUSH_MEMORY)
+    world.create_container("c", preferred_site=0)
+    world.server(0).start_gc(interval=0.5)
+    client = world.new_client(0)
+    oid = client.new_id("c")
+
+    def writes():
+        for i in range(6):
+            tx = client.start_tx()
+            yield from client.write(tx, oid, b"v%d" % i)
+            yield from client.commit(tx)
+
+    world.run_process(writes())
+    world.settle(1.0)  # at least one GC tick
+    assert world.server(0).stats.gc_removed >= 5
+    assert len(world.server(0).histories.history(oid)) == 1

@@ -1,0 +1,184 @@
+"""Tests for message delivery, bandwidth modelling, and fault injection."""
+
+import pytest
+
+from repro.net import Network, Topology
+from repro.sim import Kernel
+
+
+def make_net(n_sites=2, jitter=0.0, loss=0.0):
+    kernel = Kernel()
+    topo = Topology.ec2(n_sites)
+    net = Network(kernel, topo, jitter_frac=jitter, loss_rate=loss)
+    return kernel, topo, net
+
+
+def test_delivery_latency_cross_site():
+    kernel, topo, net = make_net()
+    net.register("a", "VA")
+    box = net.register("b", "CA")
+    net.send("a", "b", "hello", size_bytes=100)
+
+    def recv():
+        message = yield box.get()
+        return (message.payload, kernel.now)
+
+    payload, at = kernel.run_process(recv())
+    assert payload == "hello"
+    expected = topo.one_way("VA", "CA") + 100 * 8 / 22e6 + Network.SOFTWARE_OVERHEAD
+    assert at == pytest.approx(expected)
+
+
+def test_delivery_latency_intra_site_is_fast():
+    kernel, topo, net = make_net()
+    net.register("a", "VA")
+    box = net.register("b", "VA")
+    net.send("a", "b", "x", size_bytes=100)
+
+    def recv():
+        yield box.get()
+        return kernel.now
+
+    at = kernel.run_process(recv())
+    assert at < 0.001  # sub-millisecond within a site
+
+
+def test_cross_site_link_serializes_fifo():
+    # Two large back-to-back messages on the 22 Mbps link: the second's
+    # serialization starts only after the first finishes.
+    kernel, topo, net = make_net()
+    net.register("a", "VA")
+    box = net.register("b", "CA")
+    size = 220_000  # 80 ms of serialization at 22 Mbps
+    net.send("a", "b", 1, size_bytes=size)
+    net.send("a", "b", 2, size_bytes=size)
+
+    def recv():
+        m1 = yield box.get()
+        t1 = kernel.now
+        m2 = yield box.get()
+        return (m1.payload, t1, m2.payload, kernel.now)
+
+    p1, t1, p2, t2 = kernel.run_process(recv())
+    assert (p1, p2) == (1, 2)
+    serialize = size * 8 / 22e6
+    assert t2 - t1 == pytest.approx(serialize)
+
+
+def test_partition_drops_both_directions():
+    kernel, topo, net = make_net()
+    net.register("a", "VA")
+    net.register("b", "CA")
+    net.partition("VA", "CA")
+    net.send("a", "b", "lost")
+    net.send("b", "a", "lost too")
+    kernel.run()
+    assert net.stats.dropped_partition == 2
+    assert net.stats.delivered == 0
+    assert net.is_partitioned("CA", "VA")
+
+
+def test_heal_restores_connectivity():
+    kernel, topo, net = make_net()
+    net.register("a", "VA")
+    box = net.register("b", "CA")
+    net.partition("VA", "CA")
+    net.heal("VA", "CA")
+    net.send("a", "b", "ok")
+    kernel.run()
+    assert len(box) == 1
+
+
+def test_partition_during_flight_drops_message():
+    kernel, topo, net = make_net()
+    net.register("a", "VA")
+    box = net.register("b", "CA")
+    net.send("a", "b", "in flight")
+
+    def partitioner():
+        yield kernel.timeout(0.001)  # before the ~41ms one-way delay
+        net.partition("VA", "CA")
+
+    kernel.spawn(partitioner())
+    kernel.run()
+    assert len(box) == 0
+    assert net.stats.dropped_partition == 1
+
+
+def test_crashed_host_does_not_receive():
+    kernel, topo, net = make_net()
+    net.register("a", "VA")
+    box = net.register("b", "CA")
+    net.crash_host("b")
+    net.send("a", "b", "to the void")
+    kernel.run()
+    assert len(box) == 0
+    assert net.stats.dropped_crash == 1
+    net.recover_host("b")
+    net.send("a", "b", "back")
+    kernel.run()
+    assert len(box) == 1
+
+
+def test_crashed_host_cannot_send():
+    kernel, topo, net = make_net()
+    net.register("a", "VA")
+    box = net.register("b", "CA")
+    net.crash_host("a")
+    net.send("a", "b", "nope")
+    kernel.run()
+    assert len(box) == 0
+
+
+def test_random_loss_rate():
+    kernel, topo, net = make_net(loss=1.0)
+    net.register("a", "VA")
+    box = net.register("b", "CA")
+    net.send("a", "b", "gone")
+    kernel.run()
+    assert len(box) == 0
+    assert net.stats.dropped_random == 1
+
+
+def test_unknown_destination_raises():
+    kernel, topo, net = make_net()
+    net.register("a", "VA")
+    with pytest.raises(ValueError):
+        net.send("a", "nobody", "x")
+
+
+def test_duplicate_registration_raises():
+    kernel, topo, net = make_net()
+    net.register("a", "VA")
+    with pytest.raises(ValueError):
+        net.register("a", "CA")
+
+
+def test_jitter_is_deterministic_per_seed():
+    def one_run():
+        kernel, topo, net = make_net(jitter=0.10)
+        net.register("a", "VA")
+        box = net.register("b", "CA")
+        for i in range(5):
+            net.send("a", "b", i)
+        times = []
+
+        def recv():
+            for _ in range(5):
+                message = yield box.get()
+                times.append(kernel.now)
+
+        kernel.run_process(recv())
+        return times
+
+    assert one_run() == one_run()
+
+
+def test_stats_byte_accounting():
+    kernel, topo, net = make_net()
+    net.register("a", "VA")
+    net.register("b", "CA")
+    net.send("a", "b", "x", size_bytes=1000)
+    kernel.run()
+    va, ca = topo.site("VA").id, topo.site("CA").id
+    assert net.stats.bytes_by_link[(va, ca)] == 1000

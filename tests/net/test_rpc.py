@@ -1,0 +1,178 @@
+"""Tests for the RPC layer (calls, casts, errors, timeouts)."""
+
+import pytest
+
+from repro.net import Host, Network, RpcRemoteError, RpcTimeout, Topology
+from repro.sim import Kernel
+
+
+class EchoServer(Host):
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.casts = []
+
+    def rpc_echo(self, text):
+        return "echo:%s" % text
+
+    def rpc_slow_echo(self, text, delay):
+        yield self.kernel.timeout(delay)
+        return "slow:%s" % text
+
+    def rpc_fail(self):
+        raise ValueError("deliberate failure")
+
+    def on_notify(self, src, value):
+        self.casts.append((src, value))
+
+    def on_slow_notify(self, src, value):
+        yield self.kernel.timeout(1.0)
+        self.casts.append((src, value, self.kernel.now))
+
+
+class Client(Host):
+    pass
+
+
+def make_pair(client_site="VA", server_site="CA"):
+    kernel = Kernel()
+    net = Network(kernel, Topology.ec2(4), jitter_frac=0.0)
+    server = EchoServer(kernel, net, server_site, "server")
+    client = Client(kernel, net, client_site, "client")
+    server.start()
+    client.start()
+    return kernel, client, server
+
+
+def test_basic_rpc_roundtrip():
+    kernel, client, server = make_pair()
+
+    def caller():
+        value = yield from client.call("server", "echo", text="hi")
+        return (value, kernel.now)
+
+    value, at = kernel.run_process(caller(), until=10.0)
+    assert value == "echo:hi"
+    # One VA<->CA round trip, ~82ms plus overheads.
+    assert 0.082 <= at < 0.09
+
+
+def test_generator_handler_blocks_on_sim_time():
+    kernel, client, server = make_pair()
+
+    def caller():
+        value = yield from client.call("server", "slow_echo", text="x", delay=1.0)
+        return (value, kernel.now)
+
+    value, at = kernel.run_process(caller(), until=10.0)
+    assert value == "slow:x"
+    assert at > 1.082
+
+
+def test_remote_exception_propagates():
+    kernel, client, server = make_pair()
+
+    def caller():
+        try:
+            yield from client.call("server", "fail")
+        except RpcRemoteError as exc:
+            return str(exc)
+
+    assert "deliberate failure" in kernel.run_process(caller(), until=10.0)
+
+
+def test_unknown_method_is_remote_error():
+    kernel, client, server = make_pair()
+
+    def caller():
+        with pytest.raises(RpcRemoteError):
+            yield from client.call("server", "no_such_method")
+        return True
+
+    assert kernel.run_process(caller(), until=10.0)
+
+
+def test_rpc_timeout_on_partition():
+    kernel, client, server = make_pair()
+    client.network.partition("VA", "CA")
+
+    def caller():
+        with pytest.raises(RpcTimeout):
+            yield from client.call("server", "echo", text="x", timeout=0.5)
+        return kernel.now
+
+    assert kernel.run_process(caller(), until=10.0) == pytest.approx(0.5)
+
+
+def test_rpc_completes_before_timeout():
+    kernel, client, server = make_pair()
+
+    def caller():
+        value = yield from client.call("server", "echo", text="x", timeout=5.0)
+        return value
+
+    assert kernel.run_process(caller(), until=10.0) == "echo:x"
+
+
+def test_cast_delivers_one_way():
+    kernel, client, server = make_pair()
+    client.cast("server", "notify", value=7)
+    kernel.run(until=1.0)
+    assert server.casts == [("client", 7)]
+
+
+def test_cast_generator_handler():
+    kernel, client, server = make_pair()
+    client.cast("server", "slow_notify", value=1)
+    kernel.run(until=5.0)
+    assert len(server.casts) == 1
+    assert server.casts[0][:2] == ("client", 1)
+
+
+def test_concurrent_rpcs_are_matched_by_id():
+    kernel, client, server = make_pair()
+    results = []
+
+    def caller(text, delay):
+        value = yield from client.call("server", "slow_echo", text=text, delay=delay)
+        results.append(value)
+
+    kernel.spawn(caller("first", 2.0))
+    kernel.spawn(caller("second", 0.5))
+    kernel.run(until=10.0)
+    assert results == ["slow:second", "slow:first"]
+
+
+def test_stopped_host_fails_pending_rpcs():
+    kernel, client, server = make_pair()
+
+    def caller():
+        with pytest.raises(RpcTimeout):
+            yield from client.call("server", "slow_echo", text="x", delay=5.0)
+        return True
+
+    def stopper():
+        yield kernel.timeout(0.1)
+        client.stop()
+
+    proc = kernel.spawn(caller())
+    kernel.spawn(stopper())
+    kernel.run(until=20.0)
+    assert proc.value is True
+
+
+def test_crashed_server_never_replies():
+    kernel, client, server = make_pair()
+
+    def crasher():
+        yield kernel.timeout(0.01)
+        server.crash()
+
+    def caller():
+        with pytest.raises(RpcTimeout):
+            yield from client.call("server", "echo", text="x", timeout=1.0)
+        return True
+
+    kernel.spawn(crasher())
+    proc = kernel.spawn(caller())
+    kernel.run(until=10.0)
+    assert proc.value is True

@@ -1,0 +1,55 @@
+"""Tests for host takeover (replacement servers reuse their address)."""
+
+import pytest
+
+from repro.net import Host, Network, Topology
+from repro.sim import Kernel
+
+
+class Echo(Host):
+    def __init__(self, *args, tag="", **kwargs):
+        super().__init__(*args, **kwargs)
+        self.tag = tag
+
+    def rpc_who(self):
+        return self.tag
+
+
+def test_takeover_replaces_dead_host():
+    kernel = Kernel()
+    net = Network(kernel, Topology.ec2(2), jitter_frac=0.0)
+    original = Echo(kernel, net, 0, "server", tag="original")
+    original.start()
+    client = Host(kernel, net, 1, "client")
+    client.start()
+
+    def ask():
+        return (yield from client.call("server", "who", timeout=5.0))
+
+    assert kernel.run_process(ask(), until=kernel.now + 10.0) == "original"
+
+    original.crash()
+    replacement = Echo(kernel, net, 0, "server", tag="replacement", takeover=True)
+    replacement.start()
+    assert kernel.run_process(ask(), until=kernel.now + 10.0) == "replacement"
+
+
+def test_takeover_required_for_duplicate_address():
+    kernel = Kernel()
+    net = Network(kernel, Topology.ec2(1), jitter_frac=0.0)
+    Echo(kernel, net, 0, "server", tag="a")
+    with pytest.raises(ValueError):
+        Echo(kernel, net, 0, "server", tag="b")
+    Echo(kernel, net, 0, "server", tag="c", takeover=True)  # allowed
+
+
+def test_takeover_clears_crash_flag_and_queued_mail():
+    kernel = Kernel()
+    net = Network(kernel, Topology.ec2(1), jitter_frac=0.0)
+    Echo(kernel, net, 0, "server", tag="old")
+    net.crash_host("server")
+    assert net.is_crashed("server")
+    replacement = Echo(kernel, net, 0, "server", tag="new", takeover=True)
+    replacement.start()
+    assert not net.is_crashed("server")
+    assert len(replacement.mailbox) == 0

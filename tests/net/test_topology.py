@@ -1,0 +1,90 @@
+"""Tests for the EC2 topology model (paper §8.1)."""
+
+import pytest
+
+from repro.net import Topology
+
+
+def test_ec2_four_sites():
+    topo = Topology.ec2(4)
+    assert [s.name for s in topo.sites] == ["VA", "CA", "IE", "SG"]
+    assert len(topo) == 4
+
+
+def test_ec2_rtt_matches_paper_table():
+    topo = Topology.ec2(4)
+    # Paper values in ms, API returns seconds.
+    assert topo.rtt("VA", "CA") == pytest.approx(0.082)
+    assert topo.rtt("VA", "IE") == pytest.approx(0.087)
+    assert topo.rtt("VA", "SG") == pytest.approx(0.261)
+    assert topo.rtt("CA", "IE") == pytest.approx(0.153)
+    assert topo.rtt("CA", "SG") == pytest.approx(0.190)
+    assert topo.rtt("IE", "SG") == pytest.approx(0.277)
+    assert topo.rtt("VA", "VA") == pytest.approx(0.0005)
+
+
+def test_rtt_is_symmetric():
+    topo = Topology.ec2(4)
+    for a in ["VA", "CA", "IE", "SG"]:
+        for b in ["VA", "CA", "IE", "SG"]:
+            assert topo.rtt(a, b) == topo.rtt(b, a)
+
+
+def test_one_way_is_half_rtt():
+    topo = Topology.ec2(4)
+    assert topo.one_way("VA", "SG") == pytest.approx(0.261 / 2)
+
+
+def test_bandwidth_intra_vs_cross():
+    topo = Topology.ec2(2)
+    assert topo.bandwidth_bps("VA", "VA") == pytest.approx(600e6)
+    assert topo.bandwidth_bps("VA", "CA") == pytest.approx(22e6)
+
+
+def test_truncated_deployments_match_experiment_table():
+    # Paper: 1-site VA; 2-sites VA,CA; 3-sites +IE; 4-sites +SG.
+    assert [s.name for s in Topology.ec2(1).sites] == ["VA"]
+    assert [s.name for s in Topology.ec2(2).sites] == ["VA", "CA"]
+    assert [s.name for s in Topology.ec2(3).sites] == ["VA", "CA", "IE"]
+
+
+def test_ec2_site_count_bounds():
+    with pytest.raises(ValueError):
+        Topology.ec2(0)
+    with pytest.raises(ValueError):
+        Topology.ec2(5)
+
+
+def test_max_rtt_from_va_is_singapore():
+    topo = Topology.ec2(4)
+    assert topo.max_rtt_from("VA") == pytest.approx(0.261)
+
+
+def test_max_rtt_single_site_is_local():
+    topo = Topology.ec2(1)
+    assert topo.max_rtt_from("VA") == pytest.approx(0.0005)
+
+
+def test_site_resolution_by_id_name_instance():
+    topo = Topology.ec2(2)
+    site = topo.site("CA")
+    assert topo.site(1) is not None
+    assert topo.site(site.id).name == "CA"
+    assert topo.site(site) == site
+
+
+def test_uniform_topology():
+    topo = Topology.uniform(3, rtt_ms=100.0)
+    assert topo.rtt(0, 1) == pytest.approx(0.1)
+    assert topo.rtt(0, 0) == pytest.approx(0.0005)
+    assert len(topo) == 3
+
+
+def test_duplicate_site_names_rejected():
+    with pytest.raises(ValueError):
+        Topology(["A", "A"], {("A", "A"): 1.0})
+
+
+def test_missing_rtt_rejected():
+    with pytest.raises(ValueError):
+        Topology(["A", "B"], {("A", "A"): 1.0, ("B", "B"): 1.0})

@@ -1,0 +1,207 @@
+"""Server execution details: leases, GC, trace recording, takeover."""
+
+import pytest
+
+from repro.core import ObjectKind, VectorTimestamp
+from repro.deployment import Deployment
+from repro.net import RpcRemoteError
+from repro.storage import FLUSH_MEMORY
+
+
+def make_world(n_sites=2):
+    d = Deployment(n_sites=n_sites, flush_latency=FLUSH_MEMORY, jitter_frac=0.0)
+    for site in range(n_sites):
+        d.create_container("c%d" % site, preferred_site=site)
+    return d
+
+
+def commit_write(world, client, oid, data):
+    def scenario():
+        tx = client.start_tx()
+        yield from client.write(tx, oid, data)
+        return (yield from client.commit(tx))
+
+    return world.run_process(scenario(), within=120.0)
+
+
+class TestLeases:
+    def test_suspended_lease_rejects_fast_commit(self):
+        world = make_world(2)
+        client = world.new_client(0)
+        oid = client.new_id("c0")
+        world.config.suspend_leases_of_site(0)
+
+        def scenario():
+            tx = client.start_tx()
+            yield from client.write(tx, oid, b"v")
+            with pytest.raises(RpcRemoteError, match="PreferredSiteUnavailable"):
+                yield from client.commit(tx)
+            return True
+
+        assert world.run_process(scenario()) is True
+
+    def test_suspended_lease_votes_no_in_prepare(self):
+        world = make_world(2)
+        client0 = world.new_client(0)
+        oid_site1 = client0.new_id("c1")
+        world.config.suspend_leases_of_site(1)
+        # Slow commit from site 0 to site 1's object: prepare votes NO.
+        assert commit_write(world, client0, oid_site1, b"v") == "ABORTED"
+
+    def test_reads_unaffected_by_lease_suspension(self):
+        world = make_world(2)
+        client = world.new_client(0)
+        oid = client.new_id("c0")
+        assert commit_write(world, client, oid, b"v") == "COMMITTED"
+        world.config.suspend_leases_of_site(0)
+
+        def scenario():
+            tx = client.start_tx()
+            value = yield from client.read(tx, oid)
+            yield from client.commit(tx)  # read-only: no lease needed
+            return value
+
+        assert world.run_process(scenario()) == b"v"
+
+
+class TestGC:
+    def test_gc_drops_superseded_regular_versions(self):
+        world = make_world(1)
+        client = world.new_client(0)
+        oid = client.new_id("c0")
+        for i in range(5):
+            assert commit_write(world, client, oid, b"v%d" % i) == "COMMITTED"
+        server = world.server(0)
+        assert len(server.histories.history(oid)) == 5
+        removed = server.gc_histories()
+        assert removed == 4
+        assert len(server.histories.history(oid)) == 1
+
+        def scenario():
+            tx = client.start_tx()
+            value = yield from client.read(tx, oid)
+            yield from client.commit(tx)
+            return value
+
+        assert world.run_process(scenario()) == b"v4"
+
+    def test_gc_preserves_csets(self):
+        world = make_world(1)
+        client = world.new_client(0)
+        cset_oid = client.new_id("c0", ObjectKind.CSET)
+
+        def adds():
+            for i in range(4):
+                tx = client.start_tx()
+                yield from client.set_add(tx, cset_oid, i)
+                yield from client.commit(tx)
+
+        world.run_process(adds())
+        server = world.server(0)
+        server.gc_histories()
+        assert len(server.histories.history(cset_oid)) == 4
+
+
+class TestTrace:
+    def test_buffered_reads_not_traced(self):
+        world = Deployment(n_sites=1, flush_latency=FLUSH_MEMORY, trace=True)
+        world.create_container("c", preferred_site=0)
+        client = world.new_client(0)
+        oid = client.new_id("c")
+
+        def scenario():
+            tx = client.start_tx()
+            yield from client.write(tx, oid, b"mine")
+            yield from client.read(tx, oid)  # shadowed by the buffer
+            yield from client.commit(tx)
+
+        world.run_process(scenario())
+        assert world.trace.reads == []
+
+    def test_snapshot_reads_traced(self):
+        world = Deployment(n_sites=1, flush_latency=FLUSH_MEMORY, trace=True)
+        world.create_container("c", preferred_site=0)
+        client = world.new_client(0)
+        oid = client.new_id("c")
+
+        def scenario():
+            tx = client.start_tx()
+            value = yield from client.read(tx, oid)
+            yield from client.commit(tx)
+            return value
+
+        world.run_process(scenario())
+        assert len(world.trace.reads) == 1
+        assert world.trace.reads[0].oid == oid
+
+
+class TestPreload:
+    def test_preload_is_visible_and_consistent_everywhere(self):
+        world = make_world(3)
+        container = world.config.container("c0")
+        oid = container.new_id()
+        cset_oid = container.new_id(ObjectKind.CSET)
+        world.preload({oid: b"seeded", cset_oid: ["a", "b"]})
+        for site in range(3):
+            client = world.new_client(site)
+
+            def scenario(client=client):
+                tx = client.start_tx()
+                value = yield from client.read(tx, oid)
+                cset = yield from client.set_read(tx, cset_oid)
+                yield from client.commit(tx)
+                return (value, sorted(cset.members()))
+
+            assert world.run_process(scenario()) == (b"seeded", ["a", "b"])
+
+    def test_preload_does_not_break_subsequent_commits(self):
+        world = make_world(2)
+        container = world.config.container("c0")
+        preloaded = {container.new_id(): b"x" for _ in range(10)}
+        world.preload(preloaded)
+        client = world.new_client(0)
+        oid = next(iter(preloaded))
+        assert commit_write(world, client, oid, b"overwritten") == "COMMITTED"
+        world.settle(2.0)
+        client1 = world.new_client(1)
+
+        def scenario():
+            tx = client1.start_tx()
+            value = yield from client1.read(tx, oid)
+            yield from client1.commit(tx)
+            return value
+
+        assert world.run_process(scenario()) == b"overwritten"
+
+
+class TestServerMisc:
+    def test_unknown_container_read_is_remote_error(self):
+        world = make_world(1)
+        client = world.new_client(0)
+        from repro.core import ObjectId
+
+        ghost = ObjectId("no-such-container", "x")
+
+        def scenario():
+            tx = client.start_tx()
+            with pytest.raises(RpcRemoteError, match="NoSuchContainer"):
+                yield from client.read(tx, ghost)
+            return True
+
+        assert world.run_process(scenario()) is True
+
+    def test_commit_with_no_accesses_is_empty_read_only_tx(self):
+        world = make_world(1)
+        client = world.new_client(0)
+
+        def scenario():
+            tx = client.start_tx()
+            # Commit is the first server contact: starts an empty tx.
+            return (yield from client.commit(tx))
+
+        assert world.run_process(scenario()) == "COMMITTED"
+        assert world.server(0).stats.read_only_commits == 1
+
+    def test_repr(self):
+        world = make_world(1)
+        assert "site=0" in repr(world.server(0))

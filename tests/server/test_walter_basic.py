@@ -1,0 +1,219 @@
+"""Basic Walter end-to-end behaviour on a single site."""
+
+import pytest
+
+from repro.core import ObjectKind
+from repro.deployment import Deployment
+from repro.storage import FLUSH_MEMORY
+
+
+@pytest.fixture
+def world():
+    d = Deployment(n_sites=1, flush_latency=FLUSH_MEMORY, jitter_frac=0.0)
+    d.create_container("c", preferred_site=0)
+    return d
+
+
+def test_write_commit_read_back(world):
+    client = world.new_client(0)
+    oid = client.new_id("c")
+
+    def scenario():
+        tx = client.start_tx()
+        yield from client.write(tx, oid, b"hello")
+        status = yield from client.commit(tx)
+        assert status == "COMMITTED"
+        tx2 = client.start_tx()
+        value = yield from client.read(tx2, oid)
+        yield from client.commit(tx2)
+        return value
+
+    assert world.run_process(scenario()) == b"hello"
+
+
+def test_unwritten_object_reads_nil(world):
+    client = world.new_client(0)
+    oid = client.new_id("c")
+
+    def scenario():
+        tx = client.start_tx()
+        value = yield from client.read(tx, oid)
+        yield from client.commit(tx)
+        return value
+
+    assert world.run_process(scenario()) is None
+
+
+def test_read_own_buffered_write(world):
+    client = world.new_client(0)
+    oid = client.new_id("c")
+
+    def scenario():
+        tx = client.start_tx()
+        yield from client.write(tx, oid, b"mine")
+        value = yield from client.read(tx, oid)
+        yield from client.abort(tx)
+        return value
+
+    assert world.run_process(scenario()) == b"mine"
+
+
+def test_aborted_writes_invisible(world):
+    client = world.new_client(0)
+    oid = client.new_id("c")
+
+    def scenario():
+        tx = client.start_tx()
+        yield from client.write(tx, oid, b"never")
+        yield from client.abort(tx)
+        tx2 = client.start_tx()
+        value = yield from client.read(tx2, oid)
+        yield from client.commit(tx2)
+        return value
+
+    assert world.run_process(scenario()) is None
+
+
+def test_snapshot_isolation_within_site(world):
+    client_a = world.new_client(0)
+    client_b = world.new_client(0)
+    oid = client_a.new_id("c")
+
+    def scenario():
+        # B takes its snapshot, then A commits a write; B must not see it.
+        tx_b = client_b.start_tx()
+        before = yield from client_b.read(tx_b, oid)
+        tx_a = client_a.start_tx()
+        yield from client_a.write(tx_a, oid, b"new")
+        status = yield from client_a.commit(tx_a)
+        assert status == "COMMITTED"
+        after = yield from client_b.read(tx_b, oid)
+        yield from client_b.commit(tx_b)
+        return (before, after)
+
+    before, after = world.run_process(scenario())
+    assert before is None and after is None  # repeatable snapshot read
+
+
+def test_write_write_conflict_aborts_second(world):
+    client_a = world.new_client(0)
+    client_b = world.new_client(0)
+    oid = client_a.new_id("c")
+
+    def scenario():
+        tx_a = client_a.start_tx()
+        tx_b = client_b.start_tx()
+        yield from client_a.write(tx_a, oid, b"a")
+        yield from client_b.write(tx_b, oid, b"b")
+        s1 = yield from client_a.commit(tx_a)
+        s2 = yield from client_b.commit(tx_b)
+        return (s1, s2)
+
+    assert world.run_process(scenario()) == ("COMMITTED", "ABORTED")
+    assert world.server(0).stats.aborts == 1
+
+
+def test_disjoint_writes_both_commit(world):
+    client_a = world.new_client(0)
+    client_b = world.new_client(0)
+    oid_a = client_a.new_id("c")
+    oid_b = client_a.new_id("c")
+
+    def scenario():
+        tx_a = client_a.start_tx()
+        tx_b = client_b.start_tx()
+        yield from client_a.write(tx_a, oid_a, b"a")
+        yield from client_b.write(tx_b, oid_b, b"b")
+        s1 = yield from client_a.commit(tx_a)
+        s2 = yield from client_b.commit(tx_b)
+        return (s1, s2)
+
+    assert world.run_process(scenario()) == ("COMMITTED", "COMMITTED")
+
+
+def test_cset_add_read_del(world):
+    client = world.new_client(0)
+    cset_oid = client.new_id("c", ObjectKind.CSET)
+
+    def scenario():
+        tx = client.start_tx()
+        yield from client.set_add(tx, cset_oid, "x")
+        yield from client.set_add(tx, cset_oid, "y")
+        yield from client.set_del(tx, cset_oid, "y")
+        yield from client.commit(tx)
+        tx2 = client.start_tx()
+        cset = yield from client.set_read(tx2, cset_oid)
+        count_x = yield from client.set_read_id(tx2, cset_oid, "x")
+        count_y = yield from client.set_read_id(tx2, cset_oid, "y")
+        yield from client.commit(tx2)
+        return (cset.counts(), count_x, count_y)
+
+    counts, count_x, count_y = world.run_process(scenario())
+    assert counts == {"x": 1}
+    assert (count_x, count_y) == (1, 0)
+
+
+def test_concurrent_cset_updates_never_conflict(world):
+    client_a = world.new_client(0)
+    client_b = world.new_client(0)
+    cset_oid = client_a.new_id("c", ObjectKind.CSET)
+
+    def scenario():
+        tx_a = client_a.start_tx()
+        tx_b = client_b.start_tx()
+        yield from client_a.set_add(tx_a, cset_oid, "e")
+        yield from client_b.set_add(tx_b, cset_oid, "e")
+        s1 = yield from client_a.commit(tx_a)
+        s2 = yield from client_b.commit(tx_b)
+        tx = client_a.start_tx()
+        count = yield from client_a.set_read_id(tx, cset_oid, "e")
+        yield from client_a.commit(tx)
+        return (s1, s2, count)
+
+    assert world.run_process(scenario()) == ("COMMITTED", "COMMITTED", 2)
+
+
+def test_read_only_commit_is_trivial(world):
+    client = world.new_client(0)
+    oid = client.new_id("c")
+
+    def scenario():
+        tx = client.start_tx()
+        yield from client.read(tx, oid)
+        status = yield from client.commit(tx)
+        return status
+
+    assert world.run_process(scenario()) == "COMMITTED"
+    assert world.server(0).stats.read_only_commits == 1
+    assert world.server(0).curr_seqno == 0  # no version consumed
+
+
+def test_last_flag_piggybacks_commit(world):
+    client = world.new_client(0)
+    oid = client.new_id("c")
+
+    def scenario():
+        tx = client.start_tx()
+        status = yield from client.write(tx, oid, b"v", last=True)
+        assert status == "COMMITTED"
+        tx2 = client.start_tx()
+        value = yield from client.read(tx2, oid, last=True)
+        assert tx2.status == "COMMITTED"
+        return value
+
+    assert world.run_process(scenario()) == b"v"
+
+
+def test_single_site_tx_is_immediately_ds_durable(world):
+    client = world.new_client(0)
+    oid = client.new_id("c")
+
+    def scenario():
+        tx = client.start_tx()
+        yield from client.write(tx, oid, b"v")
+        yield from client.commit(tx)
+        yield tx.ds_event
+        yield tx.visible_event
+        return True
+
+    assert world.run_process(scenario()) is True

@@ -1,0 +1,166 @@
+"""Unit tests for simulation synchronization primitives."""
+
+import pytest
+
+from repro.sim import Kernel, Lock, Resource, Semaphore, SimError, Store
+
+
+def test_lock_mutual_exclusion_and_fifo():
+    kernel = Kernel()
+    lock = Lock(kernel)
+    trace = []
+
+    def worker(tag, hold):
+        yield lock.acquire()
+        trace.append(("in", tag, kernel.now))
+        yield kernel.timeout(hold)
+        trace.append(("out", tag, kernel.now))
+        lock.release()
+
+    kernel.spawn(worker("a", 2.0))
+    kernel.spawn(worker("b", 1.0))
+    kernel.spawn(worker("c", 1.0))
+    kernel.run()
+    assert trace == [
+        ("in", "a", 0.0),
+        ("out", "a", 2.0),
+        ("in", "b", 2.0),
+        ("out", "b", 3.0),
+        ("in", "c", 3.0),
+        ("out", "c", 4.0),
+    ]
+
+
+def test_lock_release_unheld_raises():
+    kernel = Kernel()
+    lock = Lock(kernel)
+    with pytest.raises(SimError):
+        lock.release()
+
+
+def test_resource_capacity_two_admits_two():
+    kernel = Kernel()
+    res = Resource(kernel, capacity=2)
+    finish_times = {}
+
+    def worker(tag):
+        yield from res.use(10.0)
+        finish_times[tag] = kernel.now
+
+    for tag in ["a", "b", "c"]:
+        kernel.spawn(worker(tag))
+    kernel.run()
+    assert finish_times == {"a": 10.0, "b": 10.0, "c": 20.0}
+
+
+def test_resource_queue_length_and_utilization():
+    kernel = Kernel()
+    res = Resource(kernel, capacity=1)
+
+    def worker():
+        yield from res.use(5.0)
+
+    def observer():
+        yield kernel.timeout(1.0)
+        return (res.in_use, res.queue_length)
+
+    kernel.spawn(worker())
+    kernel.spawn(worker())
+    obs = kernel.spawn(observer())
+    kernel.run()
+    assert obs.value == (1, 1)
+    assert res.utilization(kernel.now) == pytest.approx(1.0)
+
+
+def test_resource_invalid_capacity():
+    kernel = Kernel()
+    with pytest.raises(ValueError):
+        Resource(kernel, capacity=0)
+
+
+def test_resource_release_idle_raises():
+    kernel = Kernel()
+    res = Resource(kernel, capacity=1)
+    with pytest.raises(SimError):
+        res.release()
+
+
+def test_store_put_then_get():
+    kernel = Kernel()
+    store = Store(kernel)
+    store.put("x")
+
+    def getter():
+        item = yield store.get()
+        return item
+
+    assert kernel.run_process(getter()) == "x"
+
+
+def test_store_get_blocks_until_put():
+    kernel = Kernel()
+    store = Store(kernel)
+
+    def getter():
+        item = yield store.get()
+        return (item, kernel.now)
+
+    def putter():
+        yield kernel.timeout(4.0)
+        store.put("late")
+
+    proc = kernel.spawn(getter())
+    kernel.spawn(putter())
+    kernel.run()
+    assert proc.value == ("late", 4.0)
+
+
+def test_store_fifo_order():
+    kernel = Kernel()
+    store = Store(kernel)
+    for i in range(3):
+        store.put(i)
+
+    def getter():
+        out = []
+        for _ in range(3):
+            item = yield store.get()
+            out.append(item)
+        return out
+
+    assert kernel.run_process(getter()) == [0, 1, 2]
+
+
+def test_store_drain_and_nowait():
+    kernel = Kernel()
+    store = Store(kernel)
+    store.put(1)
+    store.put(2)
+    assert store.get_nowait() == 1
+    assert store.drain() == [2]
+    assert len(store) == 0
+    with pytest.raises(SimError):
+        store.get_nowait()
+
+
+def test_semaphore_counts():
+    kernel = Kernel()
+    sem = Semaphore(kernel, value=2)
+    admitted = []
+
+    def worker(tag):
+        yield sem.acquire()
+        admitted.append((tag, kernel.now))
+        yield kernel.timeout(1.0)
+        sem.release()
+
+    for tag in ["a", "b", "c"]:
+        kernel.spawn(worker(tag))
+    kernel.run()
+    assert admitted == [("a", 0.0), ("b", 0.0), ("c", 1.0)]
+
+
+def test_semaphore_negative_value_rejected():
+    kernel = Kernel()
+    with pytest.raises(ValueError):
+        Semaphore(kernel, value=-1)

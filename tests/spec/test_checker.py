@@ -1,0 +1,149 @@
+"""Tests for the PSI trace checker: it must accept legal executions and
+flag each property violation."""
+
+from repro.core import (
+    CSetAdd,
+    DataUpdate,
+    ObjectId,
+    ObjectKind,
+    VectorTimestamp,
+    Version,
+    write_set,
+)
+from repro.spec import (
+    ExecutionTrace,
+    TracedRead,
+    TracedTx,
+    check_commit_causality,
+    check_no_write_write_conflicts,
+    check_site_snapshot_reads,
+    check_trace,
+)
+
+A = ObjectId("t", "A", ObjectKind.REGULAR)
+B = ObjectId("t", "B", ObjectKind.REGULAR)
+S = ObjectId("t", "S", ObjectKind.CSET)
+
+
+def traced(tid, site, start, version, updates):
+    return TracedTx(
+        tid=tid,
+        site=site,
+        start_vts=VectorTimestamp(start),
+        version=version,
+        updates=updates,
+        write_set=write_set(updates),
+    )
+
+
+def test_clean_two_site_trace_passes():
+    trace = ExecutionTrace(n_sites=2)
+    t1 = traced("t1", 0, [0, 0], Version(0, 1), [DataUpdate(A, 1)])
+    t2 = traced("t2", 1, [0, 0], Version(1, 1), [DataUpdate(B, 2)])
+    trace.record_commit(t1)
+    trace.record_commit(t2)
+    # Long-fork commit orders: each site sees its own first -- legal PSI.
+    trace.record_site_commit(0, Version(0, 1))
+    trace.record_site_commit(0, Version(1, 1))
+    trace.record_site_commit(1, Version(1, 1))
+    trace.record_site_commit(1, Version(0, 1))
+    trace.record_read(TracedRead("r1", 0, VectorTimestamp([1, 0]), A, 1))
+    trace.record_read(TracedRead("r1", 0, VectorTimestamp([1, 0]), B, None))
+    assert check_trace(trace) == []
+
+
+def test_concurrent_conflicting_writes_flagged():
+    trace = ExecutionTrace(n_sites=2)
+    # Both wrote A; neither is in the other's snapshot.
+    trace.record_commit(traced("t1", 0, [0, 0], Version(0, 1), [DataUpdate(A, 1)]))
+    trace.record_commit(traced("t2", 1, [0, 0], Version(1, 1), [DataUpdate(A, 2)]))
+    violations = check_no_write_write_conflicts(trace)
+    assert len(violations) == 1
+    assert "somewhere-concurrent" in violations[0].detail
+
+
+def test_causally_ordered_conflicting_writes_pass():
+    trace = ExecutionTrace(n_sites=2)
+    trace.record_commit(traced("t1", 0, [0, 0], Version(0, 1), [DataUpdate(A, 1)]))
+    # t2's snapshot [1,0] includes t1 -> causally ordered, no conflict.
+    trace.record_commit(traced("t2", 1, [1, 0], Version(1, 1), [DataUpdate(A, 2)]))
+    assert check_no_write_write_conflicts(trace) == []
+
+
+def test_cset_updates_never_conflict():
+    trace = ExecutionTrace(n_sites=2)
+    trace.record_commit(traced("t1", 0, [0, 0], Version(0, 1), [CSetAdd(S, "x")]))
+    trace.record_commit(traced("t2", 1, [0, 0], Version(1, 1), [CSetAdd(S, "x")]))
+    assert check_no_write_write_conflicts(trace) == []
+
+
+def test_commit_causality_violation_flagged():
+    trace = ExecutionTrace(n_sites=2)
+    t1 = traced("t1", 0, [0, 0], Version(0, 1), [DataUpdate(A, 1)])
+    t2 = traced("t2", 0, [1, 0], Version(0, 2), [DataUpdate(B, 2)])  # saw t1
+    trace.record_commit(t1)
+    trace.record_commit(t2)
+    trace.record_site_commit(0, Version(0, 1))
+    trace.record_site_commit(0, Version(0, 2))
+    # Site 1 commits t2 before t1: violates Property 3.
+    trace.record_site_commit(1, Version(0, 2))
+    trace.record_site_commit(1, Version(0, 1))
+    violations = check_commit_causality(trace)
+    assert len(violations) == 1
+    assert "committed after" in violations[0].detail
+
+
+def test_commit_causality_ok_when_order_preserved():
+    trace = ExecutionTrace(n_sites=2)
+    t1 = traced("t1", 0, [0, 0], Version(0, 1), [DataUpdate(A, 1)])
+    t2 = traced("t2", 0, [1, 0], Version(0, 2), [DataUpdate(B, 2)])
+    trace.record_commit(t1)
+    trace.record_commit(t2)
+    for site in (0, 1):
+        trace.record_site_commit(site, Version(0, 1))
+        trace.record_site_commit(site, Version(0, 2))
+    assert check_commit_causality(trace) == []
+
+
+def test_stale_read_flagged():
+    trace = ExecutionTrace(n_sites=1)
+    trace.record_commit(traced("t1", 0, [0], Version(0, 1), [DataUpdate(A, 1)]))
+    trace.record_site_commit(0, Version(0, 1))
+    # Snapshot [1] must see A=1, but the read observed None.
+    trace.record_read(TracedRead("r", 0, VectorTimestamp([1]), A, None))
+    violations = check_site_snapshot_reads(trace)
+    assert len(violations) == 1
+    assert "snapshot" in violations[0].detail
+
+
+def test_future_read_flagged():
+    trace = ExecutionTrace(n_sites=1)
+    trace.record_commit(traced("t1", 0, [0], Version(0, 1), [DataUpdate(A, 1)]))
+    trace.record_site_commit(0, Version(0, 1))
+    # Snapshot [0] must NOT see A=1.
+    trace.record_read(TracedRead("r", 0, VectorTimestamp([0]), A, 1))
+    assert len(check_site_snapshot_reads(trace)) == 1
+
+
+def test_cset_read_checked_against_replay():
+    trace = ExecutionTrace(n_sites=1)
+    trace.record_commit(traced("t1", 0, [0], Version(0, 1), [CSetAdd(S, "x")]))
+    trace.record_site_commit(0, Version(0, 1))
+    trace.record_read(TracedRead("r", 0, VectorTimestamp([1]), S, {"x": 1}))
+    assert check_site_snapshot_reads(trace) == []
+    trace.record_read(TracedRead("r2", 0, VectorTimestamp([1]), S, {"x": 2}))
+    assert len(check_site_snapshot_reads(trace)) == 1
+
+
+def test_unknown_version_in_site_order_flagged():
+    trace = ExecutionTrace(n_sites=1)
+    trace.record_site_commit(0, Version(0, 7))
+    violations = check_site_snapshot_reads(trace)
+    assert len(violations) == 1
+    assert "unknown version" in violations[0].detail
+
+
+def test_read_at_silent_site_expects_nil():
+    trace = ExecutionTrace(n_sites=2)
+    trace.record_read(TracedRead("r", 1, VectorTimestamp([0, 0]), A, None))
+    assert check_site_snapshot_reads(trace) == []

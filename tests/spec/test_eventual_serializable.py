@@ -1,0 +1,91 @@
+"""Direct unit tests for the eventual-consistency and serializability
+reference models (used by the Fig 8 scenarios)."""
+
+import pytest
+
+from repro.core import ObjectId, ObjectKind
+from repro.spec import EventualStore, ObservedTx, is_serializable, replay_serial
+
+A = ObjectId("t", "A", ObjectKind.REGULAR)
+B = ObjectId("t", "B", ObjectKind.REGULAR)
+
+
+class TestEventualStore:
+    def test_local_write_visible_immediately(self):
+        store = EventualStore(2)
+        store.write(0, A, 1)
+        assert store.read(0, A) == 1
+        assert store.read(1, A) is None
+
+    def test_sync_propagates(self):
+        store = EventualStore(2)
+        store.write(0, A, 1)
+        store.sync(0, 1)
+        assert store.read(1, A) == 1
+
+    def test_lww_resolves_conflicts_deterministically(self):
+        store = EventualStore(2)
+        store.write(0, A, "first")
+        store.write(1, A, "second")  # later Lamport stamp
+        store.sync_all()
+        assert store.converged(A)
+        assert store.read(0, A) == "second"
+        assert store.conflicts_resolved > 0
+
+    def test_custom_merge_function(self):
+        store = EventualStore(2, merge=lambda x, y: x + y)
+        store.write(0, A, 1)
+        store.write(1, A, 2)
+        store.sync_all()
+        assert store.read(0, A) == 3
+        assert store.read(1, A) == 3
+
+    def test_newer_local_write_beats_stale_sync(self):
+        store = EventualStore(2)
+        store.write(0, A, "old")
+        store.sync(0, 1)
+        store.write(1, A, "new")
+        store.sync(0, 1)  # re-sending the stale value
+        assert store.read(1, A) == "new"
+
+    def test_three_replicas_converge(self):
+        store = EventualStore(3)
+        store.write(0, A, 1)
+        store.write(1, B, 2)
+        store.write(2, A, 3)
+        store.sync_all()
+        assert store.converged(A) and store.converged(B)
+
+    def test_invalid_replica_count(self):
+        with pytest.raises(ValueError):
+            EventualStore(0)
+
+
+class TestSerializable:
+    def test_replay_accepts_matching_order(self):
+        t1 = ObservedTx("t1").write(A, 1)
+        t2 = ObservedTx("t2").read(A, 1)
+        assert replay_serial([t1, t2], {A: 0})
+        assert not replay_serial([t2, t1], {A: 0})
+
+    def test_is_serializable_tries_all_orders(self):
+        t1 = ObservedTx("t1").write(A, 1)
+        t2 = ObservedTx("t2").read(A, 1)
+        assert is_serializable([t2, t1], {A: 0})  # order t1;t2 works
+
+    def test_write_skew_not_serializable(self):
+        t1 = ObservedTx("t1").read(A, 0).read(B, 0).write(A, 1)
+        t2 = ObservedTx("t2").read(A, 0).read(B, 0).write(B, 1)
+        assert not is_serializable([t1, t2], {A: 0, B: 0})
+
+    def test_reads_of_initial_state(self):
+        t1 = ObservedTx("t1").read(A, 0)
+        assert is_serializable([t1], {A: 0})
+        t2 = ObservedTx("t2").read(A, 99)
+        assert not is_serializable([t2], {A: 0})
+
+    def test_chained_reads_through_writes(self):
+        t1 = ObservedTx("t1").write(A, 1)
+        t2 = ObservedTx("t2").read(A, 1).write(B, 2)
+        t3 = ObservedTx("t3").read(B, 2)
+        assert is_serializable([t3, t2, t1], {A: 0, B: 0})

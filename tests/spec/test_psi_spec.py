@@ -1,0 +1,187 @@
+"""Tests for the PSI specification (Figs 4-7)."""
+
+import pytest
+
+from repro.core import ObjectId, ObjectKind
+from repro.errors import TransactionStateError
+from repro.spec import ABORTED, COMMITTED, ParallelSnapshotIsolation
+
+A = ObjectId("t", "A", ObjectKind.REGULAR)
+B = ObjectId("t", "B", ObjectKind.REGULAR)
+S = ObjectId("t", "S", ObjectKind.CSET)
+
+
+def test_local_commit_visible_locally_before_propagation():
+    spec = ParallelSnapshotIsolation(n_sites=2)
+    t1 = spec.start_tx(0)
+    spec.write(t1, A, 1)
+    assert spec.commit_tx(t1) == COMMITTED
+    local = spec.start_tx(0)
+    remote = spec.start_tx(1)
+    assert spec.read(local, A) == 1
+    assert spec.read(remote, A) is None
+
+
+def test_propagation_makes_writes_visible_remotely():
+    spec = ParallelSnapshotIsolation(n_sites=2)
+    t1 = spec.start_tx(0)
+    spec.write(t1, A, 1)
+    spec.commit_tx(t1)
+    spec.propagate(t1, 1)
+    remote = spec.start_tx(1)
+    assert spec.read(remote, A) == 1
+    assert t1.committed_everywhere()
+
+
+def test_fig6_different_commit_orders_at_different_sites():
+    # Site A orders T1, T2; site B orders T2, T1 -- allowed by PSI.
+    spec = ParallelSnapshotIsolation(n_sites=2)
+    t1 = spec.start_tx(0)
+    spec.write(t1, A, "t1")
+    t2 = spec.start_tx(1)
+    spec.write(t2, B, "t2")
+    assert spec.commit_tx(t1) == COMMITTED
+    assert spec.commit_tx(t2) == COMMITTED
+    spec.propagate(t1, 1)
+    spec.propagate(t2, 0)
+    # At site 0: t1 committed (locally) before t2 arrived; at site 1 the
+    # opposite.  Verify via log order.
+    site0_order = [e.tid for e in spec.logs[0]]
+    site1_order = [e.tid for e in spec.logs[1]]
+    assert site0_order == [t1.tid, t2.tid]
+    assert site1_order == [t2.tid, t1.tid]
+
+
+def test_cannot_propagate_twice_or_uncommitted():
+    spec = ParallelSnapshotIsolation(n_sites=2)
+    t1 = spec.start_tx(0)
+    spec.write(t1, A, 1)
+    with pytest.raises(TransactionStateError):
+        spec.propagate(t1, 1)
+    spec.commit_tx(t1)
+    spec.propagate(t1, 1)
+    with pytest.raises(TransactionStateError):
+        spec.propagate(t1, 1)
+
+
+def test_causality_guard_blocks_out_of_order_propagation():
+    # t2 reads t1's write (t1 in t2's snapshot); t2 cannot reach site 1
+    # before t1 does.
+    spec = ParallelSnapshotIsolation(n_sites=2)
+    t1 = spec.start_tx(0)
+    spec.write(t1, A, 1)
+    spec.commit_tx(t1)
+    t2 = spec.start_tx(0)
+    assert spec.read(t2, A) == 1
+    spec.write(t2, B, 2)
+    spec.commit_tx(t2)
+    assert not spec.can_propagate(t2, 1)
+    spec.propagate(t1, 1)
+    assert spec.can_propagate(t2, 1)
+    spec.propagate(t2, 1)
+
+
+def test_propagate_all_reaches_fixpoint():
+    spec = ParallelSnapshotIsolation(n_sites=3)
+    txs = []
+    for i in range(4):
+        tx = spec.start_tx(i % 3)
+        spec.write(tx, ObjectId("t", "o%d" % i, ObjectKind.REGULAR), i)
+        spec.commit_tx(tx)
+        txs.append(tx)
+    fired = spec.propagate_all()
+    assert fired == 4 * 2  # each tx reaches the two other sites
+    assert all(tx.committed_everywhere() for tx in txs)
+
+
+def test_psi_property_2_concurrent_cross_site_writes_conflict():
+    spec = ParallelSnapshotIsolation(n_sites=2)
+    t1 = spec.start_tx(0)
+    t2 = spec.start_tx(1)
+    spec.write(t1, A, 1)
+    spec.write(t2, A, 2)
+    assert spec.commit_tx(t1) == COMMITTED
+    # t1 is committed but not yet at site 1: "currently propagating".
+    assert spec.commit_tx(t2) == ABORTED
+
+
+def test_write_after_full_propagation_succeeds():
+    spec = ParallelSnapshotIsolation(n_sites=2)
+    t1 = spec.start_tx(0)
+    spec.write(t1, A, 1)
+    spec.commit_tx(t1)
+    spec.propagate_all()
+    t2 = spec.start_tx(1)
+    assert spec.read(t2, A) == 1
+    spec.write(t2, A, 2)
+    assert spec.commit_tx(t2) == COMMITTED
+
+
+def test_same_site_conflict_aborts_second():
+    spec = ParallelSnapshotIsolation(n_sites=2)
+    t1 = spec.start_tx(0)
+    t2 = spec.start_tx(0)
+    spec.write(t1, A, 1)
+    spec.write(t2, A, 2)
+    assert spec.commit_tx(t1) == COMMITTED
+    assert spec.commit_tx(t2) == ABORTED
+
+
+def test_outcome_decided_once_no_abort_at_remote_sites():
+    # "if it commits at its site, the transaction is not aborted at the
+    # other sites" -- propagation always succeeds for a committed tx.
+    spec = ParallelSnapshotIsolation(n_sites=3)
+    t1 = spec.start_tx(0)
+    spec.write(t1, A, 1)
+    spec.commit_tx(t1)
+    spec.propagate_all()
+    assert t1.committed_everywhere()
+
+
+def test_cset_ops_never_conflict_across_sites():
+    spec = ParallelSnapshotIsolation(n_sites=2)
+    t1 = spec.start_tx(0)
+    t2 = spec.start_tx(1)
+    spec.set_add(t1, S, "x")
+    spec.set_del(t2, S, "x")
+    assert spec.commit_tx(t1) == COMMITTED
+    assert spec.commit_tx(t2) == COMMITTED
+    spec.propagate_all()
+    # Both sites converge to count 0 (empty).
+    assert spec.site_cset(0, S).counts() == {}
+    assert spec.site_cset(1, S).counts() == {}
+
+
+def test_cset_read_and_read_id():
+    spec = ParallelSnapshotIsolation(n_sites=1)
+    t1 = spec.start_tx(0)
+    spec.set_add(t1, S, "x")
+    spec.set_add(t1, S, "x")
+    assert spec.set_read_id(t1, S, "x") == 2
+    assert spec.set_read_id(t1, S, "missing") == 0
+    spec.commit_tx(t1)
+    t2 = spec.start_tx(0)
+    assert spec.set_read(t2, S).counts() == {"x": 2}
+
+
+def test_anti_element_round_trip_across_sites():
+    # Site 1 removes an element it has not seen; site 0 adds it; after
+    # propagation both sites agree the element is absent.
+    spec = ParallelSnapshotIsolation(n_sites=2)
+    t1 = spec.start_tx(0)
+    spec.set_add(t1, S, "e")
+    t2 = spec.start_tx(1)
+    spec.set_del(t2, S, "e")
+    spec.commit_tx(t1)
+    spec.commit_tx(t2)
+    spec.propagate_all()
+    assert spec.site_cset(0, S).count("e") == 0
+    assert spec.site_cset(1, S).count("e") == 0
+
+
+def test_site_out_of_range():
+    spec = ParallelSnapshotIsolation(n_sites=2)
+    with pytest.raises(ValueError):
+        spec.start_tx(2)
+    with pytest.raises(ValueError):
+        ParallelSnapshotIsolation(n_sites=0)

@@ -1,0 +1,111 @@
+"""Property-based tests of the PSI spec engine under random workloads."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ObjectId, ObjectKind
+from repro.spec import COMMITTED, ParallelSnapshotIsolation
+
+OIDS = [ObjectId("p", "o%d" % i, ObjectKind.REGULAR) for i in range(3)]
+SETS = [ObjectId("p", "s%d" % i, ObjectKind.CSET) for i in range(2)]
+
+
+def run_random_spec(seed, n_sites=3, steps=40):
+    rng = random.Random(seed)
+    spec = ParallelSnapshotIsolation(n_sites=n_sites)
+    active = []
+    for step in range(steps):
+        roll = rng.random()
+        if roll < 0.3 or not active:
+            active.append(spec.start_tx(rng.randrange(n_sites)))
+        elif roll < 0.5:
+            tx = rng.choice(active)
+            spec.write(tx, rng.choice(OIDS), "v%d" % step)
+        elif roll < 0.65:
+            tx = rng.choice(active)
+            if rng.random() < 0.5:
+                spec.set_add(tx, rng.choice(SETS), rng.randrange(3))
+            else:
+                spec.set_del(tx, rng.choice(SETS), rng.randrange(3))
+        elif roll < 0.8:
+            tx = rng.choice(active)
+            spec.read(tx, rng.choice(OIDS))
+        else:
+            tx = active.pop(rng.randrange(len(active)))
+            spec.commit_tx(tx)
+            if rng.random() < 0.5:
+                spec.propagate_all()
+    spec.propagate_all()
+    return spec
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_committed_conflicting_txs_are_ordered(seed):
+    spec = run_random_spec(seed)
+    committed = [t for t in spec.transactions if t.status == COMMITTED]
+    for i, t1 in enumerate(committed):
+        for t2 in committed[i + 1:]:
+            if not (t1.write_set & t2.write_set):
+                continue
+            # PSI Property 2: conflicting committed txs are ordered --
+            # one committed at the other's site before the other started.
+            t1_first = (
+                t1.commit_ts[t2.site] is not None
+                and t1.commit_ts[t2.site] < t2.start_ts
+            )
+            t2_first = (
+                t2.commit_ts[t1.site] is not None
+                and t2.commit_ts[t1.site] < t1.start_ts
+            )
+            assert t1_first or t2_first
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_logs_contain_each_committed_tx_once_per_site(seed):
+    spec = run_random_spec(seed)
+    for site, log in enumerate(spec.logs):
+        tids = [entry.tid for entry in log]
+        assert len(tids) == len(set(tids))
+    committed = [t for t in spec.transactions if t.status == COMMITTED]
+    for tx in committed:
+        assert tx.committed_everywhere()
+        for site in range(spec.n_sites):
+            assert any(e.tid == tx.tid for e in spec.logs[site])
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_sites_converge_after_full_propagation(seed):
+    spec = run_random_spec(seed)
+    for oid in OIDS:
+        values = [spec.site_value(site, oid) for site in range(spec.n_sites)]
+        assert all(v == values[0] for v in values), (oid, values)
+    for soid in SETS:
+        states = [spec.site_cset(site, soid).counts() for site in range(spec.n_sites)]
+        assert all(s == states[0] for s in states), (soid, states)
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_causality_guard_never_violated(seed):
+    # Re-run the workload but verify that at every site, a transaction
+    # never appears in the log before a transaction in its snapshot.
+    spec = run_random_spec(seed)
+    by_tid = {t.tid: t for t in spec.transactions}
+    for site, log in enumerate(spec.logs):
+        position = {entry.tid: i for i, entry in enumerate(log)}
+        for entry in log:
+            tx = by_tid[entry.tid]
+            for other in spec.transactions:
+                if other.status != COMMITTED or other.tid == tx.tid:
+                    continue
+                committed_at_home = other.commit_ts[tx.site]
+                # "other" is in tx's snapshot:
+                if committed_at_home is not None and committed_at_home < tx.start_ts:
+                    assert position[other.tid] < position[tx.tid], (
+                        site, other.tid, tx.tid,
+                    )

@@ -1,0 +1,152 @@
+"""Tests for the snapshot isolation specification (Figs 1-3)."""
+
+import pytest
+
+from repro.core import ObjectId, ObjectKind
+from repro.errors import TransactionStateError
+from repro.spec import ABORTED, COMMITTED, SnapshotIsolation
+
+A = ObjectId("t", "A", ObjectKind.REGULAR)
+B = ObjectId("t", "B", ObjectKind.REGULAR)
+S = ObjectId("t", "S", ObjectKind.CSET)
+
+
+def test_read_own_write():
+    spec = SnapshotIsolation()
+    tx = spec.start_tx()
+    spec.write(tx, A, 1)
+    assert spec.read(tx, A) == 1
+
+
+def test_read_unwritten_is_nil():
+    spec = SnapshotIsolation()
+    tx = spec.start_tx()
+    assert spec.read(tx, A) is None
+
+
+def test_commit_makes_writes_visible_to_later_tx():
+    spec = SnapshotIsolation()
+    t1 = spec.start_tx()
+    spec.write(t1, A, 1)
+    assert spec.commit_tx(t1) == COMMITTED
+    t2 = spec.start_tx()
+    assert spec.read(t2, A) == 1
+
+
+def test_snapshot_read_fig3():
+    # Fig 3: T2 starts before T1 commits, so T2 never sees T1's writes;
+    # T3 starts after and does.
+    spec = SnapshotIsolation()
+    t1 = spec.start_tx()
+    spec.write(t1, A, 1)
+    t2 = spec.start_tx()
+    spec.commit_tx(t1)
+    t3 = spec.start_tx()
+    assert spec.read(t2, A) is None
+    assert spec.read(t3, A) == 1
+
+
+def test_si_property_1_snapshot_is_stable():
+    spec = SnapshotIsolation()
+    t2 = spec.start_tx()
+    before = spec.read(t2, A)
+    t1 = spec.start_tx()
+    spec.write(t1, A, 99)
+    spec.commit_tx(t1)
+    assert spec.read(t2, A) == before
+
+
+def test_si_property_2_first_committer_wins():
+    spec = SnapshotIsolation()
+    t1 = spec.start_tx()
+    t2 = spec.start_tx()
+    spec.write(t1, A, 1)
+    spec.write(t2, A, 2)
+    assert spec.commit_tx(t1) == COMMITTED
+    assert spec.commit_tx(t2) == ABORTED
+    t3 = spec.start_tx()
+    assert spec.read(t3, A) == 1
+
+
+def test_conflict_only_on_overlapping_write_sets():
+    spec = SnapshotIsolation()
+    t1 = spec.start_tx()
+    t2 = spec.start_tx()
+    spec.write(t1, A, 1)
+    spec.write(t2, B, 2)
+    assert spec.commit_tx(t1) == COMMITTED
+    assert spec.commit_tx(t2) == COMMITTED
+
+
+def test_conflict_with_aborted_tx_nondeterministic_choice():
+    # Fig 2 middle branch: write-conflicting tx aborted after x started.
+    def run(pessimistic):
+        spec = SnapshotIsolation(pessimistic=pessimistic)
+        t1 = spec.start_tx()
+        t2 = spec.start_tx()
+        spec.write(t1, A, 1)
+        spec.write(t2, A, 2)
+        spec.abort_tx(t1)
+        return spec.commit_tx(t2)
+
+    assert run(pessimistic=False) == COMMITTED
+    assert run(pessimistic=True) == ABORTED
+
+
+def test_conflict_with_executing_tx_nondeterministic_choice():
+    def run(pessimistic):
+        spec = SnapshotIsolation(pessimistic=pessimistic)
+        t1 = spec.start_tx()
+        t2 = spec.start_tx()
+        spec.write(t1, A, 1)
+        spec.write(t2, A, 2)
+        return spec.commit_tx(t2)  # t1 still executing
+
+    assert run(pessimistic=False) == COMMITTED
+    assert run(pessimistic=True) == ABORTED
+
+
+def test_aborted_tx_writes_never_visible():
+    spec = SnapshotIsolation()
+    t1 = spec.start_tx()
+    spec.write(t1, A, 1)
+    spec.abort_tx(t1)
+    t2 = spec.start_tx()
+    assert spec.read(t2, A) is None
+
+
+def test_operations_on_finished_tx_rejected():
+    spec = SnapshotIsolation()
+    tx = spec.start_tx()
+    spec.commit_tx(tx)
+    with pytest.raises(TransactionStateError):
+        spec.read(tx, A)
+    with pytest.raises(TransactionStateError):
+        spec.write(tx, A, 1)
+    with pytest.raises(TransactionStateError):
+        spec.commit_tx(tx)
+
+
+def test_cset_operations_in_snapshot():
+    spec = SnapshotIsolation()
+    t1 = spec.start_tx()
+    spec.set_add(t1, S, "x")
+    spec.set_add(t1, S, "y")
+    spec.set_del(t1, S, "y")
+    assert spec.set_read(t1, S).counts() == {"x": 1}
+    spec.commit_tx(t1)
+    t2 = spec.start_tx()
+    assert spec.set_read(t2, S).counts() == {"x": 1}
+
+
+def test_commit_order_defines_total_order():
+    spec = SnapshotIsolation()
+    values = []
+    for i in range(5):
+        tx = spec.start_tx()
+        spec.write(tx, A, i)
+        spec.commit_tx(tx)
+        reader = spec.start_tx()
+        values.append(spec.read(reader, A))
+    assert values == [0, 1, 2, 3, 4]
+    assert spec.committed_value(A) == 4

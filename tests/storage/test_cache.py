@@ -1,0 +1,89 @@
+"""Tests for the LRU cache with cset-preferring eviction."""
+
+import pytest
+
+from repro.core import ObjectId, ObjectKind
+from repro.storage import ObjectCache
+
+
+def reg(i):
+    return ObjectId("c", "r%d" % i, ObjectKind.REGULAR)
+
+
+def cst(i):
+    return ObjectId("c", "s%d" % i, ObjectKind.CSET)
+
+
+def test_hit_and_miss():
+    cache = ObjectCache(capacity=2)
+    cache.put(reg(1), "v1")
+    hit, value = cache.get(reg(1))
+    assert hit and value == "v1"
+    hit, value = cache.get(reg(2))
+    assert not hit and value is None
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+    assert cache.stats.hit_rate == 0.5
+
+
+def test_lru_eviction_order():
+    cache = ObjectCache(capacity=2)
+    cache.put(reg(1), "a")
+    cache.put(reg(2), "b")
+    cache.get(reg(1))  # refresh 1; 2 becomes LRU
+    evicted = cache.put(reg(3), "c")
+    assert evicted == reg(2)
+    assert reg(1) in cache and reg(3) in cache
+
+
+def test_put_existing_refreshes_without_eviction():
+    cache = ObjectCache(capacity=2)
+    cache.put(reg(1), "a")
+    cache.put(reg(2), "b")
+    assert cache.put(reg(1), "a2") is None
+    assert cache.get(reg(1)) == (True, "a2")
+
+
+def test_csets_evicted_only_as_last_resort():
+    # §6: "the eviction policy prefers to evict regular objects rather
+    # than csets".
+    cache = ObjectCache(capacity=3)
+    cache.put(cst(1), "cset-old")
+    cache.put(reg(1), "reg")
+    cache.put(cst(2), "cset-new")
+    evicted = cache.put(reg(2), "reg2")
+    assert evicted == reg(1)  # the only regular entry goes first
+    assert cst(1) in cache and cst(2) in cache
+    assert cache.stats.evictions_regular == 1
+
+
+def test_cset_evicted_when_no_regular_left():
+    cache = ObjectCache(capacity=2)
+    cache.put(cst(1), "a")
+    cache.put(cst(2), "b")
+    evicted = cache.put(cst(3), "c")
+    assert evicted == cst(1)
+    assert cache.stats.evictions_cset == 1
+
+
+def test_invalidate_and_clear():
+    cache = ObjectCache(capacity=4)
+    cache.put(reg(1), "a")
+    cache.put(cst(1), "b")
+    cache.invalidate(reg(1))
+    assert reg(1) not in cache
+    cache.invalidate(reg(99))  # no-op
+    cache.clear()
+    assert len(cache) == 0
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        ObjectCache(capacity=0)
+
+
+def test_len_spans_both_queues():
+    cache = ObjectCache(capacity=10)
+    cache.put(reg(1), "a")
+    cache.put(cst(1), "b")
+    assert len(cache) == 2

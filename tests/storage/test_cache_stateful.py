@@ -1,0 +1,75 @@
+"""Stateful property test: ObjectCache against a reference model."""
+
+from collections import OrderedDict
+
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core import ObjectId, ObjectKind
+from repro.storage import ObjectCache
+
+CAPACITY = 4
+
+KEYS = [ObjectId("c", "r%d" % i, ObjectKind.REGULAR) for i in range(3)] + [
+    ObjectId("c", "s%d" % i, ObjectKind.CSET) for i in range(3)
+]
+
+
+class CacheMachine(RuleBasedStateMachine):
+    """Model: two LRU OrderedDicts; evict regular first, then cset."""
+
+    def __init__(self):
+        super().__init__()
+        self.cache = ObjectCache(CAPACITY)
+        self.model_regular = OrderedDict()
+        self.model_cset = OrderedDict()
+
+    def _model_queue(self, oid):
+        return self.model_cset if oid.kind is ObjectKind.CSET else self.model_regular
+
+    @rule(oid=st.sampled_from(KEYS), value=st.integers())
+    def put(self, oid, value):
+        evicted = self.cache.put(oid, value)
+        queue = self._model_queue(oid)
+        if oid in queue:
+            queue[oid] = value
+            queue.move_to_end(oid)
+            assert evicted is None
+            return
+        queue[oid] = value
+        if len(self.model_regular) + len(self.model_cset) > CAPACITY:
+            if self.model_regular:
+                expected, _ = self.model_regular.popitem(last=False)
+            else:
+                expected, _ = self.model_cset.popitem(last=False)
+            assert evicted == expected
+        else:
+            assert evicted is None
+
+    @rule(oid=st.sampled_from(KEYS))
+    def get(self, oid):
+        hit, value = self.cache.get(oid)
+        queue = self._model_queue(oid)
+        if oid in queue:
+            assert hit and value == queue[oid]
+            queue.move_to_end(oid)
+        else:
+            assert not hit and value is None
+
+    @rule(oid=st.sampled_from(KEYS))
+    def invalidate(self, oid):
+        self.cache.invalidate(oid)
+        self._model_queue(oid).pop(oid, None)
+
+    @invariant()
+    def sizes_match(self):
+        assert len(self.cache) == len(self.model_regular) + len(self.model_cset)
+        assert len(self.cache) <= CAPACITY
+
+    @invariant()
+    def membership_matches(self):
+        for oid in KEYS:
+            assert (oid in self.cache) == (oid in self._model_queue(oid))
+
+
+TestCacheStateful = CacheMachine.TestCase

@@ -1,0 +1,127 @@
+"""Tests for checkpointing and site storage recovery."""
+
+import pytest
+
+from repro.sim import Kernel
+from repro.storage import Checkpointer, DiskLog, SiteStorage, FLUSH_MEMORY
+
+
+def test_periodic_checkpoints_capture_state_and_log_position():
+    kernel = Kernel()
+    log = DiskLog(kernel, flush_latency=FLUSH_MEMORY)
+    state = {"counter": 0}
+    ckpt = Checkpointer(kernel, log, lambda: state, interval=10.0)
+    ckpt.start()
+
+    def workload():
+        for i in range(4):
+            yield kernel.timeout(6.0)
+            state["counter"] += 1
+            yield log.append("entry-%d" % i)
+
+    kernel.spawn(workload())
+    kernel.run(until=25.0)
+    assert len(ckpt.checkpoints) == 2
+    first, second = ckpt.checkpoints
+    assert first.taken_at == pytest.approx(10.0)
+    assert first.state == {"counter": 1}
+    assert first.log_position == 1
+    assert second.state == {"counter": 3}
+    assert second.log_position == 3
+
+
+def test_checkpoint_state_is_deep_copied():
+    kernel = Kernel()
+    log = DiskLog(kernel, flush_latency=FLUSH_MEMORY)
+    state = {"items": []}
+    ckpt = Checkpointer(kernel, log, lambda: state, interval=1.0)
+    ckpt.start()
+    kernel.run(until=1.5)
+    state["items"].append("mutated later")
+    assert ckpt.latest().state == {"items": []}
+
+
+def test_recover_returns_checkpoint_plus_log_suffix():
+    kernel = Kernel()
+    log = DiskLog(kernel, flush_latency=FLUSH_MEMORY)
+    state = {"n": 0}
+    ckpt = Checkpointer(kernel, log, lambda: state, interval=5.0)
+    ckpt.start()
+
+    def workload():
+        yield log.append("before")
+        state["n"] = 1
+        yield kernel.timeout(6.0)  # checkpoint fires at t=5
+        yield log.append("after")
+
+    kernel.spawn(workload())
+    kernel.run(until=10.0)
+    recovered_state, suffix = ckpt.recover()
+    assert recovered_state == {"n": 1}
+    assert suffix == ["after"]
+
+
+def test_recover_with_no_checkpoint_replays_whole_log():
+    kernel = Kernel()
+    log = DiskLog(kernel, flush_latency=FLUSH_MEMORY)
+    ckpt = Checkpointer(kernel, log, dict, interval=100.0)
+
+    def workload():
+        yield log.append("a")
+        yield log.append("b")
+
+    kernel.run_process(workload(), until=1.0)
+    state, suffix = ckpt.recover()
+    assert state is None
+    assert suffix == ["a", "b"]
+
+
+def test_stop_halts_checkpointing():
+    kernel = Kernel()
+    log = DiskLog(kernel, flush_latency=FLUSH_MEMORY)
+    ckpt = Checkpointer(kernel, log, dict, interval=1.0)
+    ckpt.start()
+    kernel.run(until=2.5)
+    ckpt.stop()
+    kernel.run(until=10.0)
+    assert len(ckpt.checkpoints) == 2
+
+
+def test_invalid_interval():
+    kernel = Kernel()
+    log = DiskLog(kernel, flush_latency=FLUSH_MEMORY)
+    with pytest.raises(ValueError):
+        Checkpointer(kernel, log, dict, interval=0.0)
+
+
+def test_site_storage_survives_server_replacement():
+    kernel = Kernel()
+    storage = SiteStorage(kernel, site=0, flush_latency=FLUSH_MEMORY)
+    server_state = {"committed": ["t1"]}
+    storage.attach_checkpointer(lambda: server_state, interval=1.0)
+
+    def workload():
+        yield storage.log.append({"tid": "t2"})
+        yield kernel.timeout(1.5)  # let a checkpoint happen
+        yield storage.log.append({"tid": "t3"})
+
+    kernel.spawn(workload())
+    # Stop before the t=2.0 checkpoint so t3 stays in the log suffix.
+    kernel.run(until=1.8)
+    # "Replacement server" reads durable state from the same storage.
+    state, suffix = storage.recover()
+    assert state == {"committed": ["t1"]}
+    assert suffix == [{"tid": "t3"}]
+    storage.metadata["lease"] = "site0"
+    assert storage.metadata["lease"] == "site0"
+
+
+def test_site_storage_reattach_replaces_checkpointer():
+    kernel = Kernel()
+    storage = SiteStorage(kernel, site=0, flush_latency=FLUSH_MEMORY)
+    first = storage.attach_checkpointer(dict, interval=1.0)
+    second = storage.attach_checkpointer(dict, interval=1.0)
+    assert storage.checkpointer is second
+    kernel.run(until=3.5)
+    assert len(first.checkpoints) == 0  # stopped before ever firing
+    assert len(second.checkpoints) == 3

@@ -1,0 +1,107 @@
+"""Tests for the WAL with group commit."""
+
+import pytest
+
+from repro.sim import Kernel
+from repro.storage import FLUSH_MEMORY, DiskLog
+
+
+def test_append_becomes_durable_after_flush_latency():
+    kernel = Kernel()
+    log = DiskLog(kernel, flush_latency=0.005)
+
+    def writer():
+        record = yield log.append("payload")
+        return (record.payload, kernel.now)
+
+    payload, at = kernel.run_process(writer(), until=1.0)
+    assert payload == "payload"
+    assert at == pytest.approx(0.005)
+    assert log.payloads() == ["payload"]
+
+
+def test_group_commit_batches_concurrent_appends():
+    # Records arriving during an in-progress flush share the next flush.
+    kernel = Kernel()
+    log = DiskLog(kernel, flush_latency=0.010)
+    done_times = []
+
+    def writer(delay, payload):
+        yield kernel.timeout(delay)
+        yield log.append(payload)
+        done_times.append((payload, kernel.now))
+
+    kernel.spawn(writer(0.0, "first"))
+    kernel.spawn(writer(0.002, "second"))
+    kernel.spawn(writer(0.004, "third"))
+    kernel.run(until=1.0)
+    times = dict(done_times)
+    assert times["first"] == pytest.approx(0.010)
+    # second and third were batched into one flush ending at 0.020.
+    assert times["second"] == pytest.approx(0.020)
+    assert times["third"] == pytest.approx(0.020)
+    assert log.stats.flushes == 2
+    assert log.stats.max_batch == 2
+
+
+def test_memory_mode_is_immediate():
+    kernel = Kernel()
+    log = DiskLog(kernel, flush_latency=FLUSH_MEMORY)
+
+    def writer():
+        yield log.append("instant")
+        return kernel.now
+
+    assert kernel.run_process(writer(), until=1.0) == 0.0
+    assert log.stats.records == 1
+
+
+def test_payloads_in_append_order():
+    kernel = Kernel()
+    log = DiskLog(kernel, flush_latency=0.001)
+
+    def writer():
+        for i in range(5):
+            yield log.append(i)
+
+    kernel.run_process(writer(), until=1.0)
+    assert log.payloads() == [0, 1, 2, 3, 4]
+
+
+def test_truncate_gc():
+    kernel = Kernel()
+    log = DiskLog(kernel, flush_latency=FLUSH_MEMORY)
+
+    def writer():
+        for i in range(5):
+            yield log.append(i)
+
+    kernel.run_process(writer(), until=1.0)
+    assert log.truncate(2) == 2
+    assert log.payloads() == [2, 3, 4]
+    assert log.truncate(99) == 3
+    assert log.payloads() == []
+
+
+def test_negative_flush_latency_rejected():
+    with pytest.raises(ValueError):
+        DiskLog(Kernel(), flush_latency=-1.0)
+
+
+def test_throughput_exceeds_one_over_latency_with_group_commit():
+    # 100 concurrent writers on a 10ms disk finish in ~30ms total
+    # (3 flush generations), not 1 second -- the point of group commit.
+    kernel = Kernel()
+    log = DiskLog(kernel, flush_latency=0.010)
+    finished = []
+
+    def writer(i):
+        yield log.append(i)
+        finished.append(kernel.now)
+
+    for i in range(100):
+        kernel.spawn(writer(i))
+    kernel.run(until=10.0)
+    assert len(finished) == 100
+    assert max(finished) <= 0.030
+    assert log.stats.flushes <= 3
