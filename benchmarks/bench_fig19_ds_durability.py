@@ -9,16 +9,29 @@ latency between VA and the other three sites" -- 82 ms for 2 sites,
 87 ms for 3, 261 ms for 4.
 """
 
-from repro.bench import LatencyRecorder, PAYLOAD, format_cdf, format_table, populate, run_closed_loop, walter_costs
+from repro.bench import (
+    LatencyRecorder,
+    PAYLOAD,
+    format_cdf,
+    format_site_observability,
+    format_table,
+    populate,
+    run_closed_loop,
+    walter_costs,
+)
 from repro.deployment import Deployment
+from repro.obs import compute_lag_report
 from repro.storage import FLUSH_EC2
 
 SITE_COUNTS = [2, 3, 4]
 
 
 def measure_ds_latency(n_sites):
+    # Tracing on: Fig 19's latency decomposes from the span events too
+    # (see EXPERIMENTS.md "Observability").
     world = Deployment(
-        n_sites=n_sites, costs=walter_costs("ec2"), flush_latency=FLUSH_EC2, seed=19
+        n_sites=n_sites, costs=walter_costs("ec2"), flush_latency=FLUSH_EC2, seed=19,
+        tracing=True,
     )
     keys = populate(world, n_keys=1000)
     recorder = LatencyRecorder("ds-%dsites" % n_sites)
@@ -43,15 +56,16 @@ def measure_ds_latency(n_sites):
         world, factory, sites=[0], clients_per_site=8,
         warmup=1.0, measure=6.0, name="fig19-%d" % n_sites,
     )
-    return recorder
+    return recorder, world
 
 
 def run_all():
-    return {n: measure_ds_latency(n) for n in SITE_COUNTS}
+    out = {n: measure_ds_latency(n) for n in SITE_COUNTS}
+    return {n: rec for n, (rec, _) in out.items()}, {n: w for n, (_, w) in out.items()}
 
 
 def test_fig19_ds_durability_latency(once):
-    results = once(run_all)
+    results, worlds = once(run_all)
 
     print()
     print("Figure 19: disaster-safe durability latency from VA (ms)")
@@ -68,6 +82,15 @@ def test_fig19_ds_durability_latency(once):
     ))
     print()
     print(format_cdf(results[4], n_points=10))
+    print()
+    print(format_site_observability(worlds[4]))
+
+    # The trace-derived ds lag agrees with the client-observed latency:
+    # the client adds one local notification hop on top of the span.
+    report = compute_lag_report(worlds[4].obs.tracer, worlds[4].n_sites)
+    traced = report.ds_durability[0]
+    assert len(traced) > 50
+    assert abs(traced.p50 - results[4].p50) < 0.010
 
     for n in SITE_COUNTS:
         rec = results[n]

@@ -11,7 +11,14 @@ from .calibration import (
 )
 from .harness import find_saturation, run_at_fraction_of_max, run_closed_loop, run_closed_loop_raw
 from .metrics import BenchResult, LatencyRecorder
-from .reporting import format_cdf, format_table, paper_comparison
+from .reporting import (
+    format_cdf,
+    format_lag_cdfs,
+    format_metric_histogram,
+    format_site_observability,
+    format_table,
+    paper_comparison,
+)
 from .workloads import (
     KeySpace,
     OBJECT_SIZE,
@@ -38,6 +45,9 @@ __all__ = [
     "cset_tx_factory",
     "find_saturation",
     "format_cdf",
+    "format_lag_cdfs",
+    "format_metric_histogram",
+    "format_site_observability",
     "format_table",
     "mixed_tx_factory",
     "paper_comparison",

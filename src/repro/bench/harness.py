@@ -31,9 +31,13 @@ def run_closed_loop_raw(
     measure: float = 0.5,
     name: str = "bench",
     seed: int = 1234,
+    obs=None,
 ) -> BenchResult:
     """Generic closed-loop driver over pre-built clients (used directly by
-    the baseline benchmarks; Walter benchmarks use :func:`run_closed_loop`)."""
+    the baseline benchmarks; Walter benchmarks use :func:`run_closed_loop`).
+
+    ``obs`` (a :class:`repro.obs.Observability`) adds a metric snapshot to
+    the result, taken right after the measurement window closes."""
     recorder = LatencyRecorder(name)
     by_label = {}
     state = {"ops": 0, "errors": 0, "measuring": False}
@@ -82,6 +86,7 @@ def run_closed_loop_raw(
         duration=duration,
         latencies=recorder,
         by_label=by_label,
+        metrics=obs.snapshot() if obs is not None else None,
     )
 
 
@@ -103,6 +108,7 @@ def run_closed_loop(
     return run_closed_loop_raw(
         world.kernel, clients, op_factory,
         warmup=warmup, measure=measure, name=name, seed=seed,
+        obs=getattr(world, "obs", None),
     )
 
 

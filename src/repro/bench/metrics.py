@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 
 class LatencyRecorder:
@@ -40,6 +40,10 @@ class LatencyRecorder:
         return self.percentile(50)
 
     @property
+    def p95(self) -> float:
+        return self.percentile(95)
+
+    @property
     def p99(self) -> float:
         return self.percentile(99)
 
@@ -47,17 +51,20 @@ class LatencyRecorder:
     def p999(self) -> float:
         return self.percentile(99.9)
 
+    # mean/max/min return 0.0 with no samples (an idle site in a lag
+    # report is not an error); percentile() still raises, so code asking
+    # for a specific quantile of nothing fails loudly.
     @property
     def mean(self) -> float:
-        return sum(self.samples) / len(self.samples)
+        return sum(self.samples) / len(self.samples) if self.samples else 0.0
 
     @property
     def max(self) -> float:
-        return max(self.samples)
+        return max(self.samples) if self.samples else 0.0
 
     @property
     def min(self) -> float:
-        return min(self.samples)
+        return min(self.samples) if self.samples else 0.0
 
     def cdf(self, n_points: int = 50) -> List[Tuple[float, float]]:
         """(latency, cumulative fraction) points for plotting/printing."""
@@ -72,8 +79,19 @@ class LatencyRecorder:
         return points
 
     def summary_ms(self) -> Dict[str, float]:
+        if not self.samples:
+            return {
+                "p50_ms": 0.0,
+                "p95_ms": 0.0,
+                "p99_ms": 0.0,
+                "p999_ms": 0.0,
+                "mean_ms": 0.0,
+                "max_ms": 0.0,
+                "n": 0.0,
+            }
         return {
             "p50_ms": self.p50 * 1000,
+            "p95_ms": self.p95 * 1000,
             "p99_ms": self.p99 * 1000,
             "p999_ms": self.p999 * 1000,
             "mean_ms": self.mean * 1000,
@@ -92,6 +110,10 @@ class BenchResult:
     duration: float
     latencies: LatencyRecorder
     by_label: Dict[str, LatencyRecorder] = field(default_factory=dict)
+    #: Deterministic ``repro.obs`` registry snapshot taken when the
+    #: measurement window closed (None for worlds without observability,
+    #: e.g. the baseline comparators).
+    metrics: Optional[Dict[str, Dict[str, Any]]] = None
 
     @property
     def throughput(self) -> float:

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence, Tuple
 
+from ..obs import compute_lag_report
 from .metrics import LatencyRecorder
 
 
@@ -35,6 +36,103 @@ def format_cdf(recorder: LatencyRecorder, n_points: int = 10, unit: str = "ms") 
         bar = "#" * int(frac * 40)
         lines.append("  %7.1f %s |%-40s| %4.0f%%" % (latency * scale, unit, bar, frac * 100))
     return "\n".join(lines)
+
+
+def format_site_observability(world) -> str:
+    """Per-site observability report for a :class:`~repro.deployment.Deployment`.
+
+    One row per site: commit-latency percentiles (from the always-on
+    ``server.commit_latency`` histogram), replication / ds-durability /
+    visibility lag (from the ``server.*_lag`` histograms -- replication
+    lag is measured at the *receiving* site, the other two at the
+    origin), and the cache hit-rate.  All values come from the shared
+    ``repro.obs`` registry; no tracing is required, but when the world
+    was built with ``tracing=True`` the trace-derived lag gauges are
+    refreshed too.
+    """
+    registry = world.obs.registry
+    if world.obs.tracing:
+        # Keep the lag.* gauges in sync with the retained trace window.
+        world.obs.lag_report(world.n_sites, at=world.kernel.now)
+    rows = []
+    for site in range(world.n_sites):
+        commit = registry.histogram("server.commit_latency", site=site)
+        repl = registry.histogram("server.replication_lag", site=site)
+        ds = registry.histogram("server.ds_lag", site=site)
+        vis = registry.histogram("server.visibility_lag", site=site)
+        hits = registry.counter("cache.hits", site=site).value
+        misses = registry.counter("cache.misses", site=site).value
+        total = hits + misses
+        rows.append(
+            [
+                site,
+                commit.count,
+                commit.percentile(50) * 1e3,
+                commit.percentile(95) * 1e3,
+                commit.percentile(99) * 1e3,
+                repl.mean * 1e3,
+                ds.mean * 1e3,
+                vis.mean * 1e3,
+                ("%.1f%%" % (100.0 * hits / total)) if total else "-",
+            ]
+        )
+    return format_table(
+        [
+            "site",
+            "commits",
+            "commit p50 (ms)",
+            "p95 (ms)",
+            "p99 (ms)",
+            "repl lag (ms)",
+            "ds lag (ms)",
+            "vis lag (ms)",
+            "cache hit",
+        ],
+        rows,
+    )
+
+
+def format_metric_histogram(hist, unit: str = "ms") -> str:
+    """Render a ``repro.obs`` log-bucket histogram as bars::
+
+        server.commit_latency{site=0} (1234 samples, mean 4.2 ms):
+            <=   3.2 ms |########                | 312
+    """
+    scale = 1e3 if unit == "ms" else 1.0
+    label = hist.name + (
+        "{%s}" % ",".join("%s=%s" % (k, v) for k, v in hist.labels) if hist.labels else ""
+    )
+    lines = [
+        "%s (%d samples, mean %.2f %s):" % (label, hist.count, hist.mean * scale, unit)
+    ]
+    populated = [
+        (bound, n)
+        for bound, n in zip(list(hist.bounds) + [float("inf")], hist.counts)
+        if n
+    ]
+    peak = max((n for _, n in populated), default=1)
+    for bound, n in populated:
+        bar = "#" * max(1, int(24 * n / peak))
+        lines.append("    <=%8.1f %s |%-24s| %d" % (bound * scale, unit, bar, n))
+    return "\n".join(lines)
+
+
+def format_lag_cdfs(world, n_points: int = 10) -> str:
+    """Trace-derived lag CDFs (needs ``Deployment(tracing=True)``)."""
+    report = compute_lag_report(world.obs.tracer, world.n_sites)
+    sections = []
+    for family, recorders in (
+        ("replication lag (commit@origin -> applied@site)", report.replication),
+        ("ds-durability lag (commit -> disaster-safe)", report.ds_durability),
+        ("visibility lag (commit -> globally visible)", report.visibility),
+    ):
+        populated = {s: r for s, r in recorders.items() if len(r)}
+        if not populated:
+            continue
+        sections.append(family + ":")
+        for site, recorder in sorted(populated.items()):
+            sections.append(format_cdf(recorder, n_points=n_points))
+    return "\n".join(sections) if sections else "(no lag samples; tracing off?)"
 
 
 def paper_comparison(

@@ -33,9 +33,6 @@ from ..sim import Event, Kernel
 COMMITTED = "COMMITTED"
 ABORTED = "ABORTED"
 
-_client_tids = itertools.count(1)
-
-
 @dataclass
 class TxHandle:
     """Client-side transaction handle."""
@@ -68,6 +65,9 @@ class WalterClient(Host):
         self.server_address = server_address
         self.config = config
         self._handles = {}
+        # Per-client so tids are deterministic for a fixed seed (the
+        # address is already unique on the network).
+        self._tid_seq = itertools.count(1)
 
     # ------------------------------------------------------------------
     # Transaction lifecycle
@@ -75,7 +75,7 @@ class WalterClient(Host):
     def start_tx(self) -> TxHandle:
         """Local-only start; the server starts the transaction on the
         first access RPC (piggybacked start)."""
-        tid = "%s:%d" % (self.address, next(_client_tids))
+        tid = "%s:%d" % (self.address, next(self._tid_seq))
         handle = TxHandle(
             tid=tid,
             client=self,

@@ -139,6 +139,9 @@ class CommitRecord:
     seqno: int
     start_vts: VectorTimestamp
     updates: List[Update]
+    #: Simulated time the transaction committed at its origin; carried on
+    #: the wire so receivers can measure replication lag (repro.obs).
+    committed_at: Optional[float] = None
 
     @property
     def version(self) -> Version:

@@ -16,6 +16,7 @@ from typing import Dict, Generator, List, Optional
 from .client import WalterClient
 from .core.objects import Container
 from .net import Host, Network, Topology
+from .obs import Observability
 from .server import LocalConfig, ServerCosts, SiteRecoveryCoordinator, WalterServer
 from .sim import Kernel, RandomStreams
 from .spec.checker import ExecutionTrace
@@ -39,14 +40,20 @@ class Deployment:
         trace: bool = False,
         jitter_frac: float = 0.05,
         anti_starvation: bool = False,
+        tracing: bool = False,
+        trace_capacity: int = 8192,
     ):
         self.kernel = Kernel()
         self.streams = RandomStreams(seed)
         self.topology = topology or Topology.ec2(n_sites)
         self.n_sites = len(self.topology)
+        #: Shared observability: the metrics registry is always on;
+        #: per-transaction span tracing is enabled with ``tracing=True``.
+        self.obs = Observability(tracing=tracing, trace_capacity=trace_capacity)
         self.network = Network(
             self.kernel, self.topology, streams=self.streams, jitter_frac=jitter_frac
         )
+        self.network.bind_metrics(self.obs.registry)
         self.config = LocalConfig(self.n_sites)
         self.trace = ExecutionTrace(n_sites=self.n_sites) if trace else None
         self.costs = costs or ServerCosts()
@@ -59,6 +66,8 @@ class Deployment:
             SiteStorage(self.kernel, site, flush_latency, name="disk-%d-%d" % (self._deploy_id, site))
             for site in range(self.n_sites)
         ]
+        for storage in self.storages:
+            storage.bind_metrics(self.obs.registry)
         self.addresses: Dict[int, str] = {
             site: "walter-%d-%d" % (self._deploy_id, site) for site in range(self.n_sites)
         }
@@ -85,6 +94,7 @@ class Deployment:
             trace=self.trace,
             anti_starvation=self.anti_starvation,
             takeover=takeover,
+            obs=self.obs,
         )
 
     # ------------------------------------------------------------------
@@ -110,7 +120,9 @@ class Deployment:
         return self.config.register(container)
 
     def new_client(self, site: int, name: Optional[str] = None) -> WalterClient:
-        name = name or "client-%d-%d" % (self._deploy_id, next(self._client_seq))
+        # No deploy id in the default name: client names feed into tids,
+        # and traces must be byte-identical across same-seed runs.
+        name = name or "client-%d-%d" % (site, next(self._client_seq))
         client = WalterClient(
             self.kernel,
             self.network,
@@ -189,6 +201,18 @@ class Deployment:
     def settle(self, duration: float = 2.0) -> None:
         """Let in-flight propagation finish."""
         self.kernel.run(until=self.kernel.now + duration)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def metrics_snapshot(self):
+        """Deterministic dump of every counter/gauge/histogram."""
+        return self.obs.snapshot()
+
+    def lag_report(self):
+        """Per-site replication/ds/visibility lag from retained traces
+        (requires ``tracing=True``); refreshes the ``lag.*`` gauges."""
+        return self.obs.lag_report(self.n_sites, at=self.kernel.now)
 
     # ------------------------------------------------------------------
     # Failure handling (§5.7)

@@ -73,6 +73,13 @@ class Network:
         # the 22 Mbps pipe as FIFO serialization.
         self._link_free_at: Dict[Tuple[int, int], float] = {}
         self.stats = NetworkStats()
+        self._registry = None
+
+    def bind_metrics(self, registry) -> None:
+        """Mirror per-site traffic into the shared metrics registry:
+        ``net.sent{site=src}``, ``net.delivered{site=dst}``, and
+        ``net.bytes{site=src,dst=dst}`` for cross-site links."""
+        self._registry = registry
 
     # ------------------------------------------------------------------
     # Host management
@@ -166,9 +173,15 @@ class Network:
             self.stats.bytes_by_link[link] = (
                 self.stats.bytes_by_link.get(link, 0) + size_bytes
             )
+            if self._registry is not None:
+                self._registry.counter(
+                    "net.bytes", site=src_site.id, dst=dst_site.id
+                ).inc(size_bytes)
             deliver_at = start + serialize + latency + self.SOFTWARE_OVERHEAD
         else:
             deliver_at = now + serialize + latency + self.SOFTWARE_OVERHEAD
+        if self._registry is not None:
+            self._registry.counter("net.sent", site=src_site.id).inc()
 
         message = Message(src, dst, payload, size_bytes, sent_at=now)
         self.kernel.call_at(deliver_at, self._deliver, message)
@@ -184,4 +197,6 @@ class Network:
             return
         message.delivered_at = self.kernel.now
         self.stats.delivered += 1
+        if self._registry is not None:
+            self._registry.counter("net.delivered", site=dst_site.id).inc()
         self._mailboxes[message.dst].put(message)

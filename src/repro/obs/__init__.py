@@ -1,0 +1,94 @@
+"""Sim-time observability: metrics registry, transaction tracing, lag.
+
+One :class:`Observability` instance is shared by every component of a
+deployment (servers, network, storage, benchmarks).  The metrics
+registry is always on -- counters and gauges are cheap attribute bumps.
+Transaction tracing is opt-in (``Deployment(tracing=True)``); when off,
+components hold ``tracer = None`` and each hook costs one ``None`` check.
+
+All timestamps come from the simulation kernel, so two runs with the
+same seed produce byte-identical trace dumps and metric snapshots.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from .export import dump_jsonl, format_timeline, format_timelines, trace_events_jsonl
+from .lag import LagReport, compute_lag_report, lag_summary, update_lag_gauges
+from .metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    log_buckets,
+)
+from .trace import (
+    ABORT,
+    DISKLOG_FLUSH,
+    DS_DURABLE,
+    EXECUTE,
+    FAST_COMMIT,
+    GLOBALLY_VISIBLE,
+    PROPAGATE_SEND,
+    REMOTE_APPLY,
+    REMOTE_COMMIT,
+    SLOW_COMMIT_COMMIT,
+    SLOW_COMMIT_PREPARE,
+    SpanEvent,
+    Tracer,
+    TxTrace,
+)
+
+
+class Observability:
+    """The per-deployment bundle: one registry, optionally one tracer."""
+
+    def __init__(self, tracing: bool = False, trace_capacity: int = 8192):
+        self.registry = MetricsRegistry()
+        self.tracer: Optional[Tracer] = Tracer(trace_capacity) if tracing else None
+
+    @property
+    def tracing(self) -> bool:
+        return self.tracer is not None
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        return self.registry.snapshot()
+
+    def lag_report(self, n_sites: int, at: Optional[float] = None) -> LagReport:
+        """Recompute lag from retained traces and refresh the gauges."""
+        return update_lag_gauges(self.registry, self.tracer, n_sites, at=at)
+
+
+__all__ = [
+    "ABORT",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "DISKLOG_FLUSH",
+    "DS_DURABLE",
+    "EXECUTE",
+    "FAST_COMMIT",
+    "GLOBALLY_VISIBLE",
+    "Gauge",
+    "Histogram",
+    "LagReport",
+    "MetricsRegistry",
+    "Observability",
+    "PROPAGATE_SEND",
+    "REMOTE_APPLY",
+    "REMOTE_COMMIT",
+    "SLOW_COMMIT_COMMIT",
+    "SLOW_COMMIT_PREPARE",
+    "SpanEvent",
+    "Tracer",
+    "TxTrace",
+    "compute_lag_report",
+    "dump_jsonl",
+    "format_timeline",
+    "format_timelines",
+    "lag_summary",
+    "log_buckets",
+    "trace_events_jsonl",
+    "update_lag_gauges",
+]

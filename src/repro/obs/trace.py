@@ -1,0 +1,180 @@
+"""Per-transaction span tracing over the simulated Walter lifecycle.
+
+A trace is the ordered list of :class:`SpanEvent`\\ s a transaction emits
+as it moves through the protocol:
+
+``execute`` -> ``fast_commit`` | ``slow_commit.prepare`` +
+``slow_commit.commit`` -> ``disklog_flush`` -> ``propagate_send`` ->
+``remote_apply`` / ``remote_commit`` (per remote site) -> ``ds_durable``
+-> ``globally_visible``
+
+Events carry the site that emitted them, so lag between sites falls out
+of a single trace: replication lag is ``remote_apply@s - commit@origin``,
+disaster-safe-durability lag is ``ds_durable - commit``, visibility lag
+is ``globally_visible - commit`` (paper Figs 18-20).
+
+The tracer keeps at most ``capacity`` transactions in an insertion-order
+ring buffer: when full, the oldest transaction's spans are dropped (and
+counted), so long benchmarks retain the recent window instead of growing
+without bound.  Tracing is opt-in; when disabled the servers hold no
+tracer and pay only a ``None`` check per hook.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+# Canonical event names (callers may also emit ad-hoc names).
+EXECUTE = "execute"
+FAST_COMMIT = "fast_commit"
+SLOW_COMMIT_PREPARE = "slow_commit.prepare"
+SLOW_COMMIT_COMMIT = "slow_commit.commit"
+ABORT = "abort"
+DISKLOG_FLUSH = "disklog_flush"
+PROPAGATE_SEND = "propagate_send"
+REMOTE_APPLY = "remote_apply"
+REMOTE_COMMIT = "remote_commit"
+DS_DURABLE = "ds_durable"
+GLOBALLY_VISIBLE = "globally_visible"
+
+#: Events that mark the local commit point (start of the lag clocks).
+_COMMIT_EVENTS = (FAST_COMMIT, SLOW_COMMIT_COMMIT)
+
+
+@dataclass
+class SpanEvent:
+    """One point on a transaction's timeline (simulated seconds)."""
+
+    seq: int
+    tid: str
+    name: str
+    site: int
+    t: float
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = {
+            "seq": self.seq,
+            "tid": self.tid,
+            "event": self.name,
+            "site": self.site,
+            "t": round(self.t, 9),
+        }
+        for k in sorted(self.extra):
+            out[k] = self.extra[k]
+        return out
+
+
+@dataclass
+class TxTrace:
+    """All spans recorded for one transaction."""
+
+    tid: str
+    events: List[SpanEvent] = field(default_factory=list)
+
+    def first(self, name: str, site: Optional[int] = None) -> Optional[SpanEvent]:
+        for event in self.events:
+            if event.name == name and (site is None or event.site == site):
+                return event
+        return None
+
+    def has(self, name: str, site: Optional[int] = None) -> bool:
+        return self.first(name, site) is not None
+
+    # ------------------------------------------------------------------
+    # Derived timeline facts
+    # ------------------------------------------------------------------
+    @property
+    def origin_site(self) -> Optional[int]:
+        for name in (EXECUTE,) + _COMMIT_EVENTS:
+            event = self.first(name)
+            if event is not None:
+                return event.site
+        return self.events[0].site if self.events else None
+
+    @property
+    def commit_event(self) -> Optional[SpanEvent]:
+        for event in self.events:
+            if event.name in _COMMIT_EVENTS:
+                return event
+        return None
+
+    @property
+    def commit_kind(self) -> Optional[str]:
+        event = self.commit_event
+        if event is None:
+            return None
+        return "fast" if event.name == FAST_COMMIT else "slow"
+
+    def _lag_from_commit(self, name: str, site: Optional[int] = None) -> Optional[float]:
+        commit = self.commit_event
+        if commit is None:
+            return None
+        event = self.first(name, site)
+        if event is None:
+            return None
+        return event.t - commit.t
+
+    def ds_lag(self) -> Optional[float]:
+        """Commit -> disaster-safe durable at the origin (Fig 19)."""
+        return self._lag_from_commit(DS_DURABLE)
+
+    def visibility_lag(self) -> Optional[float]:
+        """Commit -> globally visible (every site committed it)."""
+        return self._lag_from_commit(GLOBALLY_VISIBLE)
+
+    def replication_lag(self, site: int) -> Optional[float]:
+        """Commit at origin -> updates applied at ``site``."""
+        return self._lag_from_commit(REMOTE_APPLY, site)
+
+
+class Tracer:
+    """Bounded collector of transaction traces.
+
+    Timestamps are supplied by callers (``kernel.now``) so the tracer has
+    no clock of its own -- nothing here can leak wall-clock time into a
+    deterministic run.
+    """
+
+    def __init__(self, capacity: int = 8192):
+        if capacity < 1:
+            raise ValueError("tracer capacity must be >= 1")
+        self.capacity = capacity
+        self._traces: "OrderedDict[str, TxTrace]" = OrderedDict()
+        self._seq = 0
+        self.events_recorded = 0
+        self.traces_dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    def record(self, tid: str, name: str, site: int, t: float, **extra) -> SpanEvent:
+        trace = self._traces.get(tid)
+        if trace is None:
+            trace = self._traces[tid] = TxTrace(tid)
+            while len(self._traces) > self.capacity:
+                self._traces.popitem(last=False)
+                self.traces_dropped += 1
+        self._seq += 1
+        event = SpanEvent(self._seq, tid, name, site, t, dict(extra))
+        trace.events.append(event)
+        self.events_recorded += 1
+        return event
+
+    def get(self, tid: str) -> Optional[TxTrace]:
+        return self._traces.get(tid)
+
+    def traces(self) -> List[TxTrace]:
+        """Retained traces in first-event order."""
+        return list(self._traces.values())
+
+    def events(self) -> Iterator[SpanEvent]:
+        """Every retained event in global emission order."""
+        all_events = [e for trace in self._traces.values() for e in trace.events]
+        all_events.sort(key=lambda e: e.seq)
+        return iter(all_events)
+
+    def clear(self) -> None:
+        self._traces.clear()

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Any, Hashable, List, Optional, Tuple
 
+from ..obs import trace as span
 from ..core.cset import CSet
 from ..core.objects import ObjectId, ObjectKind
 from ..core.transaction import Transaction, TxStatus
@@ -51,6 +52,7 @@ class ExecutionMixin:
             tx = Transaction(tid=tid, site=self.site_id, start_vts=self.committed_vts)
             self._txs[tid] = tx
             self.stats.started += 1
+            self._span(tid, span.EXECUTE)
         return tx
 
     def rpc_tx_start(self, tid: str):
@@ -94,10 +96,18 @@ class ExecutionMixin:
         for objects not replicated locally."""
         container = self.config.container(oid.container)
         if container.replicated_at(self.site_id):
+            # LRU accounting only (paper §6): a miss means the object
+            # would have been materialized from the log/checkpoint.  The
+            # cached value is never returned -- reads always come from the
+            # snapshot-correct history -- so this cannot affect results,
+            # only the hit-rate metrics.
+            hit, _ = self.storage.cache.get(oid)
             if oid.kind is ObjectKind.CSET:
                 value = self.histories.read_cset(oid, tx.start_vts, tx.updates)
             else:
                 value = self.histories.read_regular(oid, tx.start_vts, tx.updates)
+            if not hit:
+                self.storage.cache.put(oid, True)
             self._trace_read(tx, oid, value)
             return value
         entries = yield from self.call(

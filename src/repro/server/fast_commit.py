@@ -16,6 +16,7 @@ from typing import Optional
 from ..core.transaction import CommitRecord, Transaction
 from ..core.versions import Version
 from ..errors import PreferredSiteUnavailableError
+from ..obs import trace as span
 from ..spec.checker import TracedTx
 
 COMMITTED = "COMMITTED"
@@ -40,6 +41,7 @@ class FastCommitMixin:
     def _commit_tx(self, tx: Transaction, notify: Optional[str] = None):
         """Fig 11 commitTx: dispatch to fast or slow commit."""
         tx.require_active()
+        started_at = self.kernel.now
         if tx.is_read_only:
             tx.mark_committed_read_only(at=self.kernel.now)
             self._txs.pop(tx.tid, None)
@@ -53,6 +55,11 @@ class FastCommitMixin:
         else:
             status = yield from self._slow_commit(tx, notify)
         self._txs.pop(tx.tid, None)
+        if status == COMMITTED:
+            # Server-side commit-path latency (conflict check + 2PC if
+            # slow + WAL flush); the client-observed Fig 18 latency adds
+            # one local RPC round trip on top.
+            self._commit_latency.observe(self.kernel.now - started_at)
         return status
 
     def _check_leases(self, writeset) -> None:
@@ -86,10 +93,12 @@ class FastCommitMixin:
             if conflict:
                 tx.mark_aborted()
                 self.stats.aborts += 1
+                self._span(tx.tid, span.ABORT, phase="fast_commit")
                 return ABORTED
             version = self._apply_local_commit(tx)
         finally:
             self.commit_lock.release()
+        self._span(tx.tid, span.FAST_COMMIT, seqno=version.seqno)
         yield from self._finish_local_commit(tx, version, notify)
         return COMMITTED
 
@@ -123,9 +132,13 @@ class FastCommitMixin:
             seqno=version.seqno,
             start_vts=tx.start_vts,
             updates=list(tx.updates),
+            committed_at=self.kernel.now,
         )
         self._records_by_version[version] = record
+        for oid in tx.touched:
+            self.storage.cache.put(oid, True)
         yield self.storage.log.append({"kind": "local_commit", "record": record})
+        self._span(tx.tid, span.DISKLOG_FLUSH)
         tx.mark_committed(version, at=self.kernel.now)
         self.stats.commits += 1
         self._enqueue_propagation(record, notify)

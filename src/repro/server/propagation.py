@@ -24,6 +24,7 @@ from typing import List, Optional, Set
 
 from ..core.transaction import CommitRecord
 from ..core.updates import touched_oids
+from ..obs import trace as span
 from ..sim import AllOf, AnyOf, Interrupt
 
 
@@ -137,6 +138,8 @@ class PropagationMixin:
 
     def _send_batch(self, records: List[CommitRecord]) -> None:
         size = sum(r.payload_bytes() for r in records) + 64
+        for record in records:
+            self._span(record.tid, span.PROPAGATE_SEND, batch=len(records))
         for site in self.config.active_sites():
             if site == self.site_id:
                 continue
@@ -163,12 +166,23 @@ class PropagationMixin:
         tracker.visible.add(site)
         self._maybe_visible(tracker)
 
+    @staticmethod
+    def _commit_time(tracker: PropagationTracker) -> float:
+        # Lag is measured from the commit point stamped on the record,
+        # not tracker.committed_at: the latter is set after the WAL
+        # flush and doubles as the resend-backoff timer.
+        if tracker.record.committed_at is not None:
+            return tracker.record.committed_at
+        return tracker.committed_at
+
     def _maybe_ds(self, tracker: PropagationTracker) -> None:
         if tracker.ds_durable or not self._ds_condition(tracker):
             return
         tracker.ds_durable = True
         tracker.ds_at = self.kernel.now
         tracker.ds_event.trigger_once(None)
+        self._ds_lag.observe(self.kernel.now - self._commit_time(tracker))
+        self._span(tracker.record.tid, span.DS_DURABLE, acked=len(tracker.acked))
         self.storage.log.append({"kind": "ds_durable", "tid": tracker.record.tid})
         for site in self.config.active_sites():
             if site != self.site_id:
@@ -208,6 +222,8 @@ class PropagationMixin:
         tracker.globally_visible = True
         tracker.visible_at = self.kernel.now
         tracker.visible_event.trigger_once(None)
+        self._visibility_lag.observe(self.kernel.now - self._commit_time(tracker))
+        self._span(tracker.record.tid, span.GLOBALLY_VISIBLE)
         self.storage.log.append(
             {"kind": "globally_visible", "tid": tracker.record.tid}
         )
@@ -280,6 +296,7 @@ class PropagationMixin:
                     self.got_vts = self.got_vts.with_entry(record.site, record.seqno)
                     self._records_by_version[version] = record
                     self.stats.remote_applied += 1
+                    self._note_remote_apply(record)
                     last_durable = self.storage.log.append(
                         {"kind": "remote_apply", "record": record}
                     )
@@ -293,6 +310,16 @@ class PropagationMixin:
             yield last_durable  # batch durable before acknowledging
         for tid in to_ack:
             self.cast(src, "propagate_ack", tid=tid, site=self.site_id)
+
+    def _note_remote_apply(self, record: CommitRecord) -> None:
+        """Observability for one applied remote record: refresh the LRU
+        accounting, measure replication lag (origin commit -> applied
+        here, the clock the origin stamped into the record), and span."""
+        for oid in touched_oids(record.updates):
+            self.storage.cache.put(oid, True)
+        if record.committed_at is not None:
+            self._replication_lag.observe(self.kernel.now - record.committed_at)
+        self._span(record.tid, span.REMOTE_APPLY, origin=record.site)
 
     def _got_guard(self, record: CommitRecord) -> bool:
         """Fig 13: GotVTS_i >= x.startVTS and GotVTS_i[j] = x.seqno - 1."""
@@ -317,6 +344,7 @@ class PropagationMixin:
             self.commit_lock.release()
         self._records_by_version[version] = record
         self.stats.remote_applied += 1
+        self._note_remote_apply(record)
         return self.storage.log.append({"kind": "remote_apply", "record": record})
 
     def _apply_remote(self, record: CommitRecord, reply_to: str):
@@ -351,6 +379,7 @@ class PropagationMixin:
         self._release_locks(record.tid)
         self.storage.log.append({"kind": "remote_commit", "version": record.version})
         self.stats.remote_commits += 1
+        self._span(record.tid, span.REMOTE_COMMIT, origin=record.site)
         if self.trace is not None:
             self.trace.record_site_commit(self.site_id, record.version)
         if reply_to is not None:

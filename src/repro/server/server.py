@@ -10,13 +10,13 @@ protocol mixins that mirror the paper's figures:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..core.history import SiteHistories
 from ..core.objects import ObjectId
 from ..core.versions import VectorTimestamp, Version
 from ..net import Host, Network
+from ..obs import MetricsRegistry, Observability
 from ..sim import Kernel, Lock, Resource, Store
 from ..spec.checker import ExecutionTrace
 from ..storage import SiteStorage
@@ -28,22 +28,59 @@ from .slow_commit import SlowCommitMixin
 from .state import ConfigView, ServerCosts
 
 
-@dataclass
 class ServerStats:
-    """Counters used by tests and the benchmark harness."""
+    """Counters used by tests and the benchmark harness.
 
-    started: int = 0
-    commits: int = 0
-    aborts: int = 0
-    read_only_commits: int = 0
-    slow_commit_attempts: int = 0
-    slow_commits: int = 0
-    remote_applied: int = 0
-    remote_commits: int = 0
-    batches_sent: int = 0
-    resumed_propagations: int = 0
-    retransmissions: int = 0
-    gc_removed: int = 0
+    Historically a flat dataclass; now a compatibility view over
+    per-site counters in the deployment's metrics registry
+    (:mod:`repro.obs`).  Attribute reads/writes (including ``+= 1``)
+    proxy to registry counters named ``server.<field>`` labelled with
+    this server's site, so the same numbers appear in benchmark metric
+    snapshots without double bookkeeping.
+    """
+
+    FIELDS = (
+        "started",
+        "commits",
+        "aborts",
+        "read_only_commits",
+        "slow_commit_attempts",
+        "slow_commits",
+        "remote_applied",
+        "remote_commits",
+        "batches_sent",
+        "resumed_propagations",
+        "retransmissions",
+        "gc_removed",
+    )
+
+    __slots__ = ("_registry", "_site")
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None, site: int = 0):
+        object.__setattr__(self, "_registry", registry or MetricsRegistry())
+        object.__setattr__(self, "_site", site)
+
+    def _counter(self, name: str):
+        return self._registry.counter("server.%s" % name, site=self._site)
+
+    def __getattr__(self, name: str) -> int:
+        if name in ServerStats.FIELDS:
+            return self._counter(name).value
+        raise AttributeError(name)
+
+    def __setattr__(self, name: str, value) -> None:
+        if name in ServerStats.FIELDS:
+            self._counter(name).set(value)
+        else:
+            object.__setattr__(self, name, value)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in ServerStats.FIELDS}
+
+    def __repr__(self) -> str:
+        return "ServerStats(%s)" % ", ".join(
+            "%s=%d" % (k, v) for k, v in self.as_dict().items()
+        )
 
 
 class WalterServer(
@@ -88,6 +125,7 @@ class WalterServer(
         anti_starvation: bool = False,
         anti_starvation_delay: float = 0.010,
         takeover: bool = False,
+        obs: Optional[Observability] = None,
     ):
         super().__init__(kernel, network, site_id, name, takeover=takeover)
         if ds_mode not in ("all_sites", "f_plus_1"):
@@ -121,7 +159,20 @@ class WalterServer(
         self._pending_ds = []
         self._visible_tids = set()
         self._delayed_until: Dict[ObjectId, float] = {}
-        self.stats = ServerStats()
+        # Observability: a deployment shares one Observability across its
+        # servers; a standalone server gets a private one so the stats
+        # view always has a registry behind it.
+        self.obs = obs or Observability()
+        self._tracer = self.obs.tracer
+        registry = self.obs.registry
+        self._commit_latency = registry.histogram("server.commit_latency", site=site_id)
+        # Always-on lag histograms (the tracer, when enabled, additionally
+        # retains per-transaction timelines): replication lag is recorded
+        # at the *receiving* site, ds/visibility lag at the origin.
+        self._replication_lag = registry.histogram("server.replication_lag", site=site_id)
+        self._ds_lag = registry.histogram("server.ds_lag", site=site_id)
+        self._visibility_lag = registry.histogram("server.visibility_lag", site=site_id)
+        self.stats = ServerStats(registry, site_id)
         self._prop_loop = None
 
     # ------------------------------------------------------------------
@@ -141,6 +192,17 @@ class WalterServer(
 
     def enable_checkpointing(self, interval: float = 30.0) -> None:
         self.storage.attach_checkpointer(self.state_snapshot, interval=interval)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def _span(self, tid: str, name: str, **extra) -> None:
+        """Emit one transaction span event at the current simulated time.
+
+        The single ``None`` check is the entire cost when tracing is off.
+        """
+        if self._tracer is not None:
+            self._tracer.record(tid, name, self.site_id, self.kernel.now, **extra)
 
     # ------------------------------------------------------------------
     # Maintenance

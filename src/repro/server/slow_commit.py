@@ -22,6 +22,7 @@ from ..core.objects import ObjectId
 from ..core.transaction import Transaction
 from ..core.versions import VectorTimestamp
 from ..net import RpcError
+from ..obs import trace as span
 from ..sim import AllOf
 
 COMMITTED = "COMMITTED"
@@ -33,6 +34,7 @@ class SlowCommitMixin:
         """Fig 12 slowCommit: 2PC among preferred sites of written objects."""
         self.stats.slow_commit_attempts += 1
         sites = sorted({self.config.preferred_site(oid) for oid in tx.write_set})
+        self._span(tx.tid, span.SLOW_COMMIT_PREPARE, participants=len(sites))
 
         def ask(site: int):
             oids = [o for o in sorted(tx.write_set, key=str) if self.config.preferred_site(o) == site]
@@ -63,6 +65,7 @@ class SlowCommitMixin:
             finally:
                 self.commit_lock.release()
             self._release_locks(tx.tid)  # locks at this server (Fig 12)
+            self._span(tx.tid, span.SLOW_COMMIT_COMMIT, seqno=version.seqno)
             yield from self._finish_local_commit(tx, version, notify)
             self.stats.slow_commits += 1
             return COMMITTED
@@ -73,6 +76,7 @@ class SlowCommitMixin:
                 self.cast(self.peers[site], "release_prepare", tid=tx.tid)
         tx.mark_aborted()
         self.stats.aborts += 1
+        self._span(tx.tid, span.ABORT, phase="slow_commit")
         return ABORTED
 
     # ------------------------------------------------------------------

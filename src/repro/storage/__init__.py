@@ -1,8 +1,8 @@
 """Durable storage substrate: WAL with group commit, cache, checkpoints."""
 
-from .cache import CacheStats, ObjectCache
+from .cache import CacheStats, ObjectCache, RegistryCacheStats
 from .checkpoint import Checkpoint, Checkpointer
-from .cluster import SiteStorage
+from .cluster import DEFAULT_CACHE_CAPACITY, SiteStorage
 from .disklog import (
     FLUSH_EC2,
     FLUSH_MEMORY,
@@ -15,6 +15,8 @@ from .disklog import (
 
 __all__ = [
     "CacheStats",
+    "DEFAULT_CACHE_CAPACITY",
+    "RegistryCacheStats",
     "Checkpoint",
     "Checkpointer",
     "DiskLog",

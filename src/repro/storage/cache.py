@@ -30,6 +30,40 @@ class CacheStats:
         return self.hits / total if total else 0.0
 
 
+class RegistryCacheStats:
+    """The :class:`CacheStats` attribute API backed by per-site counters
+    in a :class:`repro.obs.MetricsRegistry` (``cache.<field>{site=s}``),
+    so cache hit-rates show up in benchmark metric snapshots instead of
+    staying siloed in the storage layer."""
+
+    FIELDS = ("hits", "misses", "evictions_regular", "evictions_cset")
+
+    __slots__ = ("_registry", "_site")
+
+    def __init__(self, registry, site: int):
+        object.__setattr__(self, "_registry", registry)
+        object.__setattr__(self, "_site", site)
+
+    def _counter(self, name: str):
+        return self._registry.counter("cache.%s" % name, site=self._site)
+
+    def __getattr__(self, name: str) -> int:
+        if name in RegistryCacheStats.FIELDS:
+            return self._counter(name).value
+        raise AttributeError(name)
+
+    def __setattr__(self, name: str, value) -> None:
+        if name in RegistryCacheStats.FIELDS:
+            self._counter(name).set(value)
+        else:
+            object.__setattr__(self, name, value)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
 class ObjectCache:
     """LRU cache keyed by ObjectId, preferring to evict regular objects."""
 
@@ -40,6 +74,16 @@ class ObjectCache:
         self._regular: "OrderedDict[ObjectId, Any]" = OrderedDict()
         self._cset: "OrderedDict[ObjectId, Any]" = OrderedDict()
         self.stats = CacheStats()
+
+    def bind_metrics(self, registry, site: int) -> None:
+        """Mirror this cache's stats into registry counters; existing
+        counts carry over.  Idempotent (a replacement server rebinding
+        the same storage keeps the same counters)."""
+        stats = RegistryCacheStats(registry, site)
+        if not isinstance(self.stats, RegistryCacheStats):
+            for field_name in RegistryCacheStats.FIELDS:
+                stats._counter(field_name).inc(getattr(self.stats, field_name))
+        self.stats = stats
 
     def __len__(self) -> int:
         return len(self._regular) + len(self._cset)

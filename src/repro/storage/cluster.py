@@ -19,22 +19,42 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Optional
 
 from ..sim import Kernel
+from .cache import ObjectCache
 from .checkpoint import Checkpointer
 from .disklog import DiskLog
+
+#: Default in-memory object-cache capacity (paper §6 sizes the cache to
+#: hold the working set; 50k matches the benchmarks' populated keyspace).
+DEFAULT_CACHE_CAPACITY = 50_000
 
 
 class SiteStorage:
     """The durable state of one site, surviving Walter-server restarts."""
 
-    def __init__(self, kernel: Kernel, site: int, flush_latency: float, name: str = ""):
+    def __init__(
+        self,
+        kernel: Kernel,
+        site: int,
+        flush_latency: float,
+        name: str = "",
+        cache_capacity: int = DEFAULT_CACHE_CAPACITY,
+    ):
         self.kernel = kernel
         self.site = site
         self.log = DiskLog(
             kernel, flush_latency=flush_latency, name=name or ("disk-site%d" % site)
         )
+        #: In-memory object cache with cset-preferring LRU eviction (§6).
+        self.cache = ObjectCache(cache_capacity)
         self._checkpointer: Optional[Checkpointer] = None
         #: Small durable key-value area for server metadata (leases etc.).
         self.metadata: Dict[str, Any] = {}
+
+    def bind_metrics(self, registry) -> None:
+        """Expose this site's cache and WAL stats through the shared
+        metrics registry (labelled ``site=<id>``)."""
+        self.cache.bind_metrics(registry, self.site)
+        self.log.bind_metrics(registry, self.site)
 
     def attach_checkpointer(
         self, state_fn: Callable[[], Any], interval: float = 30.0

@@ -58,8 +58,22 @@ class DiskLog:
         self.name = name
         self.entries: List[LogRecord] = []
         self.stats = DiskStats()
+        self._flush_counter = None
+        self._record_counter = None
+        self._batch_hist = None
         self._queue = Store(kernel, name="%s.queue" % name)
         self._flusher = kernel.spawn(self._flush_loop(), name="%s.flusher" % name)
+
+    def bind_metrics(self, registry, site: int) -> None:
+        """Mirror flush/record counts into ``disklog.*{site=s}`` metrics
+        (batch sizes as a log-bucket histogram)."""
+        self._flush_counter = registry.counter("disklog.flushes", site=site)
+        self._record_counter = registry.counter("disklog.records", site=site)
+        from ..obs import log_buckets
+
+        self._batch_hist = registry.histogram(
+            "disklog.flush_batch", buckets=log_buckets(1.0, 4096.0), site=site
+        )
 
     def append(self, payload: Any) -> Event:
         """Enqueue ``payload``; the returned event fires when durable."""
@@ -70,6 +84,8 @@ class DiskLog:
             record.durable_at = self.kernel.now
             self.entries.append(record)
             self.stats.records += 1
+            if self._record_counter is not None:
+                self._record_counter.inc()
             done.trigger(record)
             return done
         self._queue.put((record, done))
@@ -82,10 +98,15 @@ class DiskLog:
             yield self.kernel.timeout(self.flush_latency)
             self.stats.flushes += 1
             self.stats.max_batch = max(self.stats.max_batch, len(batch))
+            if self._flush_counter is not None:
+                self._flush_counter.inc()
+                self._batch_hist.observe(float(len(batch)))
             for record, done in batch:
                 record.durable_at = self.kernel.now
                 self.entries.append(record)
                 self.stats.records += 1
+                if self._record_counter is not None:
+                    self._record_counter.inc()
                 done.trigger(record)
 
     def payloads(self) -> List[Any]:
