@@ -1,0 +1,90 @@
+"""CLI for the chaos harness.
+
+Run a batch of seeded chaos experiments; on the first failure, shrink
+the schedule and write a reproduction artifact (seed + shrunk schedule
+as canonical JSON) next to the working directory, then exit non-zero.
+
+Examples::
+
+    PYTHONPATH=src python -m repro.chaos --seed 1
+    PYTHONPATH=src python -m repro.chaos --seed 100 --runs 25 --budget 8
+    PYTHONPATH=src python -m repro.chaos --seed 1 --bug skip_resume_propagation
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+
+from .harness import ChaosConfig, run_chaos
+from .shrinker import shrink_schedule
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos",
+        description="seeded fault-injection runs checked against the PSI model",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="first seed (default 1)")
+    parser.add_argument("--runs", type=int, default=1, help="number of seeds to run")
+    parser.add_argument("--sites", type=int, default=3, help="sites in the deployment")
+    parser.add_argument("--budget", type=int, default=6, help="fault budget per schedule")
+    parser.add_argument("--horizon", type=float, default=8.0, help="fault window (sim s)")
+    parser.add_argument(
+        "--bug",
+        default=None,
+        help="plant a deliberate bug (harness self-test); see RecoveryMixin.CHAOS_BUGS",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="failure artifact path (default chaos-repro-<seed>.json)",
+    )
+    parser.add_argument(
+        "--shrink-runs", type=int, default=48, help="max candidate runs while shrinking"
+    )
+    args = parser.parse_args(argv)
+
+    base = ChaosConfig(
+        seed=args.seed,
+        n_sites=args.sites,
+        fault_budget=args.budget,
+        horizon=args.horizon,
+        bug=args.bug,
+    )
+    for seed in range(args.seed, args.seed + args.runs):
+        config = replace(base, seed=seed)
+        result = run_chaos(config)
+        tally = result.outcomes
+        print(
+            "seed %d: %s  faults=%d committed=%d aborted=%d errors=%d  t=%.2fs"
+            % (
+                seed,
+                "PASS" if result.passed else "FAIL",
+                len(result.applied_faults),
+                tally.get("COMMITTED", 0),
+                tally.get("ABORTED", 0),
+                tally.get("ERROR", 0),
+                result.end_time,
+            )
+        )
+        if result.passed:
+            continue
+        for violation in result.violations:
+            print("  %s" % violation)
+        print("shrinking schedule (%d events)..." % len(result.schedule))
+        report = shrink_schedule(config, result.schedule, max_runs=args.shrink_runs)
+        print(
+            "  %d -> %d events in %d runs"
+            % (report.initial_events, report.final_events, report.runs)
+        )
+        out = args.out or ("chaos-repro-%d.json" % seed)
+        report.result.artifact().save(out)
+        print("  wrote %s  (replay: ReproArtifact.load(path).replay())" % out)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,260 @@
+"""The chaos run loop: workload + fault schedule + repair + oracles.
+
+One :func:`run_chaos` call is one experiment:
+
+1. build a traced :class:`~repro.deployment.Deployment` from the config
+   seed, plus the randomized client workload;
+2. let the :class:`~repro.chaos.injector.FaultInjector` walk the
+   schedule (generated from the same seed unless one is supplied) while
+   the clients run;
+3. **repair**: once the schedule is exhausted, heal all partitions,
+   cancel loss bursts, replace any crashed servers, and re-integrate any
+   still-removed sites -- the oracles judge the *converged* system, not
+   the mid-outage one;
+4. **judge**: feed the recorded trace to the PSI checker (in dual-world
+   mode, excusing §4.4-abandoned transactions) and run the convergence,
+   durability, and liveness oracles.
+
+Everything is a deterministic function of ``(config, schedule)``: two
+runs with the same seed produce byte-identical schedules, verdicts, and
+failure artifacts.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..deployment import Deployment
+from ..spec.checker import Violation, check_trace
+from ..storage import FLUSH_MEMORY
+from .generator import generate_schedule
+from .injector import FaultInjector
+from .oracles import check_convergence, check_durability
+from .schedule import Schedule, canonical_json
+from .workload import make_objects, start_workload
+
+#: Extra sim-time allowed past the horizon for repair + draining client
+#: timeouts before a run is declared non-live.  Client op timeouts are a
+#: few seconds; removal/re-integration a few RPC rounds each.
+REPAIR_GRACE = 300.0
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Everything that determines a chaos run (besides an explicit
+    schedule override).  Frozen: configs are dict keys in test corpora."""
+
+    seed: int
+    n_sites: int = 3
+    horizon: float = 8.0
+    fault_budget: int = 6
+    clients_per_site: int = 2
+    txs_per_client: int = 10
+    n_objects: int = 6
+    n_csets: int = 2
+    flush_latency: float = FLUSH_MEMORY
+    settle: float = 6.0
+    #: Deliberate-bug name (see RecoveryMixin.CHAOS_BUGS); self-test only.
+    bug: Optional[str] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "n_sites": self.n_sites,
+            "horizon": self.horizon,
+            "fault_budget": self.fault_budget,
+            "clients_per_site": self.clients_per_site,
+            "txs_per_client": self.txs_per_client,
+            "n_objects": self.n_objects,
+            "n_csets": self.n_csets,
+            "flush_latency": self.flush_latency,
+            "settle": self.settle,
+            "bug": self.bug,
+        }
+
+    @classmethod
+    def from_dict(cls, obj: Dict[str, Any]) -> "ChaosConfig":
+        return cls(**obj)
+
+
+@dataclass
+class ChaosResult:
+    """Outcome of one chaos run."""
+
+    config: ChaosConfig
+    schedule: Schedule
+    violations: List[Violation] = field(default_factory=list)
+    outcomes: Dict[str, int] = field(default_factory=dict)
+    applied_faults: List[str] = field(default_factory=list)
+    injection_errors: List[Tuple[str, str]] = field(default_factory=list)
+    end_time: float = 0.0
+    world: Any = None  # the Deployment, for post-mortem inspection
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def verdict_obj(self) -> Dict[str, Any]:
+        """Canonical, JSON-able verdict -- byte-identical across runs of
+        the same (config, schedule)."""
+        return {
+            "passed": self.passed,
+            "violations": [
+                {"property": v.property_name, "detail": v.detail}
+                for v in self.violations
+            ],
+            "outcomes": dict(sorted(self.outcomes.items())),
+            "applied_faults": list(self.applied_faults),
+            "injection_errors": [list(e) for e in self.injection_errors],
+            "end_time": round(self.end_time, 9),
+        }
+
+    def verdict_json(self) -> str:
+        return canonical_json(self.verdict_obj())
+
+    def artifact(self) -> "ReproArtifact":
+        return ReproArtifact(
+            config=self.config, schedule=self.schedule, verdict=self.verdict_obj()
+        )
+
+
+@dataclass
+class ReproArtifact:
+    """A self-contained reproduction recipe: config + schedule + the
+    verdict they produced.  Check the JSON into ``tests/chaos/seeds/``
+    and the replay test will keep the bug (or its fix) pinned."""
+
+    config: ChaosConfig
+    schedule: Schedule
+    verdict: Dict[str, Any]
+
+    def to_json(self) -> str:
+        return canonical_json(
+            {
+                "config": self.config.as_dict(),
+                "schedule": self.schedule.to_obj(),
+                "verdict": self.verdict,
+            }
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ReproArtifact":
+        import json
+
+        obj = json.loads(text)
+        return cls(
+            config=ChaosConfig.from_dict(obj["config"]),
+            schedule=Schedule.from_obj(obj["schedule"]),
+            verdict=obj["verdict"],
+        )
+
+    def save(self, path) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path) -> "ReproArtifact":
+        with open(path) as fh:
+            return cls.from_json(fh.read())
+
+    def replay(self) -> ChaosResult:
+        """Re-run the recorded config + schedule; returns the fresh result
+        (compare its ``verdict_obj()`` with the stored one)."""
+        return run_chaos(self.config, schedule=self.schedule)
+
+
+def run_chaos(config: ChaosConfig, schedule: Optional[Schedule] = None) -> ChaosResult:
+    """Run one chaos experiment; see the module docstring."""
+    if schedule is None:
+        schedule = generate_schedule(config)
+    world = Deployment(
+        n_sites=config.n_sites,
+        flush_latency=config.flush_latency,
+        seed=config.seed,
+        trace=True,
+        jitter_frac=0.10,
+    )
+    world.chaos_bug = config.bug
+    oids, csets = make_objects(world, config)
+    injector = FaultInjector(world, schedule)
+    injector.start()
+    workload = start_workload(world, config, oids, csets)
+
+    violations: List[Violation] = []
+    repair_proc = None
+    deadline = config.horizon + REPAIR_GRACE
+    try:
+        world.run(until=config.horizon)
+        repair_proc = world.kernel.spawn(
+            _repair(world, injector), name="chaos.repair"
+        )
+        world.kernel.run(
+            until=deadline,
+            stop_when=lambda: workload.done and repair_proc.done and injector.done,
+        )
+    except Exception:  # noqa: BLE001 - a crash IS a failing verdict
+        violations.append(
+            Violation("exception", traceback.format_exc(limit=8).strip())
+        )
+
+    if not violations:
+        if not (workload.done and repair_proc.done and injector.done):
+            stuck = [
+                p.name
+                for p in workload.procs + [repair_proc, injector._proc] + injector._ops
+                if p is not None and not p.done
+            ]
+            violations.append(
+                Violation(
+                    "liveness",
+                    "not quiescent %.1fs past the horizon: %s"
+                    % (REPAIR_GRACE, ", ".join(sorted(stuck))),
+                )
+            )
+        else:
+            try:
+                world.settle(config.settle)
+                violations.extend(
+                    check_trace(world.trace, abandoned=world.abandoned_versions)
+                )
+                violations.extend(check_convergence(world))
+                violations.extend(check_durability(world))
+            except Exception:  # noqa: BLE001
+                violations.append(
+                    Violation("exception", traceback.format_exc(limit=8).strip())
+                )
+
+    return ChaosResult(
+        config=config,
+        schedule=schedule,
+        violations=violations,
+        outcomes=workload.tally(),
+        applied_faults=list(injector.applied),
+        injection_errors=list(injector.errors),
+        end_time=world.kernel.now,
+        world=world,
+    )
+
+
+def _repair(world, injector):
+    """Put the deployment back together so the convergence/durability
+    oracles judge a healed system."""
+    yield from injector.quiesce()
+    injector.cancel_bursts()
+    world.network.heal_all()
+    for site in world.config.active_sites():
+        if world.network.is_crashed(world.addresses[site]):
+            world.replace_server(site)
+    for site in range(world.n_sites):
+        if not world.config.is_active(site):
+            yield from world.reintegrate_site_gen(site)
+
+
+def run_batch(
+    seeds, base: Optional[ChaosConfig] = None, **overrides
+) -> List[ChaosResult]:
+    """Run one chaos experiment per seed (used by the CLI and CI smoke)."""
+    base = base or ChaosConfig(seed=0)
+    return [run_chaos(replace(base, seed=seed, **overrides)) for seed in seeds]

@@ -1,0 +1,101 @@
+"""Convergence and durability oracles for chaos runs.
+
+:func:`check_trace` validates the three PSI safety properties from the
+recorded trace alone.  These oracles add what a trace cannot see -- the
+final *server state* after faults and repair:
+
+* **Convergence**: once the network is healed and propagation has
+  settled, every active site agrees on the committed frontier, and every
+  replicating site returns the same value for every object at that
+  frontier (paper §4: all sites eventually agree on the committed state).
+
+* **Durability**: no transaction that committed somewhere is lost --
+  every active site's ``CommittedVTS`` covers it -- unless §4.4's
+  aggressive removal (or §5.7 storage fencing at a takeover) explicitly
+  sacrificed it, in which case the deployment recorded it in
+  ``abandoned_versions``.
+
+Both return the checker's :class:`~repro.spec.checker.Violation` type so
+the harness can merge all findings into one verdict.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.objects import ObjectKind
+from ..spec.checker import Violation
+
+
+def check_convergence(world) -> List[Violation]:
+    """All active sites agree on the committed frontier and on every
+    object's value at that frontier."""
+    violations: List[Violation] = []
+    active = sorted(world.config.active_sites())
+    if not active:
+        return [Violation("convergence", "no active sites remain")]
+    frontiers = {site: tuple(world.servers[site].committed_vts) for site in active}
+    reference_site = active[0]
+    reference = frontiers[reference_site]
+    for site in active[1:]:
+        if frontiers[site] != reference:
+            violations.append(
+                Violation(
+                    "convergence",
+                    "committed frontier diverges: site %d has %r, site %d has %r"
+                    % (reference_site, reference, site, frontiers[site]),
+                )
+            )
+    if violations:
+        return violations  # value comparison at unequal frontiers is noise
+
+    oids = sorted(
+        {oid for site in active for oid in world.servers[site].histories.known_oids()},
+        key=str,
+    )
+    for oid in oids:
+        seen = []
+        for site in active:
+            if not world.config.replicated_at(oid, site):
+                continue
+            server = world.servers[site]
+            if oid.kind is ObjectKind.CSET:
+                value = server.histories.read_cset(oid, server.committed_vts).counts()
+            else:
+                value = server.histories.read_regular(oid, server.committed_vts)
+            seen.append((site, value))
+        for site, value in seen[1:]:
+            if value != seen[0][1]:
+                violations.append(
+                    Violation(
+                        "convergence",
+                        "%s diverges at the committed frontier: site %d has %r, site %d has %r"
+                        % (oid, seen[0][0], seen[0][1], site, value),
+                    )
+                )
+    return violations
+
+
+def check_durability(world) -> List[Violation]:
+    """Every committed transaction in the trace is committed at every
+    active site, except those §4.4/§5.7 legitimately abandoned."""
+    if world.trace is None:
+        raise ValueError("durability oracle needs Deployment(trace=True)")
+    violations: List[Violation] = []
+    active = sorted(world.config.active_sites())
+    abandoned = world.abandoned_versions
+    for tid in sorted(world.trace.transactions):
+        tx = world.trace.transactions[tid]
+        if tx.version in abandoned:
+            continue
+        for site in active:
+            committed = world.servers[site].committed_vts
+            if committed[tx.version.site] < tx.version.seqno:
+                violations.append(
+                    Violation(
+                        "durability",
+                        "%s (version %s) committed but is not covered at site %d "
+                        "(committed frontier %r)" % (tid, tx.version, site, tuple(committed)),
+                    )
+                )
+    return violations

@@ -1,0 +1,80 @@
+"""Greedy schedule shrinking (ddmin-lite).
+
+Given a failing ``(config, schedule)``, repeatedly try deleting chunks
+of events -- halving the chunk size as deletions stop helping -- and
+keep any candidate that still fails.  Every candidate run is itself a
+full deterministic chaos run, so the result is a *locally minimal*
+failing schedule: removing any single remaining event (at the final
+granularity) makes the failure disappear.
+
+Pair-structured faults need no special casing: a candidate that drops
+``remove_site`` but keeps ``reintegrate`` simply records an injection
+error and keeps running, and the oracles decide whether it still fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from .harness import ChaosConfig, ChaosResult, run_chaos
+from .schedule import FaultEvent, Schedule
+
+
+@dataclass
+class ShrinkReport:
+    """The minimized schedule plus how much work finding it took."""
+
+    schedule: Schedule
+    result: ChaosResult  # the failing run of the minimized schedule
+    runs: int
+    initial_events: int
+
+    @property
+    def final_events(self) -> int:
+        return len(self.schedule)
+
+
+def shrink_schedule(
+    config: ChaosConfig,
+    schedule: Schedule,
+    max_runs: int = 48,
+    still_fails: Optional[Callable[[ChaosResult], bool]] = None,
+) -> ShrinkReport:
+    """Minimize ``schedule`` while ``still_fails(run_chaos(...))`` holds.
+
+    The default predicate is "any oracle violation".  ``max_runs`` bounds
+    the total number of candidate runs (each is a full simulation).
+    """
+    if still_fails is None:
+        still_fails = lambda result: not result.passed  # noqa: E731
+
+    runs = 0
+    events: List[FaultEvent] = list(schedule.events)
+    best = run_chaos(config, schedule=Schedule(list(events)))
+    runs += 1
+    if still_fails(best) is False:
+        raise ValueError("shrink_schedule called with a passing schedule")
+
+    chunk = max(1, len(events) // 2)
+    while chunk >= 1 and runs < max_runs:
+        i = 0
+        while i < len(events) and runs < max_runs:
+            candidate = events[:i] + events[i + chunk:]
+            result = run_chaos(config, schedule=Schedule(list(candidate)))
+            runs += 1
+            if still_fails(result):
+                events = candidate
+                best = result  # same position now holds the next chunk
+            else:
+                i += chunk
+        if chunk == 1:
+            break
+        chunk = max(1, chunk // 2)
+
+    return ShrinkReport(
+        schedule=Schedule(list(events)),
+        result=best,
+        runs=runs,
+        initial_events=len(schedule),
+    )

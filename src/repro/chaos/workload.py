@@ -1,0 +1,104 @@
+"""Randomized client workload for chaos runs.
+
+Mirrors the op mix of the PSI property tests (reads, writes, cset
+add/del over objects spread across per-site containers), but built for a
+hostile environment: every operation can raise -- RPC timeouts when the
+client's home server is crashed, removed, or partitioned -- and the loop
+records the error and moves on to the next transaction with a fresh
+handle.  All randomness comes from streams derived from the chaos seed,
+so the operation sequence each client *attempts* is a pure function of
+the config (what *commits* additionally depends on the schedule, which
+is equally deterministic).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..core.objects import ObjectKind
+from ..sim.rand import derive_seed
+
+#: Outcome labels recorded per attempted transaction.
+COMMITTED = "COMMITTED"
+ABORTED = "ABORTED"
+ERROR = "ERROR"
+
+
+@dataclass
+class WorkloadHandle:
+    """The spawned client processes plus their outcome tallies."""
+
+    procs: List = field(default_factory=list)
+    outcomes: List[List[str]] = field(default_factory=list)
+
+    @property
+    def done(self) -> bool:
+        return all(p.done for p in self.procs)
+
+    def tally(self) -> Dict[str, int]:
+        counts = {COMMITTED: 0, ABORTED: 0, ERROR: 0}
+        for outcome_list in self.outcomes:
+            for status in outcome_list:
+                counts[status] = counts.get(status, 0) + 1
+        return counts
+
+
+def make_objects(world, config):
+    """One container per site (``c0``..``c{n-1}``, preferred there), and
+    the object/cset ids spread over them -- the layout the schedule
+    generator's ``handover`` fault assumes."""
+    for site in range(config.n_sites):
+        world.create_container("c%d" % site, preferred_site=site)
+    rng = random.Random(derive_seed(config.seed, "chaos.objects"))
+    oids = [
+        world.config.container("c%d" % rng.randrange(config.n_sites)).new_id()
+        for _ in range(config.n_objects)
+    ]
+    csets = [
+        world.config.container("c%d" % rng.randrange(config.n_sites)).new_id(ObjectKind.CSET)
+        for _ in range(config.n_csets)
+    ]
+    return oids, csets
+
+
+def start_workload(world, config, oids, csets) -> WorkloadHandle:
+    """Spawn ``clients_per_site`` client loops at every site."""
+    handle = WorkloadHandle()
+    for site in range(config.n_sites):
+        for c in range(config.clients_per_site):
+            client = world.new_client(site, name="chaos-client-%d-%d" % (site, c))
+            crng = random.Random(derive_seed(config.seed, "chaos.client.%d.%d" % (site, c)))
+            outcomes: List[str] = []
+            handle.outcomes.append(outcomes)
+            handle.procs.append(
+                world.kernel.spawn(
+                    _client_loop(client, crng, config, oids, csets, outcomes),
+                    name="chaos.workload:%d.%d" % (site, c),
+                )
+            )
+    return handle
+
+
+def _client_loop(client, crng, config, oids, csets, outcomes):
+    for _ in range(config.txs_per_client):
+        yield client.kernel.timeout(crng.random() * 0.05)
+        tx = client.start_tx()
+        try:
+            for _op in range(crng.randint(1, 4)):
+                kind = crng.random()
+                if kind < 0.45:
+                    yield from client.read(tx, crng.choice(oids))
+                elif kind < 0.75:
+                    yield from client.write(
+                        tx, crng.choice(oids), ("%s" % crng.random()).encode()
+                    )
+                elif kind < 0.9:
+                    yield from client.set_add(tx, crng.choice(csets), crng.randrange(5))
+                else:
+                    yield from client.set_del(tx, crng.choice(csets), crng.randrange(5))
+            outcomes.append((yield from client.commit(tx)))
+        except Exception:  # noqa: BLE001 - faults make any op fallible
+            outcomes.append(ERROR)
+    return outcomes

@@ -11,10 +11,11 @@ one-call operations used by tests and examples.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Generator, List, Optional
+from typing import Dict, Generator, List, Optional, Set
 
 from .client import WalterClient
 from .core.objects import Container
+from .core.versions import Version
 from .net import Host, Network, Topology
 from .obs import Observability
 from .server import LocalConfig, ServerCosts, SiteRecoveryCoordinator, WalterServer
@@ -27,6 +28,11 @@ _deploy_seq = itertools.count(1)
 
 class Deployment:
     """A complete multi-site Walter installation in one simulation."""
+
+    #: Fault-injection hook (see :class:`~repro.server.recovery.RecoveryMixin`):
+    #: propagated to every server the deployment creates, including
+    #: replacements.  Only the chaos harness's self-test sets this.
+    chaos_bug: Optional[str] = None
 
     def __init__(
         self,
@@ -61,6 +67,10 @@ class Deployment:
         self.ds_mode = ds_mode
         self.anti_starvation = anti_starvation
         self._deploy_id = next(_deploy_seq)
+        #: Versions legitimately sacrificed by aggressive site removal
+        #: (§5.7): committed at the failed site but never propagated.
+        #: The chaos durability oracle excludes these from "lost".
+        self.abandoned_versions: Set[Version] = set()
 
         self.storages: List[SiteStorage] = [
             SiteStorage(self.kernel, site, flush_latency, name="disk-%d-%d" % (self._deploy_id, site))
@@ -80,7 +90,7 @@ class Deployment:
         self._container_seq = itertools.count(1)
 
     def _make_server(self, site: int, takeover: bool = False) -> WalterServer:
-        return WalterServer(
+        server = WalterServer(
             self.kernel,
             self.network,
             site_id=site,
@@ -96,6 +106,8 @@ class Deployment:
             takeover=takeover,
             obs=self.obs,
         )
+        server.chaos_bug = self.chaos_bug
+        return server
 
     # ------------------------------------------------------------------
     # Topology/objects
@@ -224,11 +236,40 @@ class Deployment:
     def replace_server(self, site: int) -> WalterServer:
         """Start a replacement server over the site's cluster storage; it
         recovers its state and resumes propagation (§5.7)."""
+        doomed = self._fence_storage(site)
         replacement = self._make_server(site, takeover=True)
         replacement.restore_from_storage()
+        for version in doomed:
+            # Never reuse a seqno the old server handed out, even though
+            # its commit record was fenced before becoming durable.
+            replacement.curr_seqno = max(replacement.curr_seqno, version.seqno)
+        # Seqnos skipped that way must still reach every receiver (the
+        # propagation guard needs a contiguous stream): plug with no-ops.
+        replacement.seal_seqno_holes()
         replacement.start()
         self.servers[site] = replacement
+        checkpointer = self.storages[site].checkpointer
+        if checkpointer is not None:
+            # The old server's checkpointer died with it; the replacement
+            # resumes checkpointing at the same cadence.
+            self.storages[site].attach_checkpointer(
+                replacement.state_snapshot, interval=checkpointer.interval
+            )
         return replacement
+
+    def _fence_storage(self, site: int) -> List[Version]:
+        """Fence a site's storage before a takeover (§5.7): the old
+        server's in-flight WAL writes are discarded.  The corresponding
+        local commits were never durable -- hence never propagated -- so
+        they are recorded as abandoned (the durability oracle must not
+        count them as lost) and returned so the replacement can avoid
+        reusing their seqnos."""
+        doomed: List[Version] = []
+        for payload in self.storages[site].fence():
+            if isinstance(payload, dict) and payload.get("kind") == "local_commit":
+                doomed.append(payload["record"].version)
+        self.abandoned_versions.update(doomed)
+        return doomed
 
     def fail_site(self, site: int) -> None:
         """An entire site fails: server down, links severed."""
@@ -241,29 +282,104 @@ class Deployment:
         """Aggressive recovery (§4.4/§5.7): drop the failed site, keep its
         surviving transactions, reassign its containers.  Returns the
         surviving seqno bound."""
-        coordinator = self._coordinator(at_site=reassign_to)
         return self.run_process(
-            coordinator.remove_site(self.config, failed_site, reassign_to),
-            within=within,
+            self.remove_site_gen(failed_site, reassign_to), within=within
         )
+
+    def remove_site_gen(self, failed_site: int, reassign_to: int) -> Generator:
+        """Generator form of :meth:`remove_site`, for callers already
+        inside the simulation (e.g. the chaos fault injector).  Records
+        the transactions the aggressive option sacrificed in
+        :attr:`abandoned_versions`."""
+        coordinator = self._coordinator(at_site=reassign_to)
+        max_seqno = self.servers[failed_site].curr_seqno
+        upto = yield from coordinator.remove_site(
+            self.config, failed_site, reassign_to
+        )
+        for seqno in range(upto + 1, max_seqno + 1):
+            self.abandoned_versions.add(Version(failed_site, seqno))
+        return upto
 
     def reintegrate_site(self, site: int, within: float = 60.0) -> WalterServer:
         """Bring a removed site back: heal links, start a recovered server,
         synchronize it, then return its containers (§5.7)."""
+        return self.run_process(self.reintegrate_site_gen(site), within=within)
+
+    def reintegrate_site_gen(self, site: int) -> Generator:
+        """Generator form of :meth:`reintegrate_site` (see
+        :meth:`remove_site_gen`); returns the replacement server."""
         for other in range(self.n_sites):
             if other != site:
                 self.network.heal(site, other)
+        doomed = self._fence_storage(site)
         replacement = self._make_server(site, takeover=True)
-        replacement.restore_from_storage()
+        # No resume: this server's own logged suffix may be abandoned
+        # under the new configuration; re-propagating it would resurrect
+        # §4.4-sacrificed transactions at the survivors.  The recovery
+        # coordinator truncates it and seals the seqno gap instead.
+        replacement.restore_from_storage(resume_propagation=False)
+        for version in doomed:
+            replacement.curr_seqno = max(replacement.curr_seqno, version.seqno)
         replacement.start()
         self.servers[site] = replacement
         survivor = next(s for s in self.config.active_sites() if s != site)
         coordinator = self._coordinator(at_site=survivor)
-        self.run_process(
-            coordinator.reintegrate_site(self.config, site, replacement.address),
-            within=within,
+        yield from coordinator.reintegrate_site(
+            self.config, site, replacement.address
         )
         return replacement
+
+    def handover_container_gen(
+        self, cid: str, to_site: int, within: float = 30.0
+    ) -> Generator:
+        """Planned preferred-site handover of one container, using the
+        same lease mechanism §5.7 uses for reassignment after a site
+        failure.  The fast-commit conflict check is only sound at a site
+        whose history is complete for the container, so the handover
+        must not take effect before the target caught up with
+        everything the old preferred site admitted:
+
+        1. revoke the lease -- new writes to the container abort until
+           the handover lands (or is rolled back);
+        2. wait for both endpoints to be up: a crashed target cannot
+           catch up, and a crashed old server only re-establishes its
+           admitted frontier once replaced and recovered;
+        3. wait until the target's GotVTS dominates the old preferred
+           site's CommittedVTS;
+        4. reassign, which also grants the lease to the target.
+
+        If the endpoints do not come up within ``within`` sim-seconds
+        the handover is rolled back (lease returned to the old holder)
+        and a TimeoutError is raised.
+        """
+        old = self.config.container(cid).preferred_site
+        if old == to_site:
+            self.config.reassign_preferred_site(cid, to_site)  # re-grant lease
+            return
+        self.config.suspend_lease(cid)
+        deadline = self.kernel.now + within
+        try:
+            while self.network.is_crashed(
+                self.addresses[old]
+            ) or self.network.is_crashed(self.addresses[to_site]):
+                if self.kernel.now >= deadline:
+                    raise TimeoutError(
+                        "handover of %r to site %d: endpoint down past deadline"
+                        % (cid, to_site)
+                    )
+                yield self.kernel.timeout(0.05)
+            needed = self.servers[old].committed_vts
+            while not self.servers[to_site].got_vts.dominates(needed):
+                if self.kernel.now >= deadline:
+                    raise TimeoutError(
+                        "handover of %r to site %d: target never caught up"
+                        % (cid, to_site)
+                    )
+                yield self.kernel.timeout(0.01)
+        except TimeoutError:
+            self.config.reassign_preferred_site(cid, old)  # roll back
+            raise
+        self.config.reassign_preferred_site(cid, to_site)
 
     def _coordinator(self, at_site: int = 0) -> SiteRecoveryCoordinator:
         host = Host(

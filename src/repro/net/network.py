@@ -14,9 +14,10 @@ failure model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Optional, Set, Tuple
 
+from ..obs import MetricsRegistry
 from ..sim import Kernel, RandomStreams, Store
 from .topology import Site, Topology
 
@@ -33,16 +34,52 @@ class Message:
     delivered_at: Optional[float] = None
 
 
-@dataclass
 class NetworkStats:
-    """Counters exposed to tests and benchmarks."""
+    """Counters exposed to tests and benchmarks.
 
-    sent: int = 0
-    delivered: int = 0
-    dropped_partition: int = 0
-    dropped_crash: int = 0
-    dropped_random: int = 0
-    bytes_by_link: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    Like :class:`~repro.server.ServerStats`, this is a compatibility view
+    over registry counters (``net.sent``, ``net.delivered``,
+    ``net.dropped_partition``, ``net.dropped_crash``,
+    ``net.dropped_random``), so fault-injection runs surface drop counts
+    in ``metrics_snapshot()``.  ``bytes_by_link`` stays a plain dict
+    (tuple-keyed; per-link bytes are also mirrored as ``net.bytes``).
+    """
+
+    FIELDS = (
+        "sent",
+        "delivered",
+        "dropped_partition",
+        "dropped_crash",
+        "dropped_random",
+    )
+
+    __slots__ = ("_registry", "bytes_by_link")
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        object.__setattr__(self, "_registry", registry or MetricsRegistry())
+        object.__setattr__(self, "bytes_by_link", {})
+
+    def _counter(self, name: str):
+        return self._registry.counter("net.%s" % name)
+
+    def __getattr__(self, name: str) -> int:
+        if name in NetworkStats.FIELDS:
+            return self._counter(name).value
+        raise AttributeError(name)
+
+    def __setattr__(self, name: str, value) -> None:
+        if name in NetworkStats.FIELDS:
+            self._counter(name).set(value)
+        else:
+            object.__setattr__(self, name, value)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in NetworkStats.FIELDS}
+
+    def __repr__(self) -> str:
+        return "NetworkStats(%s)" % ", ".join(
+            "%s=%d" % (k, v) for k, v in self.as_dict().items()
+        )
 
 
 class Network:
@@ -78,8 +115,17 @@ class Network:
     def bind_metrics(self, registry) -> None:
         """Mirror per-site traffic into the shared metrics registry:
         ``net.sent{site=src}``, ``net.delivered{site=dst}``, and
-        ``net.bytes{site=src,dst=dst}`` for cross-site links."""
+        ``net.bytes{site=src,dst=dst}`` for cross-site links.  The
+        aggregate :class:`NetworkStats` view (including the drop
+        counters) is rebound onto the same registry, migrating any
+        counts accumulated before binding."""
         self._registry = registry
+        old = self.stats
+        stats = NetworkStats(registry)
+        for name in NetworkStats.FIELDS:
+            setattr(stats, name, getattr(old, name))
+        stats.bytes_by_link.update(old.bytes_by_link)
+        self.stats = stats
 
     # ------------------------------------------------------------------
     # Host management

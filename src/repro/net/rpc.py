@@ -73,6 +73,7 @@ class Host:
         self._next_rpc_id = 0
         self._running = False
         self._loop = None
+        self._children: list = []
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -94,9 +95,34 @@ class Host:
         self._pending.clear()
 
     def crash(self) -> None:
-        """Crash this host: stop dispatching and drop network traffic."""
+        """Crash this host: stop dispatching, drop network traffic, and
+        kill in-flight handler processes.  A crashed OS process does not
+        keep executing, so work forked off the dispatch loop must not
+        either -- only effects already handed to durable storage or the
+        network survive the crash."""
         self.network.crash_host(self.address)
         self.stop()
+        children, self._children = self._children, []
+        for proc in children:
+            proc.interrupt("crashed")
+
+    def spawn_child(self, gen, name: str = ""):
+        """Spawn a process that dies with this host (see :meth:`crash`).
+
+        The wrapper absorbs the :class:`~repro.sim.Interrupt` a crash
+        throws, so killed handlers never surface as orphan failures."""
+        from ..sim import Interrupt
+
+        def body():
+            try:
+                return (yield from gen)
+            except Interrupt:
+                return None
+
+        self._children = [p for p in self._children if not p.done]
+        proc = self.kernel.spawn(body(), name=name)
+        self._children.append(proc)
+        return proc
 
     def _dispatch_loop(self):
         from ..sim import Interrupt
@@ -106,7 +132,7 @@ class Host:
                 message = yield self.mailbox.get()
                 payload = message.payload
                 if isinstance(payload, RpcRequest):
-                    self.kernel.spawn(
+                    self.spawn_child(
                         self._serve(payload),
                         name="serve:%s.%s" % (self.address, payload.method),
                     )
@@ -125,7 +151,7 @@ class Host:
                         )
                     result = handler(payload.src, **payload.args)
                     if inspect.isgenerator(result):
-                        self.kernel.spawn(
+                        self.spawn_child(
                             result, name="on:%s.%s" % (self.address, payload.method)
                         )
                 else:

@@ -30,6 +30,7 @@ from .trace import (
     DS_DURABLE,
     EXECUTE,
     FAST_COMMIT,
+    FAULT,
     GLOBALLY_VISIBLE,
     PROPAGATE_SEND,
     REMOTE_APPLY,
@@ -69,6 +70,7 @@ __all__ = [
     "DS_DURABLE",
     "EXECUTE",
     "FAST_COMMIT",
+    "FAULT",
     "GLOBALLY_VISIBLE",
     "Gauge",
     "Histogram",

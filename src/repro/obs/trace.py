@@ -38,6 +38,9 @@ REMOTE_APPLY = "remote_apply"
 REMOTE_COMMIT = "remote_commit"
 DS_DURABLE = "ds_durable"
 GLOBALLY_VISIBLE = "globally_visible"
+#: Emitted by the chaos harness's fault injector (tid="chaos"), so
+#: injected faults appear on the same timeline as transaction spans.
+FAULT = "fault"
 
 #: Events that mark the local commit point (start of the lag clocks).
 _COMMIT_EVENTS = (FAST_COMMIT, SLOW_COMMIT_COMMIT)

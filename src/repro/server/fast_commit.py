@@ -48,6 +48,17 @@ class FastCommitMixin:
             self.stats.commits += 1
             self.stats.read_only_commits += 1
             return COMMITTED
+        if not self.config.is_active(self.site_id):
+            # §5.7: a site under re-integration must not commit update
+            # transactions until the configuration service re-activates
+            # it -- its surviving prefix is still being finalized, and a
+            # seqno handed out now could be truncated by the in-flight
+            # finalize as if it were part of the abandoned suffix.
+            tx.mark_aborted()
+            self._txs.pop(tx.tid, None)
+            self.stats.aborts += 1
+            self._span(tx.tid, span.ABORT, phase="site_inactive")
+            return ABORTED
         writeset = tx.write_set
         self._check_leases(writeset)
         if all(self.config.preferred_site(oid) == self.site_id for oid in writeset):

@@ -117,9 +117,23 @@ class PropagationMixin:
         for tracker in self._trackers.values():
             if tracker.ds_durable:
                 if not tracker.globally_visible and now - (tracker.ds_at or now) > stale:
-                    # VISIBLE acks missing: re-announce DS durability.
                     for site in self.config.active_sites():
-                        if site != self.site_id and site not in tracker.visible:
+                        if site == self.site_id:
+                            continue
+                        if site not in tracker.acked:
+                            # A site activated after DS durability (site
+                            # re-integration) may lack the record itself;
+                            # it cannot commit what it never received, so
+                            # re-PROPAGATE, not just re-announce.
+                            self.cast(
+                                self.peers[site],
+                                "propagate",
+                                size_bytes=tracker.record.payload_bytes() + 64,
+                                records=[tracker.record],
+                                from_site=self.site_id,
+                            )
+                        if site not in tracker.visible:
+                            # VISIBLE acks missing: re-announce DS durability.
                             self.cast(
                                 self.peers[site],
                                 "ds_durable",
@@ -274,7 +288,7 @@ class PropagationMixin:
                 i += 1
                 continue
             if not self._got_guard(record):
-                self._pending_remote.append((record, src))
+                self._park_remote(record, src)
                 i += 1
                 continue
             yield self.commit_lock.acquire()
@@ -287,7 +301,7 @@ class PropagationMixin:
                         i += 1
                         continue
                     if not self._got_guard(record):
-                        self._pending_remote.append((record, src))
+                        self._park_remote(record, src)
                         i += 1
                         continue
                     yield self.kernel.timeout(self.costs.apply_remote)
@@ -310,6 +324,16 @@ class PropagationMixin:
             yield last_durable  # batch durable before acknowledging
         for tid in to_ack:
             self.cast(src, "propagate_ack", tid=tid, site=self.site_id)
+
+    def _park_remote(self, record: CommitRecord, src: Optional[str]) -> None:
+        """Hold back a record whose got guard failed, once: batches can
+        carry duplicates (retransmissions, recovery delivery racing
+        normal propagation), and parking a version twice would make
+        ``_drain_pending`` spawn two applies for it."""
+        for held, _reply in self._pending_remote:
+            if held.version == record.version:
+                return
+        self._pending_remote.append((record, src))
 
     def _note_remote_apply(self, record: CommitRecord) -> None:
         """Observability for one applied remote record: refresh the LRU
@@ -336,6 +360,14 @@ class PropagationMixin:
         batched replication is cheaper than committing (§8.3)."""
         yield self.commit_lock.acquire()
         try:
+            # Authoritative duplicate check under the lock: the got guard
+            # was evaluated before this process was spawned, and another
+            # apply of the same version may have won the lock first
+            # (e.g. the record arrived both by recovery delivery and by a
+            # retransmitted batch).  Cset updates are not idempotent, so
+            # applying twice would corrupt the site state.
+            if self.got_vts[record.site] >= record.seqno:
+                return None
             yield self.kernel.timeout(self.costs.apply_remote)
             version = record.version
             self.histories.apply(record.updates, version)
@@ -351,8 +383,14 @@ class PropagationMixin:
         """Apply + await durability + ACK for a single held-back record
         (the _drain_pending path)."""
         done = yield from self._apply_remote_inner(record)
+        if done is None:
+            # Lost the duplicate race: someone else applied this version.
+            if reply_to is not None:
+                self.cast(reply_to, "propagate_ack", tid=record.tid, site=self.site_id)
+            return
         yield done  # durable at this site before acknowledging
-        self.cast(reply_to, "propagate_ack", tid=record.tid, site=self.site_id)
+        if reply_to is not None:  # recovery-staged: nobody to ack
+            self.cast(reply_to, "propagate_ack", tid=record.tid, site=self.site_id)
         self._drain_pending()  # our GotVTS advance may unblock held records
 
     def on_ds_durable(self, src: str, record: CommitRecord, from_site: int):
@@ -360,7 +398,11 @@ class PropagationMixin:
             self.cast(src, "visible_ack", tid=record.tid, site=self.site_id)
             return
         if not self._committed_guard(record):
-            self._pending_ds.append((record, src))
+            # Dedup: DS-DURABLE is re-announced periodically while the
+            # origin waits for our visible_ack, which can be a long time
+            # if we are missing the record's causal dependencies.
+            if all(r.version != record.version for r, _reply in self._pending_ds):
+                self._pending_ds.append((record, src))
             return
         self._commit_remote(record, src)
         self._drain_pending()
@@ -397,12 +439,13 @@ class PropagationMixin:
             for i, (record, reply_to) in enumerate(list(self._pending_remote)):
                 if self.got_vts[record.site] >= record.seqno:
                     self._pending_remote.pop(i)
-                    self.cast(reply_to, "propagate_ack", tid=record.tid, site=self.site_id)
+                    if reply_to is not None:  # recovery-staged: nobody to ack
+                        self.cast(reply_to, "propagate_ack", tid=record.tid, site=self.site_id)
                     progress = True
                     break
                 if self._got_guard(record):
                     self._pending_remote.pop(i)
-                    self.kernel.spawn(
+                    self.spawn_child(
                         self._apply_remote(record, reply_to),
                         name="apply:%s" % record.tid,
                     )
@@ -413,7 +456,8 @@ class PropagationMixin:
             for i, (record, reply_to) in enumerate(list(self._pending_ds)):
                 if self.committed_vts[record.site] >= record.seqno:
                     self._pending_ds.pop(i)
-                    self.cast(reply_to, "visible_ack", tid=record.tid, site=self.site_id)
+                    if reply_to is not None:  # recovery-staged: nobody to ack
+                        self.cast(reply_to, "visible_ack", tid=record.tid, site=self.site_id)
                     progress = True
                     break
                 if self._committed_guard(record):

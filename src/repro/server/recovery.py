@@ -29,7 +29,18 @@ from ..core.versions import VectorTimestamp, Version
 
 
 class RecoveryMixin:
-    """Server-side recovery hooks (run on/against a Walter server)."""
+    """Server-side recovery hooks (run on/against a Walter server).
+
+    ``chaos_bug`` is a fault-injection hook used only by the chaos
+    harness's self-test (tests/chaos): setting it to a known name makes
+    recovery deliberately unsafe so the harness can prove its oracles
+    catch the resulting violations.  It is never set in production
+    deployments.
+    """
+
+    #: Recognized deliberate-bug names for harness self-tests.
+    CHAOS_BUGS = ("skip_resume_propagation",)
+    chaos_bug = None
 
     # ------------------------------------------------------------------
     # Replacement-server restart
@@ -47,9 +58,17 @@ class RecoveryMixin:
             "visible_tids": set(self._visible_tids),
         }
 
-    def restore_from_storage(self) -> int:
+    def restore_from_storage(self, resume_propagation: bool = True) -> int:
         """Rebuild Fig 9 state from checkpoint + log suffix; returns the
-        number of log records replayed."""
+        number of log records replayed.
+
+        ``resume_propagation=False`` is used for site re-integration: the
+        returning server must NOT re-propagate its own logged commits,
+        because the suffix beyond the surviving bound was abandoned by
+        the removal configuration (§4.4) -- resuming would resurrect
+        abandoned transactions at the survivors.  (Everything of its own
+        that *did* survive was already committed at every survivor by the
+        removal protocol, so there is nothing to resume.)"""
         state, suffix = self.storage.recover()
         ds_tids, visible_tids = set(), set()
         if state is not None:
@@ -66,7 +85,8 @@ class RecoveryMixin:
         for payload in suffix:
             self._replay_log_record(payload, ds_tids, visible_tids)
         self._visible_tids = set(visible_tids)
-        self._resume_propagation(ds_tids, visible_tids)
+        if resume_propagation and self.chaos_bug != "skip_resume_propagation":
+            self._resume_propagation(ds_tids, visible_tids)
         return len(suffix)
 
     def _replay_log_record(self, payload: Dict[str, Any], ds_tids, visible_tids) -> None:
@@ -98,6 +118,61 @@ class RecoveryMixin:
             ds_tids.add(payload["tid"])
         elif kind == "globally_visible":
             visible_tids.add(payload["tid"])
+        elif kind == "recovery_finalize":
+            # Re-perform the truncation at the same point in log order it
+            # originally happened.  Without this marker a full-log replay
+            # resurrects an abandoned suffix: the dead local_commit
+            # records are still in the log, and by the time this server
+            # restarts the survivors may have sealed those seqnos with
+            # no-ops -- so a later finalize round sees nothing beyond the
+            # surviving bound and never re-truncates.
+            self._discard_abandoned_suffix(
+                payload["failed_site"], payload["survive_upto"]
+            )
+
+    def seal_seqno_holes(self) -> int:
+        """Fill own-site seqno holes with no-op commits.
+
+        A hole is a seqno in ``(GotVTS[self], CurrSeqNo]``: handed out by
+        a previous incarnation of this server but carried by no surviving
+        transaction -- either fenced at a storage takeover before
+        becoming durable, or abandoned by aggressive site removal and
+        truncated at re-integration.  The seqno cannot be reused (the
+        dead transaction may have been observed before it was lost, and
+        traces key on versions), but leaving a gap would wedge every
+        receiver forever: the propagation guard demands a contiguous
+        seqno stream per origin.  A no-op commit record propagates
+        through the normal path and plugs the gap at every site."""
+        sealed = 0
+        while self.got_vts[self.site_id] < self.curr_seqno:
+            seqno = self.got_vts[self.site_id] + 1
+            version = Version(self.site_id, seqno)
+            record = CommitRecord(
+                tid="noop-%d-%d" % (self.site_id, seqno),
+                site=self.site_id,
+                seqno=seqno,
+                start_vts=self.committed_vts,
+                updates=[],
+                committed_at=self.kernel.now,
+            )
+            self.got_vts = self.got_vts.with_entry(self.site_id, seqno)
+            self.committed_vts = self.committed_vts.with_entry(self.site_id, seqno)
+            self._records_by_version[version] = record
+            self.storage.log.append({"kind": "local_commit", "record": record})
+            if self.trace is not None:
+                from ..spec.checker import TracedTx
+
+                self.trace.record_commit(
+                    TracedTx(record.tid, self.site_id, record.start_vts,
+                             version, [], frozenset())
+                )
+                self.trace.record_site_commit(self.site_id, version)
+            self._enqueue_propagation(record, notify=None)
+            self.stats.sealed_holes += 1
+            sealed += 1
+        if sealed:
+            self._drain_pending()
+        return sealed
 
     def _resume_propagation(self, ds_tids, visible_tids) -> None:
         """Re-enqueue local commits that are not yet globally visible --
@@ -132,21 +207,41 @@ class RecoveryMixin:
         return records
 
     def rpc_recovery_deliver(self, records: List[CommitRecord]):
-        """Apply fetched records (in order) as if propagated normally."""
+        """Apply fetched records (in order) as if propagated normally.
+
+        "As if propagated" includes the got guard: a record whose causal
+        dependencies (startVTS) are not yet applied here is parked in
+        ``_pending_remote`` exactly like normal propagation would park
+        it.  Applying it immediately would insert it into this site's
+        histories out of causal order -- and regular-object reads
+        resolve "latest visible version" by application order, so an
+        origin-grouped recovery sync could serve a causally overwritten
+        value.  Cross-origin dependencies settle as the coordinator's
+        per-origin rounds deliver and ``_drain_pending`` re-scans."""
         for record in records:
             if self.got_vts[record.site] >= record.seqno:
                 continue
-            yield from self.cpu.use(self.costs.apply_remote)
-            self.histories.apply(record.updates, record.version)
-            self.got_vts = self.got_vts.with_entry(record.site, record.seqno)
-            self._records_by_version[record.version] = record
-            yield self.storage.log.append({"kind": "remote_apply", "record": record})
+            if not self._got_guard(record):
+                if all(
+                    r.version != record.version for r, _reply in self._pending_remote
+                ):
+                    self._pending_remote.append((record, None))
+                continue
+            # _apply_remote_inner holds the commit lock and re-checks for
+            # duplicates under it: this delivery may race normal
+            # propagation of the same records.
+            done = yield from self._apply_remote_inner(record)
+            if done is not None:
+                yield done
+            self._drain_pending()
         self._drain_pending()
         return "OK"
 
-    def rpc_recovery_finalize(self, failed_site: int, survive_upto: int):
-        """Discard non-surviving transactions of ``failed_site`` (those
-        with seqno > ``survive_upto``) and commit the survivors here."""
+    def _discard_abandoned_suffix(self, failed_site: int, survive_upto: int) -> int:
+        """Drop every transaction of ``failed_site`` beyond
+        ``survive_upto`` from histories and records, lowering the vector
+        entries accordingly.  Shared by ``rpc_recovery_finalize`` (live)
+        and log replay (the durable ``recovery_finalize`` marker)."""
         def survives(version: Version) -> bool:
             return version.site != failed_site or version.seqno <= survive_upto
 
@@ -160,14 +255,79 @@ class RecoveryMixin:
             del self._records_by_version[version]
         if self.got_vts[failed_site] > survive_upto:
             self.got_vts = self.got_vts.with_entry(failed_site, survive_upto)
+        if self.committed_vts[failed_site] > survive_upto:
+            # Only a returning site can be here: it committed (in memory)
+            # beyond the bound before failing, and those transactions are
+            # abandoned by the new configuration (§4.4 aggressive option).
+            self.committed_vts = self.committed_vts.with_entry(
+                failed_site, survive_upto
+            )
+        return dropped
+
+    def rpc_recovery_finalize(self, failed_site: int, survive_upto: int, rk=None):
+        """Discard non-surviving transactions of ``failed_site`` (those
+        with seqno > ``survive_upto``) and commit the survivors here.
+
+        ``rk`` is the coordinator's at-most-once request key.  Finalize
+        is the one recovery RPC that is NOT idempotent over time: a
+        retried request whose original reply was lost may arrive after
+        this site resumed committing, and re-truncating at the stale
+        bound would discard freshly committed transactions."""
+        if rk is not None:
+            done = getattr(self, "_finalize_done", None)
+            if done is None:
+                done = self._finalize_done = {}
+            if rk in done:
+                return done[rk]
+        # Durable first: if this server later rebuilds from its log, the
+        # marker repeats the truncation in replay order.
+        self.storage.log.append(
+            {
+                "kind": "recovery_finalize",
+                "failed_site": failed_site,
+                "survive_upto": survive_upto,
+            }
+        )
+        dropped = self._discard_abandoned_suffix(failed_site, survive_upto)
         if self.committed_vts[failed_site] < survive_upto:
             # Commit surviving transactions that were stuck mid-propagation.
-            for seqno in range(self.committed_vts[failed_site] + 1, survive_upto + 1):
-                record = self._records_by_version.get(Version(failed_site, seqno))
-                if record is not None:
-                    self._commit_remote(record, reply_to=None)
+            self._queue_recovery_commits(failed_site, survive_upto)
+        if failed_site == self.site_id:
+            # Re-integration: this server just truncated its own abandoned
+            # suffix; seal the resulting seqno gap before anything new
+            # commits here.
+            self.seal_seqno_holes()
         self._drain_pending()
-        return {"dropped": dropped}
+        result = {"dropped": dropped}
+        if rk is not None:
+            self._finalize_done[rk] = result
+        return result
+
+    def rpc_recovery_commit_upto(self, site: int, upto: int):
+        """Commit already-delivered transactions of ``site`` through
+        ``upto``.  Unlike ``recovery_finalize`` this is purely monotone --
+        it never truncates history or lowers vector entries -- so the
+        coordinator can use it for catch-up rounds that may race normal
+        propagation."""
+        self._queue_recovery_commits(site, upto)
+        self._drain_pending()
+        return "OK"
+
+    def _queue_recovery_commits(self, site: int, upto: int) -> None:
+        """Stage delivered-but-uncommitted records of ``site`` for commit
+        via the normal pending-DS path.  Committing them directly would
+        bypass ``_committed_guard`` and put them into this site's commit
+        order grouped by origin rather than causally -- a reader here
+        could then observe a transaction without its causal dependencies
+        (PSI Property 3).  ``_drain_pending`` commits each record once
+        its guard passes; records whose dependencies arrive later (e.g.
+        via another per-origin recovery round, or normal propagation)
+        commit at that point."""
+        queued = {record.version for record, _reply in self._pending_ds}
+        for seqno in range(self.committed_vts[site] + 1, upto + 1):
+            record = self._records_by_version.get(Version(site, seqno))
+            if record is not None and record.version not in queued:
+                self._pending_ds.append((record, None))
 
 
 class SiteRecoveryCoordinator:
@@ -178,10 +338,42 @@ class SiteRecoveryCoordinator:
     deployment (which also updates the shared configuration view).
     """
 
+    #: Per-RPC timeout and retry budget.  Coordinator RPCs must survive
+    #: transient message loss: losing one request mid-protocol would
+    #: otherwise leave the reconfiguration half-applied with no other
+    #: mechanism to complete it (the paper puts this logic in the
+    #: fault-tolerant configuration service).
+    RPC_TIMEOUT = 5.0
+    RPC_RETRIES = 8
+
     def __init__(self, kernel, coordinator_host, server_addresses: Dict[int, str]):
         self.kernel = kernel
         self.host = coordinator_host  # any Host able to issue RPCs
         self.server_addresses = dict(server_addresses)
+        self._rk_counter = 0
+
+    def _call(self, address: str, method: str, **kwargs):
+        """RPC with bounded retries on timeout.  Reports are reads and
+        deliver/commit_upto are monotone, so resending those is safe;
+        finalize is made at-most-once with a request key (a late
+        duplicate would re-truncate at a stale bound)."""
+        from ..net import RpcTimeout
+
+        if method == "recovery_finalize":
+            self._rk_counter += 1
+            kwargs.setdefault(
+                "rk",
+                "%s:%d" % (getattr(self.host, "address", "coord"), self._rk_counter),
+            )
+        for attempt in range(self.RPC_RETRIES + 1):
+            try:
+                result = yield from self.host.call(
+                    address, method, timeout=self.RPC_TIMEOUT, **kwargs
+                )
+                return result
+            except RpcTimeout:
+                if attempt == self.RPC_RETRIES:
+                    raise
 
     def remove_site(self, config, failed_site: int, reassign_to: int):
         """Generator implementing §5.7 "Handling a site failure"
@@ -196,9 +388,7 @@ class SiteRecoveryCoordinator:
         #    site's transactions present at any surviving site.
         reports = {}
         for site in survivors:
-            report = yield from self.host.call(
-                self.server_addresses[site], "recovery_report", timeout=5.0
-            )
+            report = yield from self._call(self.server_addresses[site], "recovery_report")
             reports[site] = report
         survive_upto = max(report["got"][failed_site] for report in reports.values())
 
@@ -208,30 +398,21 @@ class SiteRecoveryCoordinator:
         for site in survivors:
             have = reports[site]["got"][failed_site]
             if have < survive_upto:
-                records = yield from self.host.call(
-                    self.server_addresses[donor],
+                records = yield from self._call(self.server_addresses[donor],
                     "recovery_fetch",
                     site=failed_site,
                     from_seqno=have,
-                    to_seqno=survive_upto,
-                    timeout=5.0,
-                )
-                yield from self.host.call(
-                    self.server_addresses[site],
+                    to_seqno=survive_upto)
+                yield from self._call(self.server_addresses[site],
                     "recovery_deliver",
-                    records=records,
-                    timeout=5.0,
-                )
+                    records=records)
 
         # 4. Discard non-survivors and commit survivors everywhere.
         for site in survivors:
-            yield from self.host.call(
-                self.server_addresses[site],
+            yield from self._call(self.server_addresses[site],
                 "recovery_finalize",
                 failed_site=failed_site,
-                survive_upto=survive_upto,
-                timeout=5.0,
-            )
+                survive_upto=survive_upto)
 
         # 5. Reassign the failed site's containers and re-evaluate
         #    durability conditions under the shrunk active set.
@@ -241,9 +422,7 @@ class SiteRecoveryCoordinator:
                     container.id, reassign_to, remember_original=True
                 )
         for site in survivors:
-            yield from self.host.call(
-                self.server_addresses[site], "recheck_durability", timeout=5.0
-            )
+            yield from self._call(self.server_addresses[site], "recheck_durability")
         return survive_upto
 
     def reintegrate_site(self, config, returning_site: int, returning_server_address: str):
@@ -251,22 +430,15 @@ class SiteRecoveryCoordinator:
         site": synchronize the returning server, then hand leases back."""
         survivors = [s for s in config.active_sites() if s != returning_site]
         donor = survivors[0]
-        report = yield from self.host.call(
-            self.server_addresses[donor], "recovery_report", timeout=5.0
-        )
-        returning_report = yield from self.host.call(
-            returning_server_address, "recovery_report", timeout=5.0
-        )
+        report = yield from self._call(self.server_addresses[donor], "recovery_report")
+        returning_report = yield from self._call(returning_server_address, "recovery_report")
         # The returning site discards transactions the new configuration
         # abandoned (its own seqnos beyond what survived).
         survive_upto = report["got"][returning_site]
-        yield from self.host.call(
-            returning_server_address,
+        yield from self._call(returning_server_address,
             "recovery_finalize",
             failed_site=returning_site,
-            survive_upto=survive_upto,
-            timeout=5.0,
-        )
+            survive_upto=survive_upto)
         # Catch up on everything committed while it was away.
         for origin in range(len(report["got"])):
             have = returning_report["got"][origin]
@@ -274,33 +446,54 @@ class SiteRecoveryCoordinator:
                 have = min(have, survive_upto)
             want = report["got"][origin]
             if have < want:
-                records = yield from self.host.call(
-                    self.server_addresses[donor],
+                records = yield from self._call(self.server_addresses[donor],
                     "recovery_fetch",
                     site=origin,
                     from_seqno=have,
-                    to_seqno=want,
-                    timeout=5.0,
-                )
-                yield from self.host.call(
-                    returning_server_address,
+                    to_seqno=want)
+                yield from self._call(returning_server_address,
                     "recovery_deliver",
-                    records=records,
-                    timeout=5.0,
-                )
+                    records=records)
         # Commit everything delivered (it is all DS-durable by survival).
+        # Monotone commit rounds only: the one truncation needed (the
+        # returning site's own abandoned suffix) already happened above,
+        # and a repeated finalize would discard the seal no-op it just
+        # created for that suffix.
         for origin in range(len(report["got"])):
-            yield from self.host.call(
-                returning_server_address,
-                "recovery_finalize",
-                failed_site=origin,
-                survive_upto=report["committed"][origin]
+            yield from self._call(returning_server_address,
+                "recovery_commit_upto",
+                site=origin,
+                upto=report["committed"][origin]
                 if origin != returning_site
-                else survive_upto,
-                timeout=5.0,
-            )
+                else survive_upto)
         config.activate_site(returning_site)
         self.server_addresses[returning_site] = returning_server_address
+        # Final catch-up round, AFTER activation.  Transactions that
+        # committed at the survivors during the synchronization above may
+        # have retired their propagation trackers against the old active
+        # set (which excluded the returning site), so nothing will resend
+        # them.  Anything committed after activation propagates normally;
+        # this round covers the window before it.  Only monotone
+        # operations (deliver, commit_upto) are used: the round may race
+        # normal propagation that is now flowing to the returning site.
+        final_report = yield from self._call(self.server_addresses[donor], "recovery_report")
+        final_returning = yield from self._call(returning_server_address, "recovery_report")
+        for origin in range(len(final_report["got"])):
+            have = final_returning["got"][origin]
+            want = final_report["got"][origin]
+            if have < want:
+                records = yield from self._call(self.server_addresses[donor],
+                    "recovery_fetch",
+                    site=origin,
+                    from_seqno=have,
+                    to_seqno=want)
+                yield from self._call(returning_server_address,
+                    "recovery_deliver",
+                    records=records)
+            yield from self._call(returning_server_address,
+                "recovery_commit_upto",
+                site=origin,
+                upto=final_report["committed"][origin])
         # Hand displaced containers back to their original preferred site.
         config.restore_displaced(returning_site)
         return survive_upto

@@ -51,6 +51,7 @@ class ServerStats:
         "batches_sent",
         "resumed_propagations",
         "retransmissions",
+        "sealed_holes",
         "gc_removed",
     )
 
@@ -174,6 +175,7 @@ class WalterServer(
         self._visibility_lag = registry.histogram("server.visibility_lag", site=site_id)
         self.stats = ServerStats(registry, site_id)
         self._prop_loop = None
+        self._gc_loop = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -188,6 +190,8 @@ class WalterServer(
     def stop(self) -> None:
         if self._prop_loop is not None and not self._prop_loop.done:
             self._prop_loop.interrupt("stopped")
+        if self._gc_loop is not None and not self._gc_loop.done:
+            self._gc_loop.interrupt("stopped")
         super().stop()
 
     def enable_checkpointing(self, interval: float = 30.0) -> None:

@@ -52,7 +52,7 @@ class SlowCommitMixin:
                 return (site, False)
 
         procs = [
-            self.kernel.spawn(ask(site), name="prepare:%s@%d" % (tx.tid, site))
+            self.spawn_child(ask(site), name="prepare:%s@%d" % (tx.tid, site))
             for site in sites
         ]
         votes: Dict[int, bool] = dict((yield AllOf(procs)))
@@ -85,6 +85,8 @@ class SlowCommitMixin:
     def rpc_prepare(self, tid: str, oids: List[ObjectId], start_vts: VectorTimestamp):
         """Fig 12 prepare: vote YES and lock, or NO."""
         yield from self.cpu.use(self.costs.commit_op)
+        if not self.config.is_active(self.site_id):
+            return False  # still synchronizing after re-integration (§5.7)
         for oid in oids:
             if self.config.preferred_site(oid) != self.site_id:
                 return False  # stale coordinator cache; refuse (§5.1)

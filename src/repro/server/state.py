@@ -109,6 +109,11 @@ class LocalConfig(ConfigView):
     # ------------------------------------------------------------------
     # Reconfiguration (§5.7); driven by the deployment's recovery logic.
     # ------------------------------------------------------------------
+    def suspend_lease(self, cid: str) -> None:
+        """Revoke one container's preferred-site lease; writes to it are
+        postponed until it is reassigned (planned handover)."""
+        self._lease_holder.pop(cid, None)
+
     def suspend_leases_of_site(self, site: int) -> List[str]:
         """Revoke leases held by a failed site; writes to its containers
         are postponed until reassignment."""

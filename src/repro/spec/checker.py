@@ -21,7 +21,7 @@ real servers under randomized workloads (and fault injection), then call
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional, Set
 
 from ..core.cset import CSet
 from ..core.history import SiteHistories
@@ -83,11 +83,24 @@ class Violation:
         return "%s: %s" % (self.property_name, self.detail)
 
 
-def check_trace(trace: ExecutionTrace) -> List[Violation]:
-    """Return all PSI property violations found (empty list = clean)."""
+def check_trace(
+    trace: ExecutionTrace, abandoned: Optional[Set[Version]] = None
+) -> List[Violation]:
+    """Return all PSI property violations found (empty list = clean).
+
+    ``abandoned`` names transaction versions legitimately sacrificed by
+    the aggressive site-removal option (§4.4) or by storage fencing at a
+    server takeover (§5.7): the system first exposed them, then a
+    reconfiguration declared they never happened.  Reads are then judged
+    against *both* worlds -- with and without the abandoned transactions
+    -- since a read is valid if it matched the site state at the time it
+    executed.  The paper accepts exactly this anomaly: under the
+    aggressive option, clients that observed a sacrificed transaction
+    before the failure saw data that is subsequently lost.
+    """
     violations: List[Violation] = []
-    violations.extend(check_site_snapshot_reads(trace))
-    violations.extend(check_no_write_write_conflicts(trace))
+    violations.extend(check_site_snapshot_reads(trace, abandoned))
+    violations.extend(check_no_write_write_conflicts(trace, abandoned))
     violations.extend(check_commit_causality(trace))
     return violations
 
@@ -95,12 +108,20 @@ def check_trace(trace: ExecutionTrace) -> List[Violation]:
 # ----------------------------------------------------------------------
 # Property 2: no write-write conflicts
 # ----------------------------------------------------------------------
-def check_no_write_write_conflicts(trace: ExecutionTrace) -> List[Violation]:
+def check_no_write_write_conflicts(
+    trace: ExecutionTrace, abandoned: Optional[Set[Version]] = None
+) -> List[Violation]:
     """Committed transactions with intersecting write sets must be
     causally ordered: one's version is visible to the other's startVTS.
-    Two somewhere-concurrent conflicting commits violate PSI Property 2."""
+    Two somewhere-concurrent conflicting commits violate PSI Property 2.
+
+    A transaction ``abandoned`` by aggressive site removal (§4.4) is
+    exempt: the new configuration declared it never happened and freed
+    its write locks, so the reassigned preferred site may legitimately
+    admit a conflicting write that never saw it."""
     violations = []
-    txs = list(trace.transactions.values())
+    abandoned = abandoned or frozenset()
+    txs = [t for t in trace.transactions.values() if t.version not in abandoned]
     for i, t1 in enumerate(txs):
         for t2 in txs[i + 1:]:
             overlap = t1.write_set & t2.write_set
@@ -154,17 +175,51 @@ def check_commit_causality(trace: ExecutionTrace) -> List[Violation]:
 # ----------------------------------------------------------------------
 # Property 1: site snapshot reads
 # ----------------------------------------------------------------------
-def check_site_snapshot_reads(trace: ExecutionTrace) -> List[Violation]:
+def check_site_snapshot_reads(
+    trace: ExecutionTrace, abandoned: Optional[Set[Version]] = None
+) -> List[Violation]:
     """Replay each site's commit order into a model history and verify
-    every recorded read against the model's snapshot value."""
+    every recorded read against the model's snapshot value.
+
+    With a non-empty ``abandoned`` set (see :func:`check_trace`), each
+    site gets a second model that skips the abandoned transactions, and a
+    read passes if it matches either model: the full one (the site state
+    before removal redefined history) or the surviving one (after).
+    """
     violations = []
-    by_version = {tx.version: tx for tx in trace.transactions.values()}
+    abandoned = abandoned or frozenset()
+    # A version can legitimately name two traced transactions: a
+    # fenced/abandoned transaction and the no-op that later sealed its
+    # seqno hole (see RecoveryMixin.seal_seqno_holes).  Keep every
+    # incarnation in recording order: at the origin site the first
+    # occurrence in the commit order is the original, a re-occurrence is
+    # the seal; other sites only ever commit the latest incarnation (the
+    # original was, by construction, never propagated).
+    instances: Dict[Version, List[TracedTx]] = {}
+    for tx in trace.transactions.values():
+        instances.setdefault(tx.version, []).append(tx)
+    for version in sorted(instances):
+        real = [tx for tx in instances[version] if tx.updates or tx.write_set]
+        if len(real) > 1:
+            # Only seal no-ops may share a version with a dead
+            # transaction; two real transactions on one version is
+            # outright seqno reuse.
+            violations.append(
+                Violation(
+                    "site-snapshot-read",
+                    "version %s assigned to multiple transactions: %s"
+                    % (version, sorted(tx.tid for tx in real)),
+                )
+            )
     site_models: Dict[int, SiteHistories] = {}
+    surviving_models: Dict[int, SiteHistories] = {}
     for site, order in trace.site_commit_order.items():
         model = SiteHistories()
+        surviving = SiteHistories() if abandoned else model
+        seen: Dict[Version, int] = {}
         for version in order:
-            tx = by_version.get(version)
-            if tx is None:
+            txs_for = instances.get(version)
+            if txs_for is None:
                 violations.append(
                     Violation(
                         "site-snapshot-read",
@@ -172,24 +227,36 @@ def check_site_snapshot_reads(trace: ExecutionTrace) -> List[Violation]:
                     )
                 )
                 continue
+            occurrence = seen.get(version, 0)
+            seen[version] = occurrence + 1
+            if version.site == site:
+                tx = txs_for[min(occurrence, len(txs_for) - 1)]
+            else:
+                tx = txs_for[-1]
             model.apply(tx.updates, version)
+            if abandoned and version not in abandoned:
+                surviving.apply(tx.updates, version)
         site_models[site] = model
+        surviving_models[site] = surviving
 
+    empty = SiteHistories()
     for read in trace.reads:
-        model = site_models.get(read.site)
-        if model is None:
-            # A site that committed nothing has empty state: nil reads only.
-            model = SiteHistories()
-        expected = _model_value(model, read.oid, read.start_vts)
+        # A site that committed nothing has empty state: nil reads only.
+        model = site_models.get(read.site, empty)
+        surviving = surviving_models.get(read.site, empty)
         actual = _normalize(read.value)
-        if expected != actual:
-            violations.append(
-                Violation(
-                    "site-snapshot-read",
-                    "%s at site %d read %s=%r but snapshot %r holds %r"
-                    % (read.tid, read.site, read.oid, actual, read.start_vts, expected),
-                )
+        expected = _model_value(model, read.oid, read.start_vts)
+        if expected == actual:
+            continue
+        if abandoned and _model_value(surviving, read.oid, read.start_vts) == actual:
+            continue  # consistent with the post-removal world (§4.4)
+        violations.append(
+            Violation(
+                "site-snapshot-read",
+                "%s at site %d read %s=%r but snapshot %r holds %r"
+                % (read.tid, read.site, read.oid, actual, read.start_vts, expected),
             )
+        )
     return violations
 
 

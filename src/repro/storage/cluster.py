@@ -56,6 +56,21 @@ class SiteStorage:
         self.cache.bind_metrics(registry, self.site)
         self.log.bind_metrics(registry, self.site)
 
+    def inject_flush_stall(self, duration: float) -> float:
+        """Fault injection: stall WAL flushes for ``duration`` simulated
+        seconds (see :meth:`DiskLog.inject_stall`)."""
+        return self.log.inject_stall(duration)
+
+    def fence(self) -> list:
+        """Fence this storage before a replacement server takes over
+        (§5.7): the old server's checkpointer stops (it died with the
+        server process) and its not-yet-durable WAL writes are discarded.
+        Returns the discarded payloads.  Already-taken checkpoints stay
+        available for :meth:`recover`."""
+        if self._checkpointer is not None:
+            self._checkpointer.stop()
+        return self.log.fence()
+
     def attach_checkpointer(
         self, state_fn: Callable[[], Any], interval: float = 30.0
     ) -> Checkpointer:

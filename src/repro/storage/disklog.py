@@ -40,6 +40,8 @@ class DiskStats:
     flushes: int = 0
     records: int = 0
     max_batch: int = 0
+    stalls: int = 0
+    fenced: int = 0
 
 
 class DiskLog:
@@ -60,7 +62,15 @@ class DiskLog:
         self.stats = DiskStats()
         self._flush_counter = None
         self._record_counter = None
+        self._stall_counter = None
         self._batch_hist = None
+        #: Fault injection: flushes (even memory-speed ones) are held
+        #: until this simulated time -- models a slow/saturated disk.
+        self._stalled_until = 0.0
+        #: Fencing epoch (§5.7): bumped by :meth:`fence` at server
+        #: takeover; queued writes from an older epoch never land.
+        self.epoch = 0
+        self._inflight: List = []
         self._queue = Store(kernel, name="%s.queue" % name)
         self._flusher = kernel.spawn(self._flush_loop(), name="%s.flusher" % name)
 
@@ -74,12 +84,29 @@ class DiskLog:
         self._batch_hist = registry.histogram(
             "disklog.flush_batch", buckets=log_buckets(1.0, 4096.0), site=site
         )
+        self._stall_counter = registry.counter("disklog.stalls", site=site)
+
+    def inject_stall(self, duration: float) -> float:
+        """Fault injection: hold every flush until ``now + duration``.
+
+        Commit paths blocked on :meth:`append` stay blocked for the
+        stall, which is how the chaos harness models a disk hiccup.
+        Overlapping stalls extend to the furthest deadline; returns the
+        time flushes resume.
+        """
+        if duration < 0:
+            raise ValueError("stall duration must be >= 0")
+        self._stalled_until = max(self._stalled_until, self.kernel.now + duration)
+        self.stats.stalls += 1
+        if self._stall_counter is not None:
+            self._stall_counter.inc()
+        return self._stalled_until
 
     def append(self, payload: Any) -> Event:
         """Enqueue ``payload``; the returned event fires when durable."""
         done = self.kernel.event(name="%s.durable" % self.name)
         record = LogRecord(payload, appended_at=self.kernel.now)
-        if self.flush_latency == 0:
+        if self.flush_latency == 0 and self.kernel.now >= self._stalled_until:
             # Memory-speed commit: durable immediately (same kernel step).
             record.durable_at = self.kernel.now
             self.entries.append(record)
@@ -88,26 +115,54 @@ class DiskLog:
                 self._record_counter.inc()
             done.trigger(record)
             return done
-        self._queue.put((record, done))
+        self._queue.put((record, done, self.epoch))
         return done
+
+    def fence(self) -> List[Any]:
+        """Storage fencing at server takeover (§5.7).
+
+        A replicated cluster storage system fences off the old server's
+        lease when a replacement takes over: writes the old server issued
+        that are not yet durable are discarded and can never land later
+        (otherwise a zombie write could resurface after the replacement
+        already rebuilt its state, or collide with a reused seqno).
+        Returns the discarded payloads so the deployment can account for
+        the never-durable local commits.
+        """
+        self.epoch += 1
+        doomed = [record.payload for record, _done, _epoch in self._queue.drain()]
+        doomed += [record.payload for record, _done, _epoch in self._inflight]
+        self._inflight = []
+        self.stats.fenced += len(doomed)
+        return doomed
 
     def _flush_loop(self):
         while True:
             first = yield self._queue.get()
             batch = [first] + self._queue.drain()
+            self._inflight = batch
+            while self.kernel.now < self._stalled_until:
+                # Injected stall: wait it out (it may be extended while
+                # we wait), absorbing records that queue up meanwhile.
+                yield self.kernel.timeout(self._stalled_until - self.kernel.now)
+                batch.extend(self._queue.drain())
+                self._inflight = batch
             yield self.kernel.timeout(self.flush_latency)
             self.stats.flushes += 1
             self.stats.max_batch = max(self.stats.max_batch, len(batch))
             if self._flush_counter is not None:
                 self._flush_counter.inc()
                 self._batch_hist.observe(float(len(batch)))
-            for record, done in batch:
+            for record, done, epoch in batch:
+                if epoch != self.epoch:
+                    continue  # fenced while in flight: never lands
                 record.durable_at = self.kernel.now
                 self.entries.append(record)
                 self.stats.records += 1
                 if self._record_counter is not None:
                     self._record_counter.inc()
                 done.trigger(record)
+            self._inflight = []
 
     def payloads(self) -> List[Any]:
         """Durable payloads in append order (used by recovery)."""

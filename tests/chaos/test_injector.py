@@ -1,0 +1,104 @@
+"""Unit tests for the fault injector's bookkeeping: errors are recorded
+(not raised), loss bursts compose and restore, handover runs as a
+spawned operation."""
+
+from repro.chaos import FaultEvent, FaultInjector, Schedule
+from repro.deployment import Deployment
+from repro.storage import FLUSH_MEMORY
+
+
+def make_world(n_sites=3):
+    world = Deployment(
+        n_sites=n_sites, flush_latency=FLUSH_MEMORY, seed=7, jitter_frac=0.0
+    )
+    for site in range(n_sites):
+        world.create_container("c%d" % site, preferred_site=site)
+    return world
+
+
+def run_injector(world, events, until=5.0):
+    injector = FaultInjector(world, Schedule(events))
+    injector.start()
+    world.run(until=until)
+    world.run_process(injector.quiesce())
+    return injector
+
+
+def test_bad_precondition_is_recorded_not_raised():
+    world = make_world()
+    injector = run_injector(
+        world,
+        [
+            FaultEvent(0.5, "fail_site", {"site": 2}),
+            FaultEvent(0.7, "remove_site", {"site": 2, "reassign_to": 0}),
+            # Replacing a removed site's server is a precondition error.
+            FaultEvent(2.5, "replace", {"site": 2}),
+        ],
+    )
+    assert [fault for fault, _msg in injector.errors] == ["replace"]
+    assert "reintegrate" not in injector.applied
+    assert not world.config.is_active(2)
+
+
+def test_loss_bursts_stack_and_restore_base_rate():
+    world = make_world()
+    base = world.network.loss_rate
+    injector = FaultInjector(
+        world,
+        Schedule(
+            [
+                FaultEvent(0.2, "loss_burst", {"rate": 0.2, "duration": 1.0}),
+                FaultEvent(0.5, "loss_burst", {"rate": 0.5, "duration": 0.3}),
+            ]
+        ),
+    )
+    injector.start()
+    world.run(until=0.3)
+    assert world.network.loss_rate == 0.2
+    world.run(until=0.6)
+    assert world.network.loss_rate == 0.5  # max of overlapping bursts
+    world.run(until=1.0)
+    assert world.network.loss_rate == 0.2  # short burst expired
+    world.run(until=2.0)
+    assert world.network.loss_rate == base
+    assert injector.done
+
+
+def test_cancel_bursts_restores_immediately():
+    world = make_world()
+    base = world.network.loss_rate
+    injector = FaultInjector(
+        world,
+        Schedule([FaultEvent(0.1, "loss_burst", {"rate": 0.9, "duration": 50.0})]),
+    )
+    injector.start()
+    world.run(until=0.2)
+    assert world.network.loss_rate == 0.9
+    injector.cancel_bursts()
+    assert world.network.loss_rate == base
+
+
+def test_handover_moves_preferred_site():
+    world = make_world()
+    injector = run_injector(
+        world, [FaultEvent(0.5, "handover", {"cid": "c0", "to_site": 1})], until=3.0
+    )
+    assert injector.errors == []
+    assert world.config.container("c0").preferred_site == 1
+    assert world.config.holds_preferred_lease("c0", 1)
+
+
+def test_reintegrate_waits_for_inflight_removal():
+    world = make_world()
+    injector = run_injector(
+        world,
+        [
+            FaultEvent(0.5, "fail_site", {"site": 1}),
+            FaultEvent(0.6, "remove_site", {"site": 1, "reassign_to": 0}),
+            # Deliberately too early: must queue behind the removal.
+            FaultEvent(0.7, "reintegrate", {"site": 1}),
+        ],
+        until=30.0,
+    )
+    assert injector.errors == []
+    assert world.config.is_active(1)

@@ -1,0 +1,44 @@
+"""Replay the checked-in regression-seed corpus (ISSUE satellite #2).
+
+Each ``tests/chaos/seeds/seed-*.json`` is a shrunk schedule that once
+exposed a real protocol bug (see DESIGN.md, "Chaos testing" -- WAL
+replay resurrection, non-causal recovery delivery, coordinator death on
+a lost RPC, commits accepted mid-reintegration, unsafe preferred-site
+handover, ...).  The stored verdict is the *fixed* protocol's passing
+verdict, so this test pins both the fix (run must pass) and determinism
+(fresh verdict must be byte-identical to the stored one).
+
+Workflow when chaos finds a new bug: shrink it, fix the protocol,
+re-run the artifact, and check the now-passing artifact in here.  See
+EXPERIMENTS.md.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.chaos import ReproArtifact
+
+SEED_DIR = os.path.join(os.path.dirname(__file__), "seeds")
+SEED_FILES = sorted(glob.glob(os.path.join(SEED_DIR, "seed-*.json")))
+
+
+def test_corpus_is_present():
+    assert len(SEED_FILES) >= 6
+
+
+@pytest.mark.parametrize(
+    "path", SEED_FILES, ids=[os.path.basename(p) for p in SEED_FILES]
+)
+def test_regression_seed_replays_clean(path):
+    artifact = ReproArtifact.load(path)
+    result = artifact.replay()
+    assert result.passed, "regression on %s: %s" % (
+        os.path.basename(path),
+        result.verdict_json(),
+    )
+    assert result.verdict_obj() == artifact.verdict, (
+        "verdict drifted on %s (nondeterminism or behavior change)"
+        % os.path.basename(path)
+    )

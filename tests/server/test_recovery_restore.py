@@ -1,0 +1,169 @@
+"""Edge cases of ``RecoveryMixin.restore_from_storage`` (§5.7, §6):
+restart with no checkpoint, restart whose checkpoint already covers the
+whole log, and restart-of-a-restart idempotence."""
+
+from repro.core import ObjectKind
+from repro.deployment import Deployment
+from repro.storage import FLUSH_MEMORY
+
+
+def make_world(n_sites=1, **kwargs):
+    kwargs.setdefault("flush_latency", FLUSH_MEMORY)
+    kwargs.setdefault("jitter_frac", 0.0)
+    d = Deployment(n_sites=n_sites, **kwargs)
+    for site in range(n_sites):
+        d.create_container("c%d" % site, preferred_site=site)
+    return d
+
+
+def commit_write(world, client, oid, data):
+    def scenario():
+        tx = client.start_tx()
+        yield from client.write(tx, oid, data)
+        return (yield from client.commit(tx))
+
+    return world.run_process(scenario())
+
+
+def read_value(world, client, oid):
+    def scenario():
+        tx = client.start_tx()
+        value = yield from client.read(tx, oid)
+        yield from client.commit(tx)
+        return value
+
+    return world.run_process(scenario())
+
+
+def force_checkpoint(world, site):
+    """Take one checkpoint synchronously at current log position."""
+    checkpointer = world.storages[site].checkpointer
+    checkpointer.take_checkpoint_sync_start()
+    checkpointer._finish_pending()
+    return checkpointer.latest()
+
+
+def fig9_state(server):
+    return (
+        server.curr_seqno,
+        list(server.committed_vts),
+        list(server.got_vts),
+        sorted(server._records_by_version),
+    )
+
+
+class TestRestoreFromStorage:
+    def test_empty_checkpoint_with_nonempty_log_suffix(self):
+        # Checkpointer enabled but it never fired before the crash: the
+        # replacement must rebuild purely from the log.
+        world = make_world(1)
+        world.server(0).enable_checkpointing(interval=1e6)
+        client = world.new_client(0)
+        oids = [client.new_id("c0") for _ in range(3)]
+        for i, oid in enumerate(oids):
+            assert commit_write(world, client, oid, b"v%d" % i) == "COMMITTED"
+        world.settle(0.5)
+        assert world.storages[0].checkpointer.latest() is None
+        assert len(world.storages[0].log.entries) > 0
+
+        world.crash_server(0)
+        replacement = world.replace_server(0)
+        assert replacement.curr_seqno == len(oids)
+        assert replacement.committed_vts[0] == len(oids)
+        client2 = world.new_client(0)
+        for i, oid in enumerate(oids):
+            assert read_value(world, client2, oid) == b"v%d" % i
+
+    def test_checkpoint_newer_than_log_tail(self):
+        # A checkpoint taken after the last log append covers everything:
+        # the log suffix is empty and restore replays zero records, but
+        # the checkpointed state alone must be complete.
+        world = make_world(1)
+        world.server(0).enable_checkpointing(interval=1e6)
+        client = world.new_client(0)
+        oid = client.new_id("c0")
+        assert commit_write(world, client, oid, b"checkpointed") == "COMMITTED"
+        world.settle(0.5)
+        checkpoint = force_checkpoint(world, 0)
+        assert checkpoint.log_position == len(world.storages[0].log.entries)
+        state, suffix = world.storages[0].recover()
+        assert state is not None and suffix == []
+
+        world.crash_server(0)
+        replacement = world.replace_server(0)
+        assert replacement.curr_seqno == 1
+        client2 = world.new_client(0)
+        assert read_value(world, client2, oid) == b"checkpointed"
+
+    def test_checkpoint_plus_log_suffix_does_not_double_apply(self):
+        # Commits before the checkpoint land in both checkpoint state and
+        # log; commits after only in the log.  The replay guard must skip
+        # the covered prefix -- cset applies are not idempotent, so a
+        # double apply would inflate the element count.
+        world = make_world(1)
+        world.server(0).enable_checkpointing(interval=1e6)
+        client = world.new_client(0)
+        cset = client.new_id("c0", ObjectKind.CSET)
+
+        def add(element):
+            tx = client.start_tx()
+            yield from client.set_add(tx, cset, element)
+            return (yield from client.commit(tx))
+
+        assert world.run_process(add("early")) == "COMMITTED"
+        world.settle(0.5)
+        force_checkpoint(world, 0)
+        assert world.run_process(add("late")) == "COMMITTED"
+        world.settle(0.5)
+
+        world.crash_server(0)
+        world.replace_server(0)
+        client2 = world.new_client(0)
+
+        def counts():
+            tx = client2.start_tx()
+            value = yield from client2.set_read(tx, cset)
+            yield from client2.commit(tx)
+            return value.counts()
+
+        assert world.run_process(counts()) == {"early": 1, "late": 1}
+
+    def test_double_restart_is_idempotent(self):
+        # Crash/replace twice with no traffic in between: the second
+        # restore must land on exactly the same Fig 9 state.
+        world = make_world(2)
+        world.server(0).enable_checkpointing(interval=1e6)
+        client = world.new_client(0)
+        oid = client.new_id("c0")
+        cset = client.new_id("c0", ObjectKind.CSET)
+
+        def setup():
+            tx = client.start_tx()
+            yield from client.write(tx, oid, b"stable")
+            yield from client.set_add(tx, cset, "once")
+            return (yield from client.commit(tx))
+
+        assert world.run_process(setup()) == "COMMITTED"
+        world.settle(1.0)
+        force_checkpoint(world, 0)
+
+        world.crash_server(0)
+        first = world.replace_server(0)
+        world.settle(1.0)
+        state_after_first = fig9_state(first)
+
+        world.crash_server(0)
+        second = world.replace_server(0)
+        world.settle(1.0)
+        assert fig9_state(second) == state_after_first
+
+        client2 = world.new_client(0)
+        assert read_value(world, client2, oid) == b"stable"
+
+        def counts():
+            tx = client2.start_tx()
+            value = yield from client2.set_read(tx, cset)
+            yield from client2.commit(tx)
+            return value.counts()
+
+        assert world.run_process(counts()) == {"once": 1}
