@@ -197,17 +197,19 @@ class WalterClient(Host):
         tx.started = True
         return cset
 
-    def set_read_id(self, tx: TxHandle, oid: ObjectId, elem: Hashable) -> int:
-        count = yield from self.call(
+    def set_read_id(self, tx: TxHandle, oid: ObjectId, elem: Hashable, last: bool = False):
+        result = yield from self.call(
             self.server_address,
             "tx_set_read_id",
             tid=tx.tid,
+            fresh=not tx.started,
             oid=oid,
             elem=elem,
+            last=last,
+            notify=self.address if last else None,
             timeout=self._op_timeout(),
         )
-        tx.started = True
-        return count
+        return self._unpack(tx, result, last)
 
     # ------------------------------------------------------------------
     # Combined operations (one RPC, §6)

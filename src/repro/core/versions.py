@@ -95,6 +95,15 @@ class VectorTimestamp:
             tuple(max(a, b) for a, b in zip(self._seqnos, other._seqnos))
         )
 
+    def meet(self, other: "VectorTimestamp") -> "VectorTimestamp":
+        """Element-wise minimum (meet in the vector-clock lattice) --
+        used to fold active transactions' snapshots into a GC watermark
+        no live read can be below."""
+        self._check_same_width(other)
+        return VectorTimestamp(
+            tuple(min(a, b) for a, b in zip(self._seqnos, other._seqnos))
+        )
+
     def dominates(self, other: "VectorTimestamp") -> bool:
         """True iff every entry of self >= the matching entry of other.
 

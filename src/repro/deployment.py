@@ -218,8 +218,17 @@ class Deployment:
     # Observability
     # ------------------------------------------------------------------
     def metrics_snapshot(self):
-        """Deterministic dump of every counter/gauge/histogram."""
+        """Deterministic dump of every counter/gauge/histogram.  GC
+        gauges (watermark, history entries, commit records) are refreshed
+        first so they are current even if a server's GC loop is off."""
+        for server in self.servers:
+            server._refresh_gc_gauges()
         return self.obs.snapshot()
+
+    def gc_watermarks(self) -> Dict[int, "VectorTimestamp"]:
+        """Per-site GC watermarks (meet of CommittedVTS with every active
+        transaction's startVTS) -- what a GC pass at each site would use."""
+        return {site: server.gc_watermark() for site, server in enumerate(self.servers)}
 
     def lag_report(self):
         """Per-site replication/ds/visibility lag from retained traces

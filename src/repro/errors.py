@@ -33,3 +33,12 @@ class PreferredSiteUnavailableError(WalterError):
 
 class ConfigurationError(WalterError):
     """Invalid deployment or container configuration."""
+
+
+class SnapshotTooOldError(WalterError):
+    """A snapshot read asked for state below a history's GC watermark.
+
+    The watermark is derived from the minimum ``startVTS`` over active
+    local transactions, so this can only fire for remote snapshots that
+    lag the serving site's GC (§6); failing loudly beats silently
+    serving a value whose superseded versions were already collected."""

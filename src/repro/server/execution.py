@@ -10,7 +10,7 @@ preferred site and merges them with any local-history versions (§5.3).
 
 from __future__ import annotations
 
-from typing import Any, Hashable, List, Optional, Tuple
+from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 from ..obs import trace as span
 from ..core.cset import CSet
@@ -84,12 +84,16 @@ class ExecutionMixin:
         result = yield from self.rpc_tx_read(tid, oid, last=last, notify=notify, fresh=fresh)
         return result
 
-    def rpc_tx_set_read_id(self, tid: str, oid: ObjectId, elem: Hashable):
+    def rpc_tx_set_read_id(self, tid: str, oid: ObjectId, elem: Hashable, last: bool = False, notify: Optional[str] = None, fresh: bool = True):
         yield from self.cpu.use(self.costs.read_op)
-        tx = self._ensure_tx(tid)
+        tx = self._ensure_tx(tid, fresh)
         tx.require_active()
         cset = yield from self._read_value(tx, oid)
-        return cset.count(elem)
+        count = cset.count(elem)
+        if last:
+            status = yield from self._commit_tx(tx, notify=notify)
+            return (count, status)
+        return count
 
     def _read_value(self, tx: Transaction, oid: ObjectId):
         """Fig 10 read: snapshot at startVTS + own buffer; remote fetch
@@ -110,35 +114,52 @@ class ExecutionMixin:
                 self.storage.cache.put(oid, True)
             self._trace_read(tx, oid, value)
             return value
-        entries = yield from self.call(
+        payload = yield from self.call(
             self.peers[container.preferred_site],
             "remote_read",
             oid=oid,
             start_vts=tx.start_vts,
             timeout=self._rpc_timeout(),
         )
-        return self._compose_value(tx, oid, entries)
+        return self._compose_value(tx, oid, payload)
 
     def rpc_remote_read(self, oid: ObjectId, start_vts):
-        """Serve a read for a site that does not replicate ``oid``:
-        return the versions visible to the caller's snapshot."""
+        """Serve a read for a site that does not replicate ``oid``: the
+        suffix entries visible to the caller's snapshot plus, for csets,
+        the GC base and watermark (see
+        :meth:`~repro.core.history.SiteHistories.remote_read_payload`)."""
         yield from self.cpu.use(self.costs.read_op)
-        history = self.histories.history(oid)
-        return [(e.update, e.version) for e in history.visible_entries(start_vts)]
+        return self.histories.remote_read_payload(oid, start_vts)
 
-    def _compose_value(self, tx: Transaction, oid: ObjectId, remote_entries: List[Tuple]):
+    def _compose_value(self, tx: Transaction, oid: ObjectId, payload: Dict):
         """Merge preferred-site versions with local-history versions (the
         local history of a non-replicated object holds updates committed
-        here that are still propagating, §5.3) and the tx's own buffer."""
+        here that are still propagating, §5.3) and the tx's own buffer.
+
+        Ordering: the remote list is in the preferred site's apply order
+        and the local list in ours, both consistent with the (total)
+        causal order of a regular object's versions.  A local entry
+        absent from the remote payload and not covered by the remote GC
+        watermark has *not* been applied at the preferred site, so every
+        remote entry is causally before it (the preferred site could not
+        have applied a causal successor without it); hence
+        ``remote ++ filtered-local`` is itself causally ordered.  A local
+        entry that IS covered by the remote watermark was already folded
+        or superseded remotely and must be dropped, not re-applied --
+        taking it by list position was the old stale-read bug."""
+        remote_entries: List[Tuple] = payload["entries"]
+        remote_gc_vts = payload["gc_vts"]
         remote_versions = {version for _update, version in remote_entries}
+        hist = self.histories.get(oid)
         local_only = [
             (e.update, e.version)
-            for e in self.histories.history(oid).visible_entries(tx.start_vts)
+            for e in (hist.visible_entries(tx.start_vts) if hist is not None else ())
             if e.version not in remote_versions
+            and (remote_gc_vts is None or not remote_gc_vts.visible(e.version))
         ]
         entries = list(remote_entries) + local_only
         if oid.kind is ObjectKind.CSET:
-            cset = CSet()
+            cset = CSet(payload["base"]) if payload["base"] else CSet()
             for update, _version in entries:
                 if isinstance(update, CSetAdd):
                     cset.add(update.elem)

@@ -93,7 +93,9 @@ class FastCommitMixin:
         yield self.commit_lock.acquire()
         try:
             # The serialized conflict check -- the contended region that
-            # bounds per-site write throughput (§8.3).
+            # bounds per-site write throughput (§8.3).  ``unmodified`` is
+            # O(sites) per object (per-site max-seqno summary), so the
+            # critical section does not grow with history length.
             yield self.kernel.timeout(self.costs.commit_critical)
             conflict = any(
                 not self.histories.unmodified(oid, tx.start_vts)

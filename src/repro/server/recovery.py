@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List
 
+from ..core.history import SiteHistories
 from ..core.transaction import CommitRecord
 from ..core.versions import VectorTimestamp, Version
 
@@ -46,11 +47,17 @@ class RecoveryMixin:
     # Replacement-server restart
     # ------------------------------------------------------------------
     def state_snapshot(self) -> Dict[str, Any]:
-        """What the background checkpointer captures (§6)."""
+        """What the background checkpointer captures (§6).
+
+        Histories are checkpointed as their own state (suffix entries
+        plus cset GC bases) rather than rebuilt from commit records at
+        restore: the record map is watermark-pruned, so it no longer
+        covers the full object state.  The checkpointer deep-copies."""
         return {
             "curr_seqno": self.curr_seqno,
             "committed_vts": list(self.committed_vts),
             "got_vts": list(self.got_vts),
+            "histories": self.histories.dump(),
             "records": dict(self._records_by_version),
             "ds_tids": {
                 tid for tid, t in self._trackers.items() if t.ds_durable
@@ -78,10 +85,10 @@ class RecoveryMixin:
             self._records_by_version = dict(state["records"])
             ds_tids = set(state["ds_tids"])
             visible_tids = set(state["visible_tids"])
-            for version in sorted(self._records_by_version):
-                record = self._records_by_version[version]
-                if self.got_vts.visible(version):
-                    self.histories.apply(record.updates, version)
+            # The history dump is taken atomically with the vectors, so
+            # it is exactly the applied state at GotVTS (including any
+            # cset bases the GC folded, which records cannot rebuild).
+            self.histories = SiteHistories.load(state["histories"])
         for payload in suffix:
             self._replay_log_record(payload, ds_tids, visible_tids)
         self._visible_tids = set(visible_tids)

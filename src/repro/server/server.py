@@ -53,6 +53,7 @@ class ServerStats:
         "retransmissions",
         "sealed_holes",
         "gc_removed",
+        "gc_records_removed",
     )
 
     __slots__ = ("_registry", "_site")
@@ -211,10 +212,84 @@ class WalterServer(
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
+    def gc_watermark(self) -> VectorTimestamp:
+        """The site-wide GC watermark: the meet of ``CommittedVTS`` with
+        every active transaction's ``startVTS``.  No local snapshot the
+        site will still serve can be below it, so history entries and
+        commit records covered by it are collectible.
+
+        The own-site entry is additionally held below any own commit
+        still mid-propagation: until globally visible it could be
+        abandoned by aggressive site removal (§4.4), and a version folded
+        into a cset base cannot be truncated back out."""
+        watermark = self.committed_vts
+        for tx in self._txs.values():
+            watermark = watermark.meet(tx.start_vts)
+        in_flight = [
+            t.record.seqno
+            for t in self._trackers.values()
+            if t.record.site == self.site_id
+        ]
+        if in_flight:
+            bound = min(in_flight) - 1
+            if bound < watermark[self.site_id]:
+                watermark = watermark.with_entry(self.site_id, bound)
+        return watermark
+
     def gc_histories(self) -> int:
-        """Garbage-collect superseded regular-object versions that every
-        snapshot can no longer need (below the globally visible frontier)."""
-        return self.histories.gc(self.committed_vts)
+        """Garbage-collect below the watermark: drop superseded
+        regular-object versions, fold locally-replicated cset histories
+        into their cached base, prune settled commit records, and refresh
+        the watermark gauge.  Returns the history-entry count collected
+        (record pruning is tracked separately in ``gc_records_removed``).
+
+        Skipped while the site is inactive (mid-removal/re-integration,
+        §5.7): recovery may still truncate an abandoned suffix, and a
+        version folded into a cset base can never be truncated out."""
+        if not self.config.is_active(self.site_id):
+            return 0
+        watermark = self.gc_watermark()
+        removed = self.histories.gc(
+            watermark,
+            fold_cset=lambda oid: self.config.replicated_at(oid, self.site_id),
+        )
+        self.stats.gc_records_removed += self._gc_records(watermark)
+        self._refresh_gc_gauges(watermark)
+        return removed
+
+    def _gc_records(self, watermark: VectorTimestamp) -> int:
+        """Prune commit records no snapshot or propagation duty can still
+        need: covered by the watermark, not mid-propagation, and (for
+        own-site records) already globally visible, so a restart will
+        never have to resume them.  Histories no longer rebuild from
+        records at restore (they checkpoint their own state), so this
+        bounds ``_records_by_version``; the cost is that this site can no
+        longer serve ``recovery_fetch`` below its pruned frontier."""
+        drop = [
+            version
+            for version, record in self._records_by_version.items()
+            if watermark.visible(version)
+            and record.tid not in self._trackers
+            and (version.site != self.site_id or record.tid in self._visible_tids)
+        ]
+        for version in drop:
+            record = self._records_by_version.pop(version)
+            self._visible_tids.discard(record.tid)
+        return len(drop)
+
+    def _refresh_gc_gauges(self, watermark: Optional[VectorTimestamp] = None) -> None:
+        if watermark is None:
+            watermark = self.gc_watermark()
+        registry = self.obs.registry
+        registry.gauge("server.gc_watermark", site=self.site_id).set(
+            sum(watermark)
+        )
+        registry.gauge("server.history_entries", site=self.site_id).set(
+            self.histories.total_entries()
+        )
+        registry.gauge("server.commit_records", site=self.site_id).set(
+            len(self._records_by_version)
+        )
 
     def start_gc(self, interval: float = 5.0) -> None:
         """Run history garbage collection periodically (§6: "the

@@ -1,7 +1,7 @@
 """Tests for per-object version histories and snapshot reads."""
 
 import pytest
-from hypothesis import given
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import (
@@ -16,7 +16,7 @@ from repro.core import (
     VectorTimestamp,
     Version,
 )
-from repro.errors import TypeMismatchError
+from repro.errors import SnapshotTooOldError, TypeMismatchError
 
 REG = ObjectId("c", "obj", ObjectKind.REGULAR)
 SET = ObjectId("c", "set", ObjectKind.CSET)
@@ -162,6 +162,196 @@ class TestSiteHistories:
         hists.apply([DataUpdate(REG, b"v1")], Version(0, 1))
         hists.apply([DataUpdate(REG, b"v2")], Version(0, 2))
         assert hists.gc(vts(2)) == 1
+
+
+class TestReadMissesDoNotAllocate:
+    """Read paths on an unknown oid must not create its history: a
+    site-wide scan keyed on ``known_oids()`` (GC, oracles, snapshots)
+    must not grow just because someone probed a missing object."""
+
+    def test_read_paths_leave_known_oids_fixed(self):
+        hists = SiteHistories()
+        hists.apply([DataUpdate(REG, b"v")], Version(0, 1))
+        before = set(hists.known_oids())
+        missing_reg = ObjectId("c", "nothing", ObjectKind.REGULAR)
+        missing_set = ObjectId("c", "noset", ObjectKind.CSET)
+        assert hists.read_regular(missing_reg, vts(1)) is None
+        assert hists.read_cset(missing_set, vts(1)).counts() == {}
+        assert hists.unmodified(missing_reg, vts(0))
+        assert hists.get(missing_reg) is None
+        assert hists.remote_read_payload(missing_reg, vts(1)) == {
+            "entries": [],
+            "base": None,
+            "gc_vts": None,
+        }
+        assert missing_reg not in hists and missing_set not in hists
+        assert set(hists.known_oids()) == before
+
+    def test_history_accessor_still_allocates_for_apply(self):
+        hists = SiteHistories()
+        hist = hists.history(REG)
+        assert hist is hists.history(REG)
+        assert set(hists.known_oids()) == {REG}
+
+
+class TestGCWatermark:
+    def test_cset_fold_preserves_visible_value(self):
+        hist = ObjectHistory(SET)
+        hist.append(CSetAdd(SET, "x"), Version(0, 1))
+        hist.append(CSetAdd(SET, "y"), Version(1, 1))
+        hist.append(CSetDel(SET, "x"), Version(0, 2))
+        before = hist.cset_value(vts(2, 1)).counts()
+        folded = hist.gc_before(vts(2, 1), fold_cset=True)
+        assert folded == 3
+        assert len(hist) == 0
+        assert hist.base_counts == before == {"y": 1}
+        assert hist.cset_value(vts(2, 1)).counts() == before
+
+    def test_cset_fold_keeps_invisible_suffix(self):
+        hist = ObjectHistory(SET)
+        hist.append(CSetAdd(SET, "old"), Version(0, 1))
+        hist.append(CSetAdd(SET, "new"), Version(0, 5))
+        assert hist.gc_before(vts(2), fold_cset=True) == 1
+        assert [e.update.elem for e in hist] == ["new"]
+        assert hist.cset_value(vts(2)).counts() == {"old": 1}
+        assert hist.cset_value(vts(5)).counts() == {"old": 1, "new": 1}
+
+    def test_cset_read_below_absorbed_version_raises(self):
+        hist = ObjectHistory(SET)
+        hist.append(CSetAdd(SET, "x"), Version(0, 1))
+        hist.append(CSetAdd(SET, "x"), Version(0, 2))
+        hist.gc_before(vts(2, 0), fold_cset=True)
+        with pytest.raises(SnapshotTooOldError):
+            hist.cset_value(vts(1, 0))
+
+    def test_too_old_check_is_object_precise(self):
+        # The site watermark may be far ahead of what was absorbed for
+        # THIS object: a lagging (remote) snapshot that still sees every
+        # absorbed version reads exactly, instead of failing spuriously.
+        hist = ObjectHistory(SET)
+        hist.append(CSetAdd(SET, "x"), Version(0, 1))
+        hist.gc_before(vts(1, 50), fold_cset=True)
+        assert hist.cset_value(vts(1, 0)).counts() == {"x": 1}
+
+    def test_regular_read_below_floor_raises(self):
+        hists = SiteHistories()
+        hists.apply([DataUpdate(REG, b"v1")], Version(0, 1))
+        hists.apply([DataUpdate(REG, b"v2")], Version(0, 2))
+        hists.get(REG).gc_before(vts(2))
+        assert hists.read_regular(REG, vts(2)) == b"v2"
+        with pytest.raises(SnapshotTooOldError):
+            hists.read_regular(REG, vts(1))
+
+    def test_unmodified_since_stays_exact_after_prune(self):
+        hist = ObjectHistory(REG)
+        hist.append(DataUpdate(REG, b"v1"), Version(0, 1))
+        hist.append(DataUpdate(REG, b"v2"), Version(0, 2))
+        assert hist.gc_before(vts(2)) == 1
+        # The pruned <0:1> must still count as a modification after
+        # snapshot (0): the per-site absorbed maxima remember it.
+        assert not hist.unmodified_since(vts(0))
+        assert not hist.unmodified_since(vts(1))
+        assert hist.unmodified_since(vts(2))
+
+    def test_watermark_is_monotone(self):
+        hist = ObjectHistory(SET)
+        hist.append(CSetAdd(SET, "a"), Version(0, 1))
+        hist.append(CSetAdd(SET, "b"), Version(1, 1))
+        hist.gc_before(vts(1, 0), fold_cset=True)
+        # A "lower" second watermark must not move it backwards.
+        hist.gc_before(vts(0, 1), fold_cset=True)
+        assert list(hist.gc_vts) == [1, 1]
+
+    def test_append_below_watermark_rejected(self):
+        hist = ObjectHistory(SET)
+        hist.append(CSetAdd(SET, "a"), Version(0, 2))
+        hist.gc_before(vts(2, 0), fold_cset=True)
+        with pytest.raises(ValueError, match="below the GC watermark"):
+            hist.append(CSetAdd(SET, "late"), Version(0, 1))
+
+    def test_gc_drops_empty_histories(self):
+        hists = SiteHistories()
+        hists.apply([CSetAdd(SET, "x")], Version(0, 1))
+        hists.apply([DataUpdate(REG, b"v")], Version(0, 2))
+        hists.gc(vts(2), fold_cset=lambda oid: True)
+        # The cset folded entirely into its base -> history retained
+        # (the base IS state); the regular object keeps its last value.
+        assert set(hists.known_oids()) == {SET, REG}
+        assert hists.read_cset(SET, vts(2)).counts() == {"x": 1}
+
+    def test_dump_load_roundtrip_preserves_reads(self):
+        hists = SiteHistories()
+        hists.apply([CSetAdd(SET, "x"), DataUpdate(REG, b"v1")], Version(0, 1))
+        hists.apply([CSetAdd(SET, "y")], Version(1, 1))
+        hists.apply([DataUpdate(REG, b"v2")], Version(0, 2))
+        hists.gc(vts(1, 1), fold_cset=lambda oid: True)
+        restored = SiteHistories.load(hists.dump())
+        for probe in (vts(1, 1), vts(2, 1)):
+            assert restored.read_cset(SET, probe) == hists.read_cset(SET, probe)
+            assert restored.read_regular(REG, probe) == hists.read_regular(REG, probe)
+        assert restored.get(SET).base_counts == hists.get(SET).base_counts
+        assert restored.get(SET).gc_vts == hists.get(SET).gc_vts
+        with pytest.raises(ValueError, match="below the GC watermark"):
+            restored.apply([CSetAdd(SET, "late")], Version(0, 1))
+
+    def test_remote_read_payload_includes_base_and_watermark(self):
+        hists = SiteHistories()
+        hists.apply([CSetAdd(SET, "x")], Version(0, 1))
+        hists.apply([CSetAdd(SET, "y")], Version(0, 2))
+        hists.gc(vts(1), fold_cset=lambda oid: True)
+        payload = hists.remote_read_payload(SET, vts(2))
+        assert payload["base"] == {"x": 1}
+        assert list(payload["gc_vts"]) == [1]
+        assert [(u.elem, v) for u, v in payload["entries"]] == [("y", Version(0, 2))]
+
+
+# Satellite: GC must never change what a still-serveable snapshot reads
+# or what the commit-time conflict check concludes.  Random multi-site
+# histories, a random watermark, and probes at watermark-dominating
+# snapshots; compare against an identical never-GC'd history.
+_ENTRY = st.tuples(
+    st.integers(0, 2),                      # origin site
+    st.sampled_from(["add", "del", "data"]),
+    st.integers(0, 3),                      # element / payload id
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(_ENTRY, min_size=1, max_size=30),
+    st.lists(st.integers(0, 40), min_size=3, max_size=3),   # watermark caps
+    st.lists(st.integers(0, 5), min_size=3, max_size=3),    # probe deltas
+    st.booleans(),
+)
+def test_gc_never_changes_reads_or_verdicts(entries, caps, deltas, fold):
+    seqnos = [0, 0, 0]
+    plain_set, gcd_set = ObjectHistory(SET), ObjectHistory(SET)
+    plain_reg, gcd_reg = ObjectHistory(REG), ObjectHistory(REG)
+    for site, op, elem in entries:
+        seqnos[site] += 1
+        version = Version(site, seqnos[site])
+        if op == "data":
+            for hist in (plain_reg, gcd_reg):
+                hist.append(DataUpdate(REG, b"d%d" % elem), version)
+        else:
+            update = CSetAdd(SET, elem) if op == "add" else CSetDel(SET, elem)
+            for hist in (plain_set, gcd_set):
+                hist.append(update, version)
+    watermark = VectorTimestamp([min(c, s) for c, s in zip(caps, seqnos)])
+    gcd_set.gc_before(watermark, fold_cset=fold)
+    gcd_reg.gc_before(watermark)
+    probe = VectorTimestamp([w + d for w, d in zip(watermark, deltas)])
+    assert probe.dominates(watermark)
+    assert gcd_set.cset_value(probe) == plain_set.cset_value(probe)
+    assert gcd_set.unmodified_since(probe) == plain_set.unmodified_since(probe)
+    assert gcd_reg.unmodified_since(probe) == plain_reg.unmodified_since(probe)
+    before = plain_reg.latest_visible(probe)
+    after = gcd_reg.latest_visible(probe)
+    if before is None:
+        assert after is None
+    else:
+        assert after is not None
+        assert (after.version, after.update.data) == (before.version, before.update.data)
 
 
 @given(

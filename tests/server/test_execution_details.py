@@ -99,7 +99,215 @@ class TestGC:
         world.run_process(adds())
         server = world.server(0)
         server.gc_histories()
-        assert len(server.histories.history(cset_oid)) == 4
+        # The entries are folded into the cached base (no information is
+        # lost, unlike regular-object pruning), so the retained suffix is
+        # empty but the visible value is intact.
+        hist = server.histories.history(cset_oid)
+        assert len(hist) == 0
+        assert hist.base_counts == {0: 1, 1: 1, 2: 1, 3: 1}
+
+        def scenario():
+            tx = client.start_tx()
+            cset = yield from client.set_read(tx, cset_oid)
+            yield from client.commit(tx)
+            return cset
+
+        assert world.run_process(scenario()).counts() == {0: 1, 1: 1, 2: 1, 3: 1}
+
+    def test_watermark_held_back_by_active_transaction(self):
+        world = make_world(1)
+        client = world.new_client(0)
+        oid = client.new_id("c0")
+        assert commit_write(world, client, oid, b"v0") == "COMMITTED"
+
+        pinner = world.new_client(0)
+        pinned = pinner.start_tx()
+        world.run_process(pinner.begin(pinned))  # snapshot at seqno 1
+
+        for i in range(1, 4):
+            assert commit_write(world, client, oid, b"v%d" % i) == "COMMITTED"
+        world.settle(0.5)  # retire propagation trackers
+        server = world.server(0)
+        assert list(server.committed_vts) == [4]
+        assert list(server.gc_watermark()) == [1]
+        # GC at the held-back watermark: versions 2..4 stay readable.
+        assert server.gc_histories() == 0
+        world.run_process(pinner.abort(pinned))
+        assert list(server.gc_watermark()) == [4]
+        assert server.gc_histories() == 3
+
+        def read():
+            tx = client.start_tx()
+            value = yield from client.read(tx, oid)
+            yield from client.commit(tx)
+            return value
+
+        assert world.run_process(read()) == b"v3"
+
+    def test_gc_prunes_settled_commit_records(self):
+        world = make_world(1)
+        client = world.new_client(0)
+        oid = client.new_id("c0")
+        for i in range(3):
+            assert commit_write(world, client, oid, b"v%d" % i) == "COMMITTED"
+        world.settle(1.0)  # all globally visible (single site)
+        server = world.server(0)
+        assert len(server._records_by_version) == 3
+        server.gc_histories()
+        assert len(server._records_by_version) == 0
+        assert server.stats.gc_records_removed == 3
+        # The WAL still has everything: a replacement rebuilds correctly.
+        world.crash_server(0)
+        world.replace_server(0)
+        client2 = world.new_client(0)
+
+        def read():
+            tx = client2.start_tx()
+            value = yield from client2.read(tx, oid)
+            yield from client2.commit(tx)
+            return value
+
+        assert world.run_process(read()) == b"v2"
+
+    def test_gc_skipped_while_site_inactive(self):
+        world = make_world(2)
+        client = world.new_client(0)
+        oid = client.new_id("c0")
+        for i in range(3):
+            assert commit_write(world, client, oid, b"v%d" % i) == "COMMITTED"
+        world.settle(1.0)
+        world.config.deactivate_site(0)
+        assert world.server(0).gc_histories() == 0
+        world.config.activate_site(0)
+        assert world.server(0).gc_histories() == 2
+
+    def test_metrics_snapshot_exposes_watermark_gauges(self):
+        world = make_world(1)
+        client = world.new_client(0)
+        oid = client.new_id("c0")
+        assert commit_write(world, client, oid, b"v") == "COMMITTED"
+        gauges = world.metrics_snapshot()["gauges"]
+        assert gauges["server.gc_watermark{site=0}"] == 1
+        assert gauges["server.history_entries{site=0}"] == 1
+        assert gauges["server.commit_records{site=0}"] == 1
+        assert list(world.gc_watermarks()[0]) == [1]
+
+
+class TestReadMissAllocation:
+    def test_snapshot_read_of_unwritten_oid_does_not_allocate(self):
+        world = make_world(1)
+        client = world.new_client(0)
+        oid = client.new_id("c0")
+        server = world.server(0)
+        before = set(server.histories.known_oids())
+
+        def read():
+            tx = client.start_tx()
+            value = yield from client.read(tx, oid)
+            yield from client.commit(tx)
+            return value
+
+        assert world.run_process(read()) is None
+        assert set(server.histories.known_oids()) == before
+
+
+class TestRemoteReadCausality:
+    def _world(self):
+        world = make_world(2)
+        # Replicated ONLY at its preferred site 1: site 0 must read it
+        # remotely, merging with its own local-history versions (§5.3).
+        world.create_container("r1", preferred_site=1, replica_sites=[1])
+        return world
+
+    def test_remote_read_prefers_causally_newest_version(self):
+        world = self._world()
+        client0, client1 = world.new_client(0), world.new_client(1)
+        oid = client0.new_id("r1")
+        # Older version committed AT site 0 (slow commit; site 0 keeps it
+        # in its local history), fully propagated ...
+        assert commit_write(world, client0, oid, b"older-local") == "COMMITTED"
+        world.settle(2.0)
+        # ... then a causally newer version at the preferred site.
+        assert commit_write(world, client1, oid, b"newer-remote") == "COMMITTED"
+        world.settle(2.0)
+
+        def read_at_site0():
+            tx = client0.start_tx()
+            value = yield from client0.read(tx, oid)
+            yield from client0.commit(tx)
+            return value
+
+        assert world.run_process(read_at_site0()) == b"newer-remote"
+        # Regression: after the preferred site GC-prunes the older
+        # version, it disappears from the remote payload while still
+        # sitting in site 0's local history.  Composing by list position
+        # used to resurrect it; the remote watermark filter must not.
+        assert world.server(1).gc_histories() >= 1
+        assert world.run_process(read_at_site0()) == b"newer-remote"
+
+    def test_remote_cset_read_folds_base_and_local_suffix(self):
+        world = self._world()
+        client0, client1 = world.new_client(0), world.new_client(1)
+        cset = client0.new_id("r1", ObjectKind.CSET)
+
+        def add(client, elem):
+            def scenario():
+                tx = client.start_tx()
+                yield from client.set_add(tx, cset, elem)
+                return (yield from client.commit(tx))
+
+            return world.run_process(scenario())
+
+        assert add(client0, "from-site0") == "COMMITTED"
+        assert add(client1, "from-site1") == "COMMITTED"
+        world.settle(2.0)
+        world.server(1).gc_histories()  # folds both into the base
+
+        def read_at_site0():
+            tx = client0.start_tx()
+            value = yield from client0.set_read(tx, cset)
+            yield from client0.commit(tx)
+            return value
+
+        counts = world.run_process(read_at_site0()).counts()
+        assert counts == {"from-site0": 1, "from-site1": 1}
+
+
+class TestSetReadId:
+    def test_set_read_id_counts_buffered_and_commits_with_last(self):
+        world = make_world(1)
+        client = world.new_client(0)
+        cset = client.new_id("c0", ObjectKind.CSET)
+
+        def scenario():
+            tx = client.start_tx()
+            yield from client.set_add(tx, cset, "e")
+            count = yield from client.set_read_id(tx, cset, "e", last=True)
+            return count, tx.status
+
+        count, status = world.run_process(scenario())
+        assert count == 1
+        assert status == "COMMITTED"
+        assert world.server(0).stats.commits == 1
+
+    def test_set_read_id_rejected_at_replacement_server(self):
+        # Same contract as tx_read: a replacement server that lost the
+        # transaction's buffered updates must fail the access loudly, not
+        # silently start a fresh (empty) transaction.
+        world = make_world(1)
+        client = world.new_client(0)
+        cset = client.new_id("c0", ObjectKind.CSET)
+
+        def scenario():
+            tx = client.start_tx()
+            yield from client.set_add(tx, cset, "e")
+            world.crash_server(0)
+            world.replace_server(0)
+            with pytest.raises(RpcRemoteError, match="TransactionState"):
+                yield from client.set_read_id(tx, cset, "e")
+            return True
+
+        assert world.run_process(scenario(), within=240.0) is True
 
 
 class TestTrace:

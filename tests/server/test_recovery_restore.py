@@ -167,3 +167,52 @@ class TestRestoreFromStorage:
             return value.counts()
 
         assert world.run_process(counts()) == {"once": 1}
+
+    def test_checkpoint_carries_gc_state(self):
+        # After GC, commit records alone no longer cover object state:
+        # regular versions are pruned, cset entries live only in the
+        # folded base, and the record map itself is pruned.  The
+        # checkpoint must carry the histories (base + watermark + suffix)
+        # so a replacement reads exactly what the old server served.
+        world = make_world(1)
+        world.server(0).enable_checkpointing(interval=1e6)
+        client = world.new_client(0)
+        oid = client.new_id("c0")
+        cset = client.new_id("c0", ObjectKind.CSET)
+
+        def traffic():
+            for i in range(3):
+                tx = client.start_tx()
+                yield from client.write(tx, oid, b"v%d" % i)
+                yield from client.set_add(tx, cset, "e%d" % i)
+                yield from client.commit(tx)
+
+        world.run_process(traffic())
+        world.settle(1.0)
+        server = world.server(0)
+        assert server.gc_histories() == 5          # 2 pruned + 3 folded
+        assert server.stats.gc_records_removed == 3
+        assert server.histories.get(cset).base_counts == {
+            "e0": 1, "e1": 1, "e2": 1,
+        }
+        force_checkpoint(world, 0)
+
+        world.crash_server(0)
+        replacement = world.replace_server(0)
+        restored = replacement.histories.get(cset)
+        assert restored.base_counts == {"e0": 1, "e1": 1, "e2": 1}
+        assert len(restored) == 0
+        assert list(restored.gc_vts) == [3]
+        client2 = world.new_client(0)
+        assert read_value(world, client2, oid) == b"v2"
+
+        def counts():
+            tx = client2.start_tx()
+            value = yield from client2.set_read(tx, cset)
+            yield from client2.commit(tx)
+            return value.counts()
+
+        assert world.run_process(counts()) == {"e0": 1, "e1": 1, "e2": 1}
+        # And traffic continues past the restored watermark.
+        assert commit_write(world, client2, oid, b"after") == "COMMITTED"
+        assert read_value(world, client2, oid) == b"after"
