@@ -4,21 +4,63 @@ Run a batch of seeded chaos experiments; on the first failure, shrink
 the schedule and write a reproduction artifact (seed + shrunk schedule
 as canonical JSON) next to the working directory, then exit non-zero.
 
+With ``--corpus DIR`` it instead replays every stored reproduction
+artifact (``seed-*.json``) in that directory and verifies the run still
+passes every oracle -- including the ``no-leaked-locks`` /
+``no-stuck-transactions`` quiescence oracles -- with a byte-identical
+verdict.  CI runs this over ``tests/chaos/seeds``.
+
 Examples::
 
     PYTHONPATH=src python -m repro.chaos --seed 1
     PYTHONPATH=src python -m repro.chaos --seed 100 --runs 25 --budget 8
     PYTHONPATH=src python -m repro.chaos --seed 1 --bug skip_resume_propagation
+    PYTHONPATH=src python -m repro.chaos --corpus tests/chaos/seeds
 """
 
 from __future__ import annotations
 
 import argparse
+import glob
+import os
 import sys
 from dataclasses import replace
 
-from .harness import ChaosConfig, run_chaos
+from .harness import ChaosConfig, ReproArtifact, run_chaos
+from .schedule import canonical_json
 from .shrinker import shrink_schedule
+
+
+def replay_corpus(directory: str) -> int:
+    """Replay every stored artifact; fail on any oracle violation or
+    verdict drift (mismatched bytes mean determinism broke)."""
+    paths = sorted(glob.glob(os.path.join(directory, "seed-*.json")))
+    if not paths:
+        print("no seed-*.json artifacts under %s" % directory, file=sys.stderr)
+        return 1
+    failed = 0
+    for path in paths:
+        artifact = ReproArtifact.load(path)
+        result = artifact.replay()
+        fresh = result.verdict_obj()
+        ok = result.passed and fresh == artifact.verdict
+        print(
+            "%s: %s  locks=%d active_txs=%d"
+            % (
+                os.path.basename(path),
+                "PASS" if ok else "FAIL",
+                sum(len(s.locked) for s in result.world.servers),
+                sum(len(s._txs) for s in result.world.servers),
+            )
+        )
+        if not ok:
+            failed += 1
+            for violation in result.violations:
+                print("  %s" % violation)
+            if fresh != artifact.verdict:
+                print("  verdict drift:\n    stored: %s\n    fresh:  %s"
+                      % (canonical_json(artifact.verdict), canonical_json(fresh)))
+    return 1 if failed else 0
 
 
 def main(argv=None) -> int:
@@ -44,7 +86,16 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--shrink-runs", type=int, default=48, help="max candidate runs while shrinking"
     )
+    parser.add_argument(
+        "--corpus",
+        default=None,
+        help="replay every seed-*.json artifact in this directory instead "
+        "of generating runs; fail on any violation or verdict drift",
+    )
     args = parser.parse_args(argv)
+
+    if args.corpus is not None:
+        return replay_corpus(args.corpus)
 
     base = ChaosConfig(
         seed=args.seed,

@@ -71,6 +71,22 @@ def generate_schedule(config) -> Schedule:
     for kind in light:
         events.append(_light(rng, kind, n, start, end))
 
+    # Prepare-reply loss rides on a dedicated stream (not the budget):
+    # drawing it from the main stream would reshuffle every existing
+    # schedule, invalidating the whole recorded seed corpus at once.
+    prng = random.Random(derive_seed(config.seed, "chaos.prepare_loss"))
+    if prng.random() < 0.35:
+        events.append(
+            FaultEvent(
+                _uniform(prng, start, end),
+                "prepare_reply_loss",
+                {
+                    "site": prng.randrange(n),
+                    "duration": round(_uniform(prng, 0.3, 1.5), 6),
+                },
+            )
+        )
+
     schedule = Schedule(events)
     schedule.validate(n)
     return schedule

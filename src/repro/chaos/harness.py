@@ -31,7 +31,7 @@ from ..spec.checker import Violation, check_trace
 from ..storage import FLUSH_MEMORY
 from .generator import generate_schedule
 from .injector import FaultInjector
-from .oracles import check_convergence, check_durability
+from .oracles import check_convergence, check_durability, check_quiescence
 from .schedule import Schedule, canonical_json
 from .workload import make_objects, start_workload
 
@@ -175,6 +175,7 @@ def run_chaos(config: ChaosConfig, schedule: Optional[Schedule] = None) -> Chaos
         seed=config.seed,
         trace=True,
         jitter_frac=0.10,
+        lease_sweeper=True,
     )
     world.chaos_bug = config.bug
     oids, csets = make_objects(world, config)
@@ -221,6 +222,7 @@ def run_chaos(config: ChaosConfig, schedule: Optional[Schedule] = None) -> Chaos
                 )
                 violations.extend(check_convergence(world))
                 violations.extend(check_durability(world))
+                violations.extend(check_quiescence(world))
             except Exception:  # noqa: BLE001
                 violations.append(
                     Violation("exception", traceback.format_exc(limit=8).strip())

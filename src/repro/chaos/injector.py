@@ -148,6 +148,14 @@ class FaultInjector:
     def _fault_flush_stall(self, site: int, duration: float) -> None:
         self.world.storages[site].inject_flush_stall(duration)
 
+    def _fault_prepare_reply_loss(self, site: int, duration: float) -> None:
+        """The participant processes prepares (and locks!) but its YES/NO
+        replies vanish -- the coordinator times out and counts a NO.
+        This is the fault that leaks locks without commit-path leases."""
+        if self.world.network.is_crashed(self.world.addresses[site]):
+            raise RuntimeError("site %d is down; no replies to drop" % site)
+        self.world.servers[site].drop_replies("prepare", duration)
+
     def _fault_handover(self, cid: str, to_site: int) -> None:
         self.world.config.container(cid)  # raises if unknown
         if not self.world.config.is_active(to_site):

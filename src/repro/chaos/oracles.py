@@ -15,7 +15,14 @@ final *server state* after faults and repair:
   sacrificed it, in which case the deployment recorded it in
   ``abandoned_versions``.
 
-Both return the checker's :class:`~repro.spec.checker.Violation` type so
+* **Quiescence**: after repair and settle, no server still holds a
+  prepare lock (``no-leaked-locks``) or an active transaction
+  (``no-stuck-transactions``).  Workload clients abandon transactions
+  when an operation errors out, and a 2PC whose replies were lost can
+  strand participant locks; the lease sweeper (DESIGN.md §9) must have
+  cleaned both up, or one crashed client degrades its objects forever.
+
+All return the checker's :class:`~repro.spec.checker.Violation` type so
 the harness can merge all findings into one verdict.
 """
 
@@ -73,6 +80,31 @@ def check_convergence(world) -> List[Violation]:
                         % (oid, seen[0][0], seen[0][1], site, value),
                     )
                 )
+    return violations
+
+
+def check_quiescence(world) -> List[Violation]:
+    """No leaked prepare locks and no stuck transactions at quiesce."""
+    violations: List[Violation] = []
+    for site in sorted(world.config.active_sites()):
+        server = world.servers[site]
+        for oid, tid in sorted(server.locked.items(), key=lambda kv: str(kv[0])):
+            violations.append(
+                Violation(
+                    "no-leaked-locks",
+                    "site %d still holds a prepare lock on %s for %s at quiesce"
+                    % (site, oid, tid),
+                )
+            )
+        for tid in sorted(server._txs):
+            violations.append(
+                Violation(
+                    "no-stuck-transactions",
+                    "site %d still has active transaction %s at quiesce "
+                    "(pins the GC watermark at %r)"
+                    % (site, tid, tuple(server._txs[tid].start_vts)),
+                )
+            )
     return violations
 
 

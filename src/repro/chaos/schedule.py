@@ -17,6 +17,7 @@ network/disk gremlins:
 ``heal_all``            restore every link
 ``loss_burst``          random message loss at ``rate`` for ``duration``
 ``flush_stall``         hold WAL flushes at ``site`` for ``duration``
+``prepare_reply_loss``  drop ``site``'s prepare replies for ``duration``
 ``handover``            move container ``cid``'s preferred site to ``to_site``
 ``fail_site``           whole-site failure: server down, links severed
 ``remove_site``         aggressive removal (§4.4), reassign to ``reassign_to``
@@ -39,6 +40,7 @@ FAULT_CATALOG: Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...]]] = {
     "heal_all": ((), ()),
     "loss_burst": (("rate", "duration"), ()),
     "flush_stall": (("site", "duration"), ("site",)),
+    "prepare_reply_loss": (("site", "duration"), ("site",)),
     "handover": (("cid", "to_site"), ("to_site",)),
     "fail_site": (("site",), ("site",)),
     "remove_site": (("site", "reassign_to"), ("site", "reassign_to")),

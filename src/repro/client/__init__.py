@@ -1,5 +1,5 @@
 """Walter client library (Fig 14 API)."""
 
-from .api import ABORTED, COMMITTED, TxHandle, WalterClient
+from .api import ABORTED, COMMITTED, RetryPolicy, TxHandle, WalterClient
 
-__all__ = ["ABORTED", "COMMITTED", "TxHandle", "WalterClient"]
+__all__ = ["ABORTED", "COMMITTED", "RetryPolicy", "TxHandle", "WalterClient"]

@@ -22,16 +22,44 @@ inside a simulated process.
 from __future__ import annotations
 
 import itertools
+import random
 from dataclasses import dataclass
 from typing import Any, Hashable, Optional
 
 from ..core.cset import CSet
 from ..core.objects import ObjectId, ObjectKind
-from ..net import Host, Network
+from ..net import Host, Network, RpcTimeout
 from ..sim import Event, Kernel
 
 COMMITTED = "COMMITTED"
 ABORTED = "ABORTED"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Opt-in client retry for idempotent RPCs (DESIGN.md §9).
+
+    Retries fire on :class:`~repro.net.RpcTimeout` only -- a remote
+    error means the server answered.  Reads and aborts are naturally
+    idempotent; ``commit`` becomes idempotent through a client-chosen
+    token (``ck``) the server uses to cache the outcome, so a commit
+    whose *reply* was lost is answered from the cache instead of being
+    re-run.  Buffered-update RPCs (write/setAdd/setDel) are never
+    retried: a duplicated setAdd would double the element count.
+
+    Backoff is exponential with deterministic jitter: each client draws
+    from a private stream seeded by its (unique) address, so retries
+    stay reproducible under the simulation's fixed seeds."""
+
+    #: Total attempts, including the first.
+    attempts: int = 4
+    #: Backoff before the first retry (seconds); doubles per retry.
+    base_delay: float = 0.25
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    #: Multiplicative jitter fraction on each backoff.
+    jitter: float = 0.1
+
 
 @dataclass
 class TxHandle:
@@ -60,14 +88,46 @@ class WalterClient(Host):
         name: str,
         server_address: str,
         config,
+        retry: Optional[RetryPolicy] = None,
     ):
         super().__init__(kernel, network, site, name)
         self.server_address = server_address
         self.config = config
+        self.retry = retry
         self._handles = {}
         # Per-client so tids are deterministic for a fixed seed (the
         # address is already unique on the network).
         self._tid_seq = itertools.count(1)
+        # Deterministic backoff jitter: seeded by the unique address so
+        # same-seed runs retry at identical sim times.
+        self._retry_rng = random.Random("retry:%s" % name)
+        #: Retries actually performed (observability for tests).
+        self.retries_attempted = 0
+
+    def _call_op(self, method: str, idempotent: bool = False, **args):
+        """Generator: one client->server RPC, with retry-on-timeout for
+        idempotent operations when a :class:`RetryPolicy` is set."""
+        policy = self.retry
+        if policy is None or not idempotent:
+            result = yield from self.call(
+                self.server_address, method, timeout=self._op_timeout(), **args
+            )
+            return result
+        delay = policy.base_delay
+        for attempt in range(max(1, policy.attempts)):
+            try:
+                result = yield from self.call(
+                    self.server_address, method, timeout=self._op_timeout(), **args
+                )
+                return result
+            except RpcTimeout:
+                if attempt >= policy.attempts - 1:
+                    raise
+                self.retries_attempted += 1
+                sleep = min(delay, policy.max_delay)
+                sleep *= 1.0 + policy.jitter * self._retry_rng.random()
+                yield self.kernel.timeout(sleep)
+                delay *= policy.multiplier
 
     # ------------------------------------------------------------------
     # Transaction lifecycle
@@ -89,29 +149,32 @@ class WalterClient(Host):
         """Generator: eagerly start the transaction at the server (the
         C++ API's explicit ``start()``).  Without this, the start -- and
         the snapshot -- is taken at the first access RPC (§8.2)."""
-        result = yield from self.call(
-            self.server_address, "tx_start", tid=tx.tid, timeout=self._op_timeout()
-        )
+        result = yield from self._call_op("tx_start", idempotent=True, tid=tx.tid)
         tx.started = True
         return result
 
     def commit(self, tx: TxHandle):
-        """Generator: try to commit; returns COMMITTED or ABORTED."""
-        status = yield from self.call(
-            self.server_address,
+        """Generator: try to commit; returns COMMITTED or ABORTED.
+
+        With a retry policy the commit carries an idempotency token, so
+        a retry after a lost reply is answered from the server's outcome
+        cache -- the transaction commits at most once either way."""
+        kwargs = {}
+        if self.retry is not None:
+            kwargs["ck"] = "%s#commit" % tx.tid
+        status = yield from self._call_op(
             "tx_commit",
+            idempotent=self.retry is not None,
             tid=tx.tid,
             notify=self.address,
             allow_fresh=not tx.started,
-            timeout=self._op_timeout(),
+            **kwargs,
         )
         self._finish(tx, status)
         return status
 
     def abort(self, tx: TxHandle):
-        status = yield from self.call(
-            self.server_address, "tx_abort", tid=tx.tid, timeout=self._op_timeout()
-        )
+        status = yield from self._call_op("tx_abort", idempotent=True, tid=tx.tid)
         self._finish(tx, ABORTED)
         return status
 
@@ -119,21 +182,19 @@ class WalterClient(Host):
     # Regular objects
     # ------------------------------------------------------------------
     def read(self, tx: TxHandle, oid: ObjectId, last: bool = False):
-        result = yield from self.call(
-            self.server_address,
+        result = yield from self._call_op(
             "tx_read",
+            idempotent=not last,  # last=True piggybacks the commit
             tid=tx.tid,
             fresh=not tx.started,
             oid=oid,
             last=last,
             notify=self.address if last else None,
-            timeout=self._op_timeout(),
         )
         return self._unpack(tx, result, last)
 
     def write(self, tx: TxHandle, oid: ObjectId, data: Any, last: bool = False):
-        result = yield from self.call(
-            self.server_address,
+        result = yield from self._call_op(
             "tx_write",
             tid=tx.tid,
             fresh=not tx.started,
@@ -141,7 +202,6 @@ class WalterClient(Host):
             data=data,
             last=last,
             notify=self.address if last else None,
-            timeout=self._op_timeout(),
         )
         tx.started = True
         if last:
@@ -152,8 +212,7 @@ class WalterClient(Host):
     # Cset objects
     # ------------------------------------------------------------------
     def set_add(self, tx: TxHandle, oid: ObjectId, elem: Hashable, last: bool = False):
-        result = yield from self.call(
-            self.server_address,
+        result = yield from self._call_op(
             "tx_set_add",
             tid=tx.tid,
             fresh=not tx.started,
@@ -161,7 +220,6 @@ class WalterClient(Host):
             elem=elem,
             last=last,
             notify=self.address if last else None,
-            timeout=self._op_timeout(),
         )
         tx.started = True
         if last:
@@ -169,8 +227,7 @@ class WalterClient(Host):
         return result
 
     def set_del(self, tx: TxHandle, oid: ObjectId, elem: Hashable, last: bool = False):
-        result = yield from self.call(
-            self.server_address,
+        result = yield from self._call_op(
             "tx_set_del",
             tid=tx.tid,
             fresh=not tx.started,
@@ -178,7 +235,6 @@ class WalterClient(Host):
             elem=elem,
             last=last,
             notify=self.address if last else None,
-            timeout=self._op_timeout(),
         )
         tx.started = True
         if last:
@@ -186,28 +242,26 @@ class WalterClient(Host):
         return result
 
     def set_read(self, tx: TxHandle, oid: ObjectId) -> CSet:
-        cset = yield from self.call(
-            self.server_address,
+        cset = yield from self._call_op(
             "tx_set_read",
+            idempotent=True,
             tid=tx.tid,
             fresh=not tx.started,
             oid=oid,
-            timeout=self._op_timeout(),
         )
         tx.started = True
         return cset
 
     def set_read_id(self, tx: TxHandle, oid: ObjectId, elem: Hashable, last: bool = False):
-        result = yield from self.call(
-            self.server_address,
+        result = yield from self._call_op(
             "tx_set_read_id",
+            idempotent=not last,
             tid=tx.tid,
             fresh=not tx.started,
             oid=oid,
             elem=elem,
             last=last,
             notify=self.address if last else None,
-            timeout=self._op_timeout(),
         )
         return self._unpack(tx, result, last)
 
@@ -215,26 +269,25 @@ class WalterClient(Host):
     # Combined operations (one RPC, §6)
     # ------------------------------------------------------------------
     def multiread(self, tx: TxHandle, oids, last: bool = False):
-        result = yield from self.call(
-            self.server_address,
+        result = yield from self._call_op(
             "tx_multiread",
+            idempotent=not last,
             tid=tx.tid,
+            fresh=not tx.started,
             oids=list(oids),
             last=last,
             notify=self.address if last else None,
-            timeout=self._op_timeout(),
         )
         return self._unpack(tx, result, last)
 
     def multiwrite(self, tx: TxHandle, writes, last: bool = False):
-        result = yield from self.call(
-            self.server_address,
+        result = yield from self._call_op(
             "tx_multiwrite",
             tid=tx.tid,
+            fresh=not tx.started,
             writes=list(writes),
             last=last,
             notify=self.address if last else None,
-            timeout=self._op_timeout(),
         )
         tx.started = True
         if last:
@@ -242,15 +295,16 @@ class WalterClient(Host):
         return result
 
     def read_cset_objects(self, tx: TxHandle, oid: ObjectId, limit=None, newest_first=True):
-        result = yield from self.call(
-            self.server_address,
+        result = yield from self._call_op(
             "tx_read_cset_objects",
+            idempotent=True,
             tid=tx.tid,
+            fresh=not tx.started,
             oid=oid,
             limit=limit,
             newest_first=newest_first,
-            timeout=self._op_timeout(),
         )
+        tx.started = True
         return result
 
     # ------------------------------------------------------------------

@@ -18,7 +18,7 @@ from .core.objects import Container
 from .core.versions import Version
 from .net import Host, Network, Topology
 from .obs import Observability
-from .server import LocalConfig, ServerCosts, SiteRecoveryCoordinator, WalterServer
+from .server import LeaseConfig, LocalConfig, ServerCosts, SiteRecoveryCoordinator, WalterServer
 from .sim import Kernel, RandomStreams
 from .spec.checker import ExecutionTrace
 from .storage import FLUSH_EC2, SiteStorage
@@ -32,7 +32,19 @@ class Deployment:
     #: Fault-injection hook (see :class:`~repro.server.recovery.RecoveryMixin`):
     #: propagated to every server the deployment creates, including
     #: replacements.  Only the chaos harness's self-test sets this.
-    chaos_bug: Optional[str] = None
+    _chaos_bug: Optional[str] = None
+
+    @property
+    def chaos_bug(self) -> Optional[str]:
+        return self._chaos_bug
+
+    @chaos_bug.setter
+    def chaos_bug(self, value: Optional[str]) -> None:
+        # The harness assigns this *after* construction, so propagate to
+        # the already-running servers, not just future replacements.
+        self._chaos_bug = value
+        for server in getattr(self, "servers", ()):
+            server.chaos_bug = value
 
     def __init__(
         self,
@@ -48,6 +60,8 @@ class Deployment:
         anti_starvation: bool = False,
         tracing: bool = False,
         trace_capacity: int = 8192,
+        lease_sweeper: bool = False,
+        leases: Optional[LeaseConfig] = None,
     ):
         self.kernel = Kernel()
         self.streams = RandomStreams(seed)
@@ -66,6 +80,13 @@ class Deployment:
         self.f = f
         self.ds_mode = ds_mode
         self.anti_starvation = anti_starvation
+        #: Lease-based commit-path reaping (DESIGN.md §9).  Off by
+        #: default -- unit tests may legitimately hold transactions open
+        #: across long stretches of sim time; the chaos harness (and any
+        #: long-lived deployment) turns it on, including for replacement
+        #: and re-integrated servers.
+        self.lease_sweeper = lease_sweeper
+        self.leases = leases or LeaseConfig()
         self._deploy_id = next(_deploy_seq)
         #: Versions legitimately sacrificed by aggressive site removal
         #: (§5.7): committed at the failed site but never propagated.
@@ -85,7 +106,7 @@ class Deployment:
             self._make_server(site) for site in range(self.n_sites)
         ]
         for server in self.servers:
-            server.start()
+            self._boot(server)
         self._client_seq = itertools.count(1)
         self._container_seq = itertools.count(1)
 
@@ -105,8 +126,15 @@ class Deployment:
             anti_starvation=self.anti_starvation,
             takeover=takeover,
             obs=self.obs,
+            leases=self.leases,
         )
         server.chaos_bug = self.chaos_bug
+        return server
+
+    def _boot(self, server: WalterServer) -> WalterServer:
+        server.start()
+        if self.lease_sweeper:
+            server.start_sweeper()
         return server
 
     # ------------------------------------------------------------------
@@ -131,7 +159,7 @@ class Deployment:
         container = Container(cid, preferred_site, frozenset(replica_sites))
         return self.config.register(container)
 
-    def new_client(self, site: int, name: Optional[str] = None) -> WalterClient:
+    def new_client(self, site: int, name: Optional[str] = None, retry=None) -> WalterClient:
         # No deploy id in the default name: client names feed into tids,
         # and traces must be byte-identical across same-seed runs.
         name = name or "client-%d-%d" % (site, next(self._client_seq))
@@ -142,6 +170,7 @@ class Deployment:
             name,
             server_address=self.addresses[site],
             config=self.config,
+            retry=retry,
         )
         client.start()
         return client
@@ -255,7 +284,7 @@ class Deployment:
         # Seqnos skipped that way must still reach every receiver (the
         # propagation guard needs a contiguous stream): plug with no-ops.
         replacement.seal_seqno_holes()
-        replacement.start()
+        self._boot(replacement)
         self.servers[site] = replacement
         checkpointer = self.storages[site].checkpointer
         if checkpointer is not None:
@@ -329,7 +358,7 @@ class Deployment:
         replacement.restore_from_storage(resume_propagation=False)
         for version in doomed:
             replacement.curr_seqno = max(replacement.curr_seqno, version.seqno)
-        replacement.start()
+        self._boot(replacement)
         self.servers[site] = replacement
         survivor = next(s for s in self.config.active_sites() if s != site)
         coordinator = self._coordinator(at_site=survivor)

@@ -74,6 +74,11 @@ class Host:
         self._running = False
         self._loop = None
         self._children: list = []
+        #: Fault-injection hook: RPC method -> sim time until which this
+        #: host's *replies* to that method are suppressed (the request IS
+        #: processed -- models a reply lost on the wire after the handler
+        #: ran, e.g. a prepare that locked but whose YES never arrived).
+        self._drop_reply_until: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -172,9 +177,23 @@ class Host:
                 reply.value = result
             except Exception as exc:  # noqa: BLE001 - shipped to caller
                 reply.error = "%s: %s" % (type(exc).__name__, exc)
+        until = self._drop_reply_until.get(request.method)
+        if until is not None:
+            if self.kernel.now < until:
+                self._reply_dropped(request.method)
+                return
+            del self._drop_reply_until[request.method]
         self.network.send(
             self.address, request.reply_to, reply, size_bytes=self.DEFAULT_MSG_BYTES
         )
+
+    def drop_replies(self, method: str, duration: float) -> None:
+        """Suppress replies to ``method`` for ``duration`` sim-seconds
+        (chaos fault injection; requests are still fully processed)."""
+        self._drop_reply_until[method] = self.kernel.now + duration
+
+    def _reply_dropped(self, method: str) -> None:
+        """Observability hook; subclasses may count dropped replies."""
 
     # ------------------------------------------------------------------
     # Client side

@@ -201,6 +201,15 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     # Inspection
     # ------------------------------------------------------------------
+    def total(self, name: str) -> int:
+        """Sum of one counter across all label sets (e.g. the deployment
+        total of a per-site counter like ``tx.reaped``)."""
+        return sum(
+            metric.value
+            for (metric_name, _labels), metric in self._counters.items()
+            if metric_name == name
+        )
+
     def counters(self) -> List[Counter]:
         return [self._counters[k] for k in sorted(self._counters)]
 

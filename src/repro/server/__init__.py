@@ -3,10 +3,11 @@
 from .propagation import PropagationTracker
 from .recovery import SiteRecoveryCoordinator
 from .server import ServerStats, WalterServer
-from .state import ConfigView, LocalConfig, ServerCosts
+from .state import ConfigView, LeaseConfig, LocalConfig, ServerCosts
 
 __all__ = [
     "ConfigView",
+    "LeaseConfig",
     "LocalConfig",
     "PropagationTracker",
     "ServerCosts",

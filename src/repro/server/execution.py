@@ -31,6 +31,7 @@ class ExecutionMixin:
         tx = self._txs.get(tid)
         if tx is None:
             raise TransactionStateError("unknown transaction %r at %s" % (tid, self.address))
+        self._touch_tx_lease(tid)
         return tx
 
     def _ensure_tx(self, tid: str, fresh: bool = True) -> Transaction:
@@ -53,7 +54,18 @@ class ExecutionMixin:
             self._txs[tid] = tx
             self.stats.started += 1
             self._span(tid, span.EXECUTE)
+        self._touch_tx_lease(tid)
         return tx
+
+    def _touch_tx_lease(self, tid: str) -> None:
+        """Every access renews the transaction's lease (DESIGN.md §9); a
+        transaction untouched for a full lease is abandoned and reaped."""
+        self._tx_deadlines[tid] = self.kernel.now + self.leases.tx_lease
+
+    def _drop_tx(self, tid: str) -> Optional[Transaction]:
+        """Forget a finished transaction (commit/abort/reap paths)."""
+        self._tx_deadlines.pop(tid, None)
+        return self._txs.pop(tid, None)
 
     def rpc_tx_start(self, tid: str):
         yield from self.cpu.use(self.costs.read_op)
@@ -61,7 +73,7 @@ class ExecutionMixin:
         return "OK"
 
     def rpc_tx_abort(self, tid: str):
-        tx = self._txs.pop(tid, None)
+        tx = self._drop_tx(tid)
         if tx is not None and tx.status is TxStatus.ACTIVE:
             tx.mark_aborted()
             self.stats.aborts += 1
@@ -216,9 +228,9 @@ class ExecutionMixin:
         """One RPC shell plus a reduced per-extra-object cost."""
         return self.costs.read_op + max(0, n - 1) * self.costs.read_op * 0.25
 
-    def rpc_tx_multiread(self, tid: str, oids: List[ObjectId], last: bool = False, notify: Optional[str] = None):
+    def rpc_tx_multiread(self, tid: str, oids: List[ObjectId], last: bool = False, notify: Optional[str] = None, fresh: bool = True):
         yield from self.cpu.use(self._batch_cost(len(oids)))
-        tx = self._ensure_tx(tid)
+        tx = self._ensure_tx(tid, fresh)
         tx.require_active()
         values = []
         for oid in oids:
@@ -229,9 +241,9 @@ class ExecutionMixin:
             return (values, status)
         return values
 
-    def rpc_tx_multiwrite(self, tid: str, writes, last: bool = False, notify: Optional[str] = None):
+    def rpc_tx_multiwrite(self, tid: str, writes, last: bool = False, notify: Optional[str] = None, fresh: bool = True):
         yield from self.cpu.use(self._batch_cost(len(writes)))
-        tx = self._ensure_tx(tid)
+        tx = self._ensure_tx(tid, fresh)
         for oid, data in writes:
             tx.buffer_write(oid, data)
         if last:
@@ -244,6 +256,7 @@ class ExecutionMixin:
         oid: ObjectId,
         limit: Optional[int] = None,
         newest_first: bool = True,
+        fresh: bool = True,
     ):
         """Read a cset and the objects its elements name, in one RPC.
 
@@ -251,7 +264,7 @@ class ExecutionMixin:
         ObjectId (e.g. ``(seqno, oid)`` for ordered timelines); tuples are
         ordered by their leading sort key.
         """
-        tx = self._ensure_tx(tid)
+        tx = self._ensure_tx(tid, fresh)
         tx.require_active()
         cset = yield from self._read_value(tx, oid)
         members = list(cset.members())

@@ -24,18 +24,38 @@ ABORTED = "ABORTED"
 
 
 class FastCommitMixin:
-    def rpc_tx_commit(self, tid: str, notify: Optional[str] = None, allow_fresh: bool = True):
+    def rpc_tx_commit(self, tid: str, notify: Optional[str] = None, allow_fresh: bool = True, ck: Optional[str] = None):
         yield from self.cpu.use(self.costs.commit_op)
-        # A commit may be the transaction's first server contact (an
-        # empty transaction): start it like any piggybacked first access.
-        # But if the *client* already issued accesses (allow_fresh=False)
-        # and we don't know the tid, this server is a replacement that
-        # lost the transaction's buffered updates -- fail loudly rather
-        # than silently committing an empty transaction.
-        if not allow_fresh and tid not in self._txs:
-            self._get_tx(tid)  # raises TransactionStateError
-        tx = self._ensure_tx(tid)
-        status = yield from self._commit_tx(tx, notify=notify)
+        # ``ck`` is the client's at-most-once idempotency token: a commit
+        # whose reply was lost can be re-asked safely -- the cached
+        # outcome is returned instead of re-running the commit (which,
+        # the transaction being gone, would otherwise "commit" a fresh
+        # empty transaction and report a bogus COMMITTED).
+        if ck is not None:
+            while tid in self._commit_inflight:
+                # A duplicate overtook the original request (delayed in
+                # the network past the client timeout): wait it out.
+                yield self.kernel.timeout(0.01)
+            cached = self._commit_outcomes.get(ck)
+            if cached is not None:
+                return cached[0]
+            self._commit_inflight.add(tid)
+        try:
+            # A commit may be the transaction's first server contact (an
+            # empty transaction): start it like any piggybacked first
+            # access.  But if the *client* already issued accesses
+            # (allow_fresh=False) and we don't know the tid, this server
+            # is a replacement that lost the transaction's buffered
+            # updates -- fail loudly rather than silently committing an
+            # empty transaction.
+            if not allow_fresh and tid not in self._txs:
+                self._get_tx(tid)  # raises TransactionStateError
+            tx = self._ensure_tx(tid)
+            status = yield from self._commit_tx(tx, notify=notify)
+        finally:
+            self._commit_inflight.discard(tid)
+        if ck is not None:
+            self._commit_outcomes[ck] = (status, self.kernel.now)
         return status
 
     def _commit_tx(self, tx: Transaction, notify: Optional[str] = None):
@@ -44,7 +64,7 @@ class FastCommitMixin:
         started_at = self.kernel.now
         if tx.is_read_only:
             tx.mark_committed_read_only(at=self.kernel.now)
-            self._txs.pop(tx.tid, None)
+            self._drop_tx(tx.tid)
             self.stats.commits += 1
             self.stats.read_only_commits += 1
             return COMMITTED
@@ -55,7 +75,7 @@ class FastCommitMixin:
             # seqno handed out now could be truncated by the in-flight
             # finalize as if it were part of the abandoned suffix.
             tx.mark_aborted()
-            self._txs.pop(tx.tid, None)
+            self._drop_tx(tx.tid)
             self.stats.aborts += 1
             self._span(tx.tid, span.ABORT, phase="site_inactive")
             return ABORTED
@@ -65,7 +85,7 @@ class FastCommitMixin:
             status = yield from self._fast_commit(tx, notify)
         else:
             status = yield from self._slow_commit(tx, notify)
-        self._txs.pop(tx.tid, None)
+        self._drop_tx(tx.tid)
         if status == COMMITTED:
             # Server-side commit-path latency (conflict check + 2PC if
             # slow + WAL flush); the client-observed Fig 18 latency adds

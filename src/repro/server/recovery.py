@@ -40,7 +40,10 @@ class RecoveryMixin:
     """
 
     #: Recognized deliberate-bug names for harness self-tests.
-    CHAOS_BUGS = ("skip_resume_propagation",)
+    #: ``leak_prepare_locks`` reverts the commit-path hardening (abort
+    #: releases cast to YES voters only, no orphan-lock resolution) so
+    #: the ``no-leaked-locks`` oracle can be shown to catch the leak.
+    CHAOS_BUGS = ("skip_resume_propagation", "leak_prepare_locks")
     chaos_bug = None
 
     # ------------------------------------------------------------------

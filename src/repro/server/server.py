@@ -14,6 +14,7 @@ from typing import Dict, Optional
 
 from ..core.history import SiteHistories
 from ..core.objects import ObjectId
+from ..core.transaction import TxStatus
 from ..core.versions import VectorTimestamp, Version
 from ..net import Host, Network
 from ..obs import MetricsRegistry, Observability
@@ -24,8 +25,8 @@ from .execution import ExecutionMixin
 from .fast_commit import FastCommitMixin
 from .propagation import PropagationMixin, PropagationTracker
 from .recovery import RecoveryMixin
-from .slow_commit import SlowCommitMixin
-from .state import ConfigView, ServerCosts
+from .slow_commit import PreparedLock, SlowCommitMixin
+from .state import ConfigView, LeaseConfig, ServerCosts
 
 
 class ServerStats:
@@ -128,6 +129,7 @@ class WalterServer(
         anti_starvation_delay: float = 0.010,
         takeover: bool = False,
         obs: Optional[Observability] = None,
+        leases: Optional[LeaseConfig] = None,
     ):
         super().__init__(kernel, network, site_id, name, takeover=takeover)
         if ds_mode not in ("all_sites", "f_plus_1"):
@@ -142,6 +144,7 @@ class WalterServer(
         self.trace = trace
         self.anti_starvation = anti_starvation
         self.anti_starvation_delay = anti_starvation_delay
+        self.leases = leases or LeaseConfig()
 
         n_sites = len(network.topology)
         # Fig 9 variables.
@@ -161,6 +164,21 @@ class WalterServer(
         self._pending_ds = []
         self._visible_tids = set()
         self._delayed_until: Dict[ObjectId, float] = {}
+        # Commit-path hardening state (DESIGN.md §9).
+        #: tid -> lease deadline of the active transaction (refreshed on
+        #: every access RPC); expired entries are reaped by the sweeper.
+        self._tx_deadlines: Dict[str, float] = {}
+        #: tid -> PreparedLock for prepare locks held at this site.
+        self._prepared: Dict[str, PreparedLock] = {}
+        #: tid -> (outcome, decided_at): the at-most-once 2PC decision
+        #: table (coordinator decisions + decisions delivered to us).
+        self._decisions: Dict[str, tuple] = {}
+        #: idempotency token -> (status, recorded_at) for tx_commit
+        #: retries whose original reply was lost.
+        self._commit_outcomes: Dict[str, tuple] = {}
+        #: tids with a commit RPC currently executing (duplicate commit
+        #: requests park until the first lands its outcome).
+        self._commit_inflight = set()
         # Observability: a deployment shares one Observability across its
         # servers; a standalone server gets a private one so the stats
         # view always has a registry behind it.
@@ -177,6 +195,7 @@ class WalterServer(
         self.stats = ServerStats(registry, site_id)
         self._prop_loop = None
         self._gc_loop = None
+        self._sweep_loop = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -193,6 +212,8 @@ class WalterServer(
             self._prop_loop.interrupt("stopped")
         if self._gc_loop is not None and not self._gc_loop.done:
             self._gc_loop.interrupt("stopped")
+        if self._sweep_loop is not None and not self._sweep_loop.done:
+            self._sweep_loop.interrupt("stopped")
         super().stop()
 
     def enable_checkpointing(self, interval: float = 30.0) -> None:
@@ -305,6 +326,79 @@ class WalterServer(
                 return
 
         self._gc_loop = self.kernel.spawn(loop(), name="%s.gc" % self.address)
+
+    def lease_sweep(self) -> int:
+        """One pass of the commit-path lease sweeper (DESIGN.md §9):
+
+        * reap active transactions whose lease expired (client crashed or
+          its abort was lost) so their ``startVTS`` stops pinning the GC
+          watermark;
+        * start a decision query for every prepare lock past its lease
+          (presumed abort: the lock is only released once the coordinator
+          answers ABORTED/UNKNOWN -- see ``_resolve_orphan_lock``);
+        * drop expired anti-starvation entries that were never
+          re-accessed;
+        * expire at-most-once state (commit outcomes, 2PC decisions)
+          past its retention window.
+
+        Returns the number of transactions reaped.  The sweep itself
+        sends no messages -- orphan queries run as child processes -- so
+        an idle sweeper does not perturb simulated timings."""
+        now = self.kernel.now
+        reaped = 0
+        for tid, deadline in list(self._tx_deadlines.items()):
+            if tid not in self._txs:
+                del self._tx_deadlines[tid]
+                continue
+            if deadline > now:
+                continue
+            tx = self._txs.pop(tid)
+            del self._tx_deadlines[tid]
+            if tx.status is TxStatus.ACTIVE:
+                tx.mark_aborted()
+            reaped += 1
+        if reaped:
+            self.obs.registry.counter("tx.reaped", site=self.site_id).inc(reaped)
+        if self.chaos_bug != "leak_prepare_locks":
+            for tid, info in list(self._prepared.items()):
+                if info.deadline <= now and not info.querying:
+                    self.spawn_child(
+                        self._resolve_orphan_lock(tid),
+                        name="orphan:%s@%d" % (tid, self.site_id),
+                    )
+        for oid, until in list(self._delayed_until.items()):
+            if until <= now:
+                del self._delayed_until[oid]
+        retention = self.leases.outcome_retention
+        for key, (_status, at) in list(self._commit_outcomes.items()):
+            if at + retention <= now:
+                del self._commit_outcomes[key]
+        for tid, (_outcome, at) in list(self._decisions.items()):
+            if at + retention <= now:
+                del self._decisions[tid]
+        return reaped
+
+    def start_sweeper(self, interval: Optional[float] = None) -> None:
+        """Run :meth:`lease_sweep` periodically (alongside the GC loop);
+        interval defaults to ``leases.sweep_interval``."""
+        from ..sim import Interrupt
+
+        period = self.leases.sweep_interval if interval is None else interval
+
+        def loop():
+            try:
+                while True:
+                    yield self.kernel.timeout(period)
+                    self.lease_sweep()
+            except Interrupt:
+                return
+
+        self._sweep_loop = self.kernel.spawn(loop(), name="%s.sweeper" % self.address)
+
+    def _reply_dropped(self, method: str) -> None:
+        self.obs.registry.counter(
+            "server.replies_dropped", site=self.site_id, method=method
+        ).inc()
 
     def __repr__(self) -> str:
         return "<WalterServer %s site=%d seqno=%d>" % (

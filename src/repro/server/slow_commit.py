@@ -12,10 +12,36 @@ committed transaction's locks when it propagates to them (Fig 13).
 and sketches a fix -- briefly delaying fast-commit access to objects that
 aborted a slow commit; the authors did not implement it, we do (behind
 ``anti_starvation``), since it is fully specified in one paragraph.
+
+Failure hardening (DESIGN.md §9).  The paper's pseudocode assumes
+messages arrive; under loss the naive protocol leaks locks two ways:
+
+* a participant's YES reply is lost, the coordinator counts the timeout
+  as a NO vote and never tells that participant anything -- its locks
+  would be held forever (an aborted transaction never propagates, so the
+  Fig 13 release path never fires);
+* the coordinator's abort notification itself is lost.
+
+Three mechanisms close the gap, all keyed by a per-transaction decision
+table that makes duplicate prepares/releases idempotent:
+
+1. the coordinator records its decision *before* notifying anyone, sends
+   the abort release to **every contacted site** (not just recorded YES
+   voters), and retries each release as an acked RPC until delivered or
+   the participant's lock lease has surely expired;
+2. each prepare lock carries the coordinator's site and a lease; when
+   the lease expires the participant's sweeper *asks the coordinator*
+   for the decision (``tx_decision``) rather than unilaterally dropping
+   the lock -- presumed abort: a lock may only be released early if the
+   decision could not have been COMMIT;
+3. COMMIT outcomes need no extra delivery: propagation is reliably
+   retransmitted (Fig 13) and releases the participant's locks when the
+   commit record arrives.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..core.objects import ObjectId
@@ -27,6 +53,21 @@ from ..sim import AllOf
 
 COMMITTED = "COMMITTED"
 ABORTED = "ABORTED"
+#: ``tx_decision`` answers when the coordinator is still running the 2PC.
+PENDING = "PENDING"
+#: ``tx_decision`` answers when the coordinator has no trace of the tid:
+#: the transaction was never durably committed (presumed abort).
+UNKNOWN = "UNKNOWN"
+
+
+@dataclass
+class PreparedLock:
+    """Participant-side bookkeeping for one prepared transaction."""
+
+    coord_site: int
+    deadline: float
+    #: An orphan-decision query is already in flight; don't spawn another.
+    querying: bool = False
 
 
 class SlowCommitMixin:
@@ -45,6 +86,7 @@ class SlowCommitMixin:
                     tid=tx.tid,
                     oids=oids,
                     start_vts=tx.start_vts,
+                    coord_site=self.site_id,
                     timeout=self._rpc_timeout(),
                 )
                 return (site, bool(vote))
@@ -64,27 +106,85 @@ class SlowCommitMixin:
                 version = self._apply_local_commit(tx)
             finally:
                 self.commit_lock.release()
+            # Decision point: participants learn COMMIT from propagation
+            # (reliably retransmitted), orphan queries from this table.
+            self._record_decision(tx.tid, COMMITTED)
             self._release_locks(tx.tid)  # locks at this server (Fig 12)
             self._span(tx.tid, span.SLOW_COMMIT_COMMIT, seqno=version.seqno)
             yield from self._finish_local_commit(tx, version, notify)
             self.stats.slow_commits += 1
             return COMMITTED
 
-        # Tell the YES voters to unlock.
-        for site, vote in votes.items():
-            if vote:
-                self.cast(self.peers[site], "release_prepare", tid=tx.tid)
+        self._record_decision(tx.tid, ABORTED)
+        if self.chaos_bug == "leak_prepare_locks":
+            # Planted bug (harness self-test): the pre-hardening abort
+            # path -- fire-and-forget release to recorded YES voters
+            # only, so a participant whose YES reply was lost keeps its
+            # locks forever.
+            for site, vote in votes.items():
+                if vote:
+                    self.cast(self.peers[site], "release_prepare", tid=tx.tid)
+        else:
+            # A timeout/RpcError vote is indistinguishable from "voted
+            # YES, reply lost": the participant may hold locks.  Deliver
+            # the abort to every contacted site, reliably.
+            for site in votes:
+                self.spawn_child(
+                    self._deliver_abort(tx.tid, site),
+                    name="release:%s@%d" % (tx.tid, site),
+                )
         tx.mark_aborted()
         self.stats.aborts += 1
         self._span(tx.tid, span.ABORT, phase="slow_commit")
         return ABORTED
 
+    def _deliver_abort(self, tid: str, site: int):
+        """Retry the abort release to one participant until acked or its
+        lock lease has surely expired (after which its own sweeper will
+        query us and learn the ABORT from the decision table)."""
+        deadline = self.kernel.now + self.leases.lock_lease
+        while True:
+            try:
+                yield from self.call(
+                    self.peers[site],
+                    "release_prepare",
+                    tid=tid,
+                    outcome=ABORTED,
+                    timeout=self._rpc_timeout(),
+                )
+                return
+            except RpcError:
+                if self.kernel.now >= deadline:
+                    return
+                yield self.kernel.timeout(0.05)
+
+    def _record_decision(self, tid: str, outcome: str) -> None:
+        """At-most-once decision table: first write wins; retained for
+        ``leases.outcome_retention`` so retransmitted prepares/releases
+        and orphan queries resolve consistently."""
+        if tid not in self._decisions:
+            self._decisions[tid] = (outcome, self.kernel.now)
+
     # ------------------------------------------------------------------
     # Participant side
     # ------------------------------------------------------------------
-    def rpc_prepare(self, tid: str, oids: List[ObjectId], start_vts: VectorTimestamp):
-        """Fig 12 prepare: vote YES and lock, or NO."""
+    def rpc_prepare(
+        self,
+        tid: str,
+        oids: List[ObjectId],
+        start_vts: VectorTimestamp,
+        coord_site: Optional[int] = None,
+    ):
+        """Fig 12 prepare: vote YES and lock, or NO.  Idempotent: a
+        duplicate prepare for an already-prepared tid refreshes the lock
+        lease and repeats the YES; one for a decided tid votes NO
+        without re-locking."""
         yield from self.cpu.use(self.costs.commit_op)
+        if tid in self._decisions:
+            return False  # decision already delivered; never re-lock
+        if tid in self._prepared:
+            self._prepared[tid].deadline = self.kernel.now + self.leases.lock_lease
+            return True
         if not self.config.is_active(self.site_id):
             return False  # still synchronizing after re-integration (§5.7)
         for oid in oids:
@@ -101,14 +201,83 @@ class SlowCommitMixin:
                 return False
         for oid in oids:
             self.locked[oid] = tid
+        self._prepared[tid] = PreparedLock(
+            coord_site=self.site_id if coord_site is None else coord_site,
+            deadline=self.kernel.now + self.leases.lock_lease,
+        )
         return True
 
-    def on_release_prepare(self, src: str, tid: str):
+    def rpc_release_prepare(self, tid: str, outcome: str = ABORTED):
+        """Acked decision delivery (the coordinator retries this until it
+        gets the ack).  Idempotent via the decision table."""
+        self._apply_release(tid, outcome)
+        return "OK"
+
+    def on_release_prepare(self, src: str, tid: str, outcome: str = ABORTED):
+        self._apply_release(tid, outcome)
+
+    def _apply_release(self, tid: str, outcome: str) -> None:
+        self._record_decision(tid, outcome)
         self._release_locks(tid)
+
+    def rpc_tx_decision(self, tid: str):
+        """Answer a participant's orphan-lock query (coordinator side).
+
+        COMMIT decisions survive coordinator replacement: the commit
+        record is WAL-durable and restored into ``_records_by_version``,
+        so a replacement still answers COMMITTED.  A tid with no trace
+        anywhere was never durably committed -- either never decided
+        (coordinator crashed mid-2PC; its 2PC died with it) or fenced at
+        takeover and abandoned -- so UNKNOWN licenses a presumed-abort
+        release."""
+        entry = self._decisions.get(tid)
+        if entry is not None:
+            return entry[0]
+        if tid in self._txs:
+            return PENDING
+        for record in self._records_by_version.values():
+            if record.tid == tid:
+                return COMMITTED
+        return UNKNOWN
+
+    def _resolve_orphan_lock(self, tid: str):
+        """Sweeper child: a prepare lock outlived its lease; ask the
+        coordinator what happened.  Only ABORTED/UNKNOWN answers release
+        the lock (presumed abort -- the decision cannot have been
+        COMMIT); COMMITTED/PENDING answers extend the lease and wait for
+        propagation/the decision delivery to release it normally."""
+        info = self._prepared.get(tid)
+        if info is None:
+            return
+        info.querying = True
+        try:
+            decision = yield from self.call(
+                self.peers[info.coord_site],
+                "tx_decision",
+                tid=tid,
+                timeout=self._rpc_timeout(),
+            )
+        except RpcError:
+            # Coordinator unreachable: keep the lock (the decision may
+            # have been COMMIT) and retry one sweep later.
+            info.deadline = self.kernel.now + self.leases.sweep_interval
+            info.querying = False
+            return
+        info.querying = False
+        if decision in (ABORTED, UNKNOWN):
+            held = sum(1 for owner in self.locked.values() if owner == tid)
+            self._record_decision(tid, ABORTED)
+            self._release_locks(tid)
+            self.obs.registry.counter(
+                "locks.leaked_released", site=self.site_id
+            ).inc(held)
+        else:
+            info.deadline = self.kernel.now + self.leases.lock_lease
 
     def _release_locks(self, tid: str) -> None:
         for oid in [o for o, owner in self.locked.items() if owner == tid]:
             del self.locked[oid]
+        self._prepared.pop(tid, None)
 
     # ------------------------------------------------------------------
     # Anti-starvation (§6, optional)

@@ -43,6 +43,31 @@ class ServerCosts:
     commit_op: float = 40e-6
 
 
+@dataclass(frozen=True)
+class LeaseConfig:
+    """Expiry deadlines for commit-path state (DESIGN.md §9).
+
+    A transaction or prepare lock whose owner stops talking to us must
+    not pin server state forever: an abandoned transaction pins the GC
+    watermark, and an orphaned prepare lock blocks every later writer of
+    the object.  Leases bound both.  ``tx_lease`` must exceed the
+    longest legitimate gap between two accesses of a live transaction
+    (one client op timeout, ~4.2 s on the 4/5-site EC2 topologies);
+    ``lock_lease`` only triggers the *decision query* -- locks are never
+    released on time alone (presumed abort requires proof, §9)."""
+
+    #: Seconds an active transaction may go untouched before it is
+    #: reaped (deadline refreshed on every access RPC).
+    tx_lease: float = 5.0
+    #: Seconds a prepare lock may be held before the participant asks
+    #: the coordinator for the transaction's decision.
+    lock_lease: float = 5.0
+    #: Period of the server's lease sweeper loop.
+    sweep_interval: float = 0.5
+    #: Seconds a cached commit outcome (at-most-once token) is retained.
+    outcome_retention: float = 30.0
+
+
 class ConfigView:
     """A server's view of container placement plus lease checks.
 

@@ -8,7 +8,15 @@ bug the convergence and durability oracles exist for.  If the harness
 ever stops catching it, the harness is broken, not the protocol.
 """
 
-from repro.chaos import ChaosConfig, generate_schedule, run_chaos, shrink_schedule
+import os
+
+from repro.chaos import (
+    ChaosConfig,
+    ReproArtifact,
+    generate_schedule,
+    run_chaos,
+    shrink_schedule,
+)
 
 #: First seed (of 1..30) whose random schedule trips the planted bug;
 #: several others do too (6, 7, 11, ...), this one shrinks fastest.
@@ -33,3 +41,23 @@ def test_planted_bug_shrinks_to_few_events():
     # The minimized schedule must itself replay deterministically.
     again = run_chaos(config, schedule=report.schedule)
     assert again.verdict_json() == report.result.verdict_json()
+
+
+def test_leak_prepare_locks_bug_is_caught_by_quiescence_oracle():
+    """Second planted bug (``leak_prepare_locks``): the pre-hardening
+    abort path -- release to recorded YES voters only, no orphan-lock
+    sweeping -- so a participant whose YES reply was dropped keeps its
+    prepare locks forever.  The recorded seed-401 schedule drops prepare
+    replies and leaks under the bug; the clean protocol (the checked-in
+    artifact) quiesces with zero locks."""
+    from dataclasses import replace
+
+    artifact = ReproArtifact.load(
+        os.path.join(os.path.dirname(__file__), "seeds", "seed-401.json")
+    )
+    buggy = run_chaos(
+        replace(artifact.config, bug="leak_prepare_locks"),
+        schedule=artifact.schedule,
+    )
+    assert not buggy.passed
+    assert "no-leaked-locks" in {v.property_name for v in buggy.violations}
