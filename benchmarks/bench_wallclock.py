@@ -1,0 +1,127 @@
+"""Wall-clock speed of the simulation substrate (not a paper figure).
+
+Measures how fast the simulator itself runs -- wall-clock seconds and
+kernel events per second -- on three fixed workloads (see
+``repro.bench.wallclock``): the Fig 17 mixed-throughput cell, the chaos
+seed-corpus replay (which also asserts byte-identical verdicts), and an
+8-site write-scaling run.  Results are recorded in
+``BENCH_wallclock.json`` at the repo root so the perf trajectory is
+tracked across PRs.
+
+Usage::
+
+    # run and print (no file written)
+    PYTHONPATH=src python benchmarks/bench_wallclock.py [--small]
+
+    # record results under a label (baseline | optimized)
+    PYTHONPATH=src python benchmarks/bench_wallclock.py \\
+        --write BENCH_wallclock.json --label optimized
+
+    # CI regression gate: fail if events/sec drops > tolerance vs the
+    # committed "optimized" numbers
+    PYTHONPATH=src python benchmarks/bench_wallclock.py \\
+        --check BENCH_wallclock.json --tolerance 0.20 --small
+"""
+
+import argparse
+import json
+import os
+import platform
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench.wallclock import SCENARIOS, run_scenarios  # noqa: E402
+
+
+def _print_table(results):
+    print("%-22s %10s %12s %14s  %s" % ("scenario", "wall s", "events", "events/s", "sim"))
+    for name, out in results.items():
+        print(
+            "%-22s %10.3f %12d %14.1f  %s"
+            % (name, out["wall_s"], out["events"], out["events_per_s"], out["sim"])
+        )
+
+
+def _load(path):
+    if os.path.exists(path):
+        with open(path) as fh:
+            return json.load(fh)
+    return {}
+
+
+def _speedups(doc):
+    base = doc.get("baseline", {}).get("scenarios", {})
+    opt = doc.get("optimized", {}).get("scenarios", {})
+    speedup = {}
+    for name in base:
+        if name in opt and opt[name]["wall_s"] > 0:
+            speedup[name] = round(base[name]["wall_s"] / opt[name]["wall_s"], 2)
+    return speedup
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--small", action="store_true", help="CI-sized workloads")
+    parser.add_argument(
+        "--scenario", action="append", choices=sorted(SCENARIOS), default=None,
+        help="run only this scenario (repeatable)",
+    )
+    parser.add_argument("--write", metavar="PATH", help="record results into PATH")
+    parser.add_argument(
+        "--label", default="optimized", choices=["baseline", "optimized"],
+        help="which label to record under (with --write)",
+    )
+    parser.add_argument(
+        "--check", metavar="PATH",
+        help="compare events/sec against PATH's 'optimized' numbers; "
+        "exit non-zero on regression beyond --tolerance",
+    )
+    parser.add_argument("--tolerance", type=float, default=0.20)
+    args = parser.parse_args(argv)
+
+    results = run_scenarios(args.scenario, small=args.small)
+    _print_table(results)
+
+    status = 0
+    if args.check:
+        doc = _load(args.check)
+        ref = doc.get("optimized", {}).get("scenarios", {})
+        for name, out in results.items():
+            if name not in ref:
+                print("check: %s has no committed numbers, skipping" % name)
+                continue
+            committed = ref[name]["events_per_s"]
+            floor = committed * (1.0 - args.tolerance)
+            verdict = "ok" if out["events_per_s"] >= floor else "REGRESSED"
+            print(
+                "check: %-22s %14.1f ev/s vs committed %14.1f (floor %14.1f) %s"
+                % (name, out["events_per_s"], committed, floor, verdict)
+            )
+            if out["events_per_s"] < floor:
+                status = 1
+
+    if args.write:
+        doc = _load(args.write)
+        merged = dict(doc.get(args.label, {}).get("scenarios", {}))
+        merged.update(results)
+        doc[args.label] = {
+            "scenarios": merged,
+            "small": args.small,
+            "python": platform.python_version(),
+        }
+        speedup = _speedups(doc)
+        if speedup:
+            doc["speedup_wall_clock"] = speedup
+        with open(args.write, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print("wrote %s (label=%s)" % (args.write, args.label))
+        if speedup:
+            print("wall-clock speedup vs baseline: %s" % speedup)
+
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

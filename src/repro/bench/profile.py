@@ -1,0 +1,55 @@
+"""cProfile entry point for the wall-clock benchmark scenarios.
+
+Profiles one substrate scenario (default: ``fig17_throughput``) and
+prints the top functions, so hot-path regressions can be diagnosed the
+same way the optimizations in DESIGN.md ("Simulator performance") were
+found::
+
+    PYTHONPATH=src python -m repro.bench.profile
+    PYTHONPATH=src python -m repro.bench.profile chaos_replay --sort cumulative
+    PYTHONPATH=src python -m repro.bench.profile fig17_throughput --small --limit 50
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+
+from .wallclock import SCENARIOS
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "scenario", nargs="?", default="fig17_throughput", choices=sorted(SCENARIOS)
+    )
+    parser.add_argument("--small", action="store_true", help="CI-sized workload")
+    parser.add_argument(
+        "--sort", default="tottime",
+        choices=["tottime", "cumulative", "ncalls", "pcalls"],
+    )
+    parser.add_argument("--limit", type=int, default=30)
+    parser.add_argument("--out", metavar="PATH", help="also dump raw stats to PATH")
+    args = parser.parse_args(argv)
+
+    fn = SCENARIOS[args.scenario]
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = fn(args.small)
+    profiler.disable()
+
+    print(
+        "%s: %.3fs wall, %d events (note: cProfile overhead inflates wall time)"
+        % (args.scenario, result["wall_s"], result["events"])
+    )
+    stats = pstats.Stats(profiler)
+    if args.out:
+        stats.dump_stats(args.out)
+    stats.sort_stats(args.sort).print_stats(args.limit)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

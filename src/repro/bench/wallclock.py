@@ -1,0 +1,155 @@
+"""Wall-clock benchmarks for the simulation substrate.
+
+Unlike the figure benchmarks (which report *simulated* throughput and
+latency), these scenarios measure how fast the simulator itself runs:
+wall-clock seconds and kernel events executed per wall-clock second on
+fixed, seeded workloads.  They are the repo's performance trajectory --
+``benchmarks/bench_wallclock.py`` records results in
+``BENCH_wallclock.json`` at the repo root, and CI fails if events/sec
+regresses more than the tolerance against the committed numbers.
+
+Three scenarios bracket the substrate's hot paths:
+
+* ``fig17_throughput`` -- the §8.3 mixed read/write workload on the
+  4-site EC2 topology: RPC-heavy, exercises the commit path, batched
+  propagation, and the network pipe model under load;
+* ``chaos_replay`` -- the checked-in chaos seed corpus: fault
+  injection, recovery, pending-record parking/draining; each replay's
+  verdict is also asserted byte-identical to the stored one, so this
+  scenario doubles as a schedule-determinism gate;
+* ``eight_site_scaling`` -- a write-only workload on 8 uniform-RTT
+  sites: propagation bookkeeping (trackers, vector clocks, per-origin
+  indexes) dominates, which is where replication-layer overhead shows.
+
+Every scenario is a deterministic function of its seed; only the
+wall-clock numbers vary between machines.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import time
+from typing import Any, Callable, Dict, List
+
+from ..deployment import Deployment
+from ..net import Topology
+from ..storage import FLUSH_EC2
+from .calibration import walter_costs
+from .harness import run_closed_loop
+from .workloads import mixed_tx_factory, populate, write_tx_factory
+
+SCENARIOS: Dict[str, Callable[[bool], Dict[str, Any]]] = {}
+
+
+def scenario(fn):
+    SCENARIOS[fn.__name__] = fn
+    return fn
+
+
+def _seed_corpus_dir() -> str:
+    """tests/chaos/seeds, resolved relative to the repo root (assumed to
+    be two levels above src/)."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    root = os.path.abspath(os.path.join(here, "..", "..", ".."))
+    return os.path.join(root, "tests", "chaos", "seeds")
+
+
+@scenario
+def fig17_throughput(small: bool = False) -> Dict[str, Any]:
+    """The Fig 17 mixed panel's workhorse cell: 90% size-1 reads, 10%
+    size-5 writes, 4 EC2 sites, closed loop at saturation."""
+    world = Deployment(
+        n_sites=4, costs=walter_costs("ec2"), flush_latency=FLUSH_EC2, seed=17
+    )
+    keys = populate(world, n_keys=4000)
+    factory = mixed_tx_factory(keys, 1, 5)
+    start = time.perf_counter()
+    result = run_closed_loop(
+        world,
+        factory,
+        clients_per_site=16 if small else 48,
+        warmup=0.1 if small else 0.2,
+        measure=0.2 if small else 0.4,
+        name="fig17-mixed",
+    )
+    wall = time.perf_counter() - start
+    return {
+        "wall_s": wall,
+        "events": world.kernel.events_executed,
+        "sim": {"ops": result.ops, "ktps": round(result.ktps, 3)},
+    }
+
+
+@scenario
+def chaos_replay(small: bool = False) -> Dict[str, Any]:
+    """Replay the checked-in chaos seed corpus and assert every verdict
+    is byte-identical to the stored one (schedule determinism)."""
+    from ..chaos import ReproArtifact
+
+    paths = sorted(glob.glob(os.path.join(_seed_corpus_dir(), "seed-*.json")))
+    if not paths:
+        raise RuntimeError("no chaos seed corpus under %s" % _seed_corpus_dir())
+    if small:
+        paths = paths[:3]
+    repeats = 1 if small else 3
+    events = 0
+    start = time.perf_counter()
+    for _ in range(repeats):
+        for path in paths:
+            artifact = ReproArtifact.load(path)
+            result = artifact.replay()
+            if not result.passed:
+                raise AssertionError("corpus seed failed: %s" % path)
+            if result.verdict_obj() != artifact.verdict:
+                raise AssertionError("verdict drifted on %s" % path)
+            events += result.world.kernel.events_executed
+    wall = time.perf_counter() - start
+    return {
+        "wall_s": wall,
+        "events": events,
+        "sim": {"seeds": len(paths), "repeats": repeats, "verdicts_identical": True},
+    }
+
+
+@scenario
+def eight_site_scaling(small: bool = False) -> Dict[str, Any]:
+    """Write-only closed loop on 8 uniform-RTT sites: stresses batched
+    propagation, remote apply, and tracker bookkeeping at the largest
+    site count the experiments use."""
+    world = Deployment(
+        n_sites=8,
+        topology=Topology.uniform(8, rtt_ms=80.0),
+        costs=walter_costs("ec2"),
+        flush_latency=FLUSH_EC2,
+        seed=23,
+    )
+    keys = populate(world, n_keys=2000)
+    factory = write_tx_factory(keys, 1)
+    start = time.perf_counter()
+    result = run_closed_loop(
+        world,
+        factory,
+        clients_per_site=6 if small else 12,
+        warmup=0.3 if small else 0.6,
+        measure=0.3 if small else 0.8,
+        name="8site-write",
+    )
+    wall = time.perf_counter() - start
+    return {
+        "wall_s": wall,
+        "events": world.kernel.events_executed,
+        "sim": {"ops": result.ops, "ktps": round(result.ktps, 3)},
+    }
+
+
+def run_scenarios(names: List[str] = None, small: bool = False) -> Dict[str, Any]:
+    """Run the selected scenarios; returns name -> result dict with
+    ``wall_s``, ``events``, ``events_per_s``, and scenario metadata."""
+    results: Dict[str, Any] = {}
+    for name in names or list(SCENARIOS):
+        out = SCENARIOS[name](small)
+        out["events_per_s"] = round(out["events"] / out["wall_s"], 1)
+        out["wall_s"] = round(out["wall_s"], 3)
+        results[name] = out
+    return results

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..deployment import Deployment
+from ..sim import gc_paused
 from ..spec.checker import Violation, check_trace
 from ..storage import FLUSH_MEMORY
 from .generator import generate_schedule
@@ -166,7 +167,18 @@ class ReproArtifact:
 
 
 def run_chaos(config: ChaosConfig, schedule: Optional[Schedule] = None) -> ChaosResult:
-    """Run one chaos experiment; see the module docstring."""
+    """Run one chaos experiment; see the module docstring.
+
+    The whole experiment -- world construction, the fault run, repair,
+    settling, and the oracle checks -- executes with the cyclic GC paused
+    (:func:`repro.sim.gc_paused`): the run/spawn/run structure would
+    otherwise trigger a full young-generation scan at every run boundary.
+    """
+    with gc_paused():
+        return _run_chaos(config, schedule)
+
+
+def _run_chaos(config: ChaosConfig, schedule: Optional[Schedule]) -> ChaosResult:
     if schedule is None:
         schedule = generate_schedule(config)
     world = Deployment(
@@ -191,9 +203,14 @@ def run_chaos(config: ChaosConfig, schedule: Optional[Schedule] = None) -> Chaos
         repair_proc = world.kernel.spawn(
             _repair(world, injector), name="chaos.repair"
         )
+        # stop_when runs before every event; the conjunction is evaluated
+        # cheapest-first (repair is a single process flag, workload.done
+        # walks every client process) -- the stop time is unaffected.
+        # repair_proc._done reads the slot directly, skipping the property
+        # call this per-event check would otherwise pay.
         world.kernel.run(
             until=deadline,
-            stop_when=lambda: workload.done and repair_proc.done and injector.done,
+            stop_when=lambda: repair_proc._done and injector.done and workload.done,
         )
     except Exception:  # noqa: BLE001 - a crash IS a failing verdict
         violations.append(

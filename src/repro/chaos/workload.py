@@ -35,7 +35,12 @@ class WorkloadHandle:
 
     @property
     def done(self) -> bool:
-        return all(p.done for p in self.procs)
+        # Read the Process._done slot directly: this property sits in the
+        # chaos harness's per-event stop_when check.
+        for p in self.procs:
+            if not p._done:
+                return False
+        return True
 
     def tally(self) -> Dict[str, int]:
         counts = {COMMITTED: 0, ABORTED: 0, ERROR: 0}

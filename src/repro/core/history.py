@@ -132,7 +132,9 @@ class ObjectHistory:
     # Mutation
     # ------------------------------------------------------------------
     def append(self, update: Update, version: Version) -> None:
-        if update.oid != self.oid:
+        # Identity almost always holds (no real serialization in the sim),
+        # short-circuiting the dataclass field comparison.
+        if update.oid is not self.oid and update.oid != self.oid:
             raise ValueError("update for %s appended to history of %s" % (update.oid, self.oid))
         bucket = self._buckets.get(version.site)
         if bucket is None:

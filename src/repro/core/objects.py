@@ -41,6 +41,17 @@ class ObjectId:
     local: str
     kind: ObjectKind = ObjectKind.REGULAR
 
+    def __post_init__(self):
+        # Object ids are hashed on every store/lock lookup.  Precompute the
+        # same field-tuple hash the dataclass machinery would generate so
+        # hash-dependent orderings (set iteration) are unchanged.
+        object.__setattr__(
+            self, "_hash", hash((self.container, self.local, self.kind))
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
     def __str__(self) -> str:
         tag = "c" if self.kind is ObjectKind.CSET else "r"
         return "%s/%s#%s" % (self.container, self.local, tag)

@@ -142,10 +142,16 @@ class CommitRecord:
     #: Simulated time the transaction committed at its origin; carried on
     #: the wire so receivers can measure replication lag (repro.obs).
     committed_at: Optional[float] = None
+    #: Cached ``Version(site, seqno)`` -- site/seqno are fixed at
+    #: construction and the property is on several hot paths.
+    _version: Optional[Version] = field(default=None, repr=False, compare=False)
 
     @property
     def version(self) -> Version:
-        return Version(self.site, self.seqno)
+        v = self._version
+        if v is None:
+            v = self._version = Version(self.site, self.seqno)
+        return v
 
     def payload_bytes(self) -> int:
         """Rough wire size, used by the network bandwidth model."""

@@ -30,6 +30,14 @@ class Version:
     site: int
     seqno: int
 
+    def __post_init__(self):
+        # Versions key history maps and visibility checks; precompute the
+        # same field-tuple hash the dataclass machinery would generate.
+        object.__setattr__(self, "_hash", hash((self.site, self.seqno)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
     def __str__(self) -> str:
         return "<%d:%d>" % (self.site, self.seqno)
 
@@ -51,8 +59,16 @@ class VectorTimestamp:
             raise ValueError("sequence numbers must be >= 0: %r" % (seqnos,))
 
     @classmethod
+    def _wrap(cls, seqnos: Tuple[int, ...]) -> "VectorTimestamp":
+        """Internal constructor for values derived from an existing
+        (already validated) vector -- skips the per-entry validation."""
+        vts = cls.__new__(cls)
+        vts._seqnos = seqnos
+        return vts
+
+    @classmethod
     def zeros(cls, n_sites: int) -> "VectorTimestamp":
-        return cls((0,) * n_sites)
+        return cls._wrap((0,) * n_sites)
 
     @property
     def n_sites(self) -> int:
@@ -80,18 +96,20 @@ class VectorTimestamp:
         """A copy with ``site``'s entry incremented by one."""
         seqnos = list(self._seqnos)
         seqnos[site] += 1
-        return VectorTimestamp(seqnos)
+        return VectorTimestamp._wrap(tuple(seqnos))
 
     def with_entry(self, site: int, seqno: int) -> "VectorTimestamp":
         """A copy with ``site``'s entry replaced by ``seqno``."""
+        if seqno < 0:
+            raise ValueError("sequence numbers must be >= 0: %r" % (seqno,))
         seqnos = list(self._seqnos)
-        seqnos[site] = seqno
-        return VectorTimestamp(seqnos)
+        seqnos[site] = int(seqno)
+        return VectorTimestamp._wrap(tuple(seqnos))
 
     def merge(self, other: "VectorTimestamp") -> "VectorTimestamp":
         """Element-wise maximum (join in the vector-clock lattice)."""
         self._check_same_width(other)
-        return VectorTimestamp(
+        return VectorTimestamp._wrap(
             tuple(max(a, b) for a, b in zip(self._seqnos, other._seqnos))
         )
 
@@ -100,7 +118,7 @@ class VectorTimestamp:
         used to fold active transactions' snapshots into a GC watermark
         no live read can be below."""
         self._check_same_width(other)
-        return VectorTimestamp(
+        return VectorTimestamp._wrap(
             tuple(min(a, b) for a, b in zip(self._seqnos, other._seqnos))
         )
 
@@ -110,8 +128,14 @@ class VectorTimestamp:
         This is the ``CommittedVTS >= x.startVTS`` test of Fig 13: the
         local site has committed every transaction in x's snapshot.
         """
-        self._check_same_width(other)
-        return all(a >= b for a, b in zip(self._seqnos, other._seqnos))
+        a = self._seqnos
+        b = other._seqnos
+        if len(a) != len(b):
+            self._check_same_width(other)
+        for x, y in zip(a, b):
+            if x < y:
+                return False
+        return True
 
     def __ge__(self, other: "VectorTimestamp") -> bool:
         return self.dominates(other)

@@ -22,7 +22,7 @@ from ..sim import Kernel, RandomStreams, Store
 from .topology import Site, Topology
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """An addressed message in flight or delivered."""
 
@@ -53,14 +53,18 @@ class NetworkStats:
         "dropped_random",
     )
 
-    __slots__ = ("_registry", "bytes_by_link")
+    __slots__ = ("_registry", "bytes_by_link", "_handles")
 
     def __init__(self, registry: Optional[MetricsRegistry] = None):
         object.__setattr__(self, "_registry", registry or MetricsRegistry())
         object.__setattr__(self, "bytes_by_link", {})
+        object.__setattr__(self, "_handles", {})
 
     def _counter(self, name: str):
-        return self._registry.counter("net.%s" % name)
+        handle = self._handles.get(name)
+        if handle is None:
+            handle = self._handles[name] = self._registry.counter("net.%s" % name)
+        return handle
 
     def __getattr__(self, name: str) -> int:
         if name in NetworkStats.FIELDS:
@@ -100,17 +104,42 @@ class Network:
         self.topology = topology
         self.streams = streams or RandomStreams(0)
         self._rng = self.streams.stream("net.jitter")
+        # Bound-method caches for the per-message path.
+        self._rng_random = self._rng.random
+        self._call_at = kernel.call_at
         self.jitter_frac = jitter_frac
         self.loss_rate = loss_rate
         self._mailboxes: Dict[str, Store] = {}
         self._host_sites: Dict[str, Site] = {}
+        # address -> site id, mirrored from _host_sites: send/deliver only
+        # need the id, and one dict probe beats a lookup plus attribute
+        # dereference on every message.
+        self._host_site_ids: Dict[str, int] = {}
         self._crashed: Set[str] = set()
         self._partitioned: Set[Tuple[int, int]] = set()
         # Next time at which each directed cross-site link is free; models
         # the 22 Mbps pipe as FIFO serialization.
         self._link_free_at: Dict[Tuple[int, int], float] = {}
+        # Static per-(src-site, dst-site) path parameters -- (one-way
+        # latency, bandwidth) -- resolved from the topology once.
+        self._path_cache: Dict[Tuple[int, int], Tuple[float, float]] = {}
         self.stats = NetworkStats()
         self._registry = None
+        # Per-site / per-link counter handles (lazy; keyed by site id or
+        # link tuple) plus aggregate handles, so the hot send/deliver
+        # path never does a registry lookup.
+        self._site_sent: Dict[int, Any] = {}
+        self._site_delivered: Dict[int, Any] = {}
+        self._link_bytes: Dict[Tuple[int, int], Any] = {}
+        self._bind_stat_handles()
+
+    def _bind_stat_handles(self) -> None:
+        counter = self.stats._counter
+        self._c_sent = counter("sent")
+        self._c_delivered = counter("delivered")
+        self._c_dropped_partition = counter("dropped_partition")
+        self._c_dropped_crash = counter("dropped_crash")
+        self._c_dropped_random = counter("dropped_random")
 
     def bind_metrics(self, registry) -> None:
         """Mirror per-site traffic into the shared metrics registry:
@@ -126,6 +155,10 @@ class Network:
             setattr(stats, name, getattr(old, name))
         stats.bytes_by_link.update(old.bytes_by_link)
         self.stats = stats
+        self._site_sent.clear()
+        self._site_delivered.clear()
+        self._link_bytes.clear()
+        self._bind_stat_handles()
 
     # ------------------------------------------------------------------
     # Host management
@@ -142,6 +175,7 @@ class Network:
         mailbox = Store(self.kernel, name="mbox:%s" % address)
         self._mailboxes[address] = mailbox
         self._host_sites[address] = self.topology.site(site)
+        self._host_site_ids[address] = self._host_sites[address].id
         self._crashed.discard(address)
         return mailbox
 
@@ -190,59 +224,89 @@ class Network:
         partitions and crashes silently drop (as with a TCP connection
         that never completes), so protocols must tolerate loss.
         """
-        self.stats.sent += 1
+        # Both the aggregate and the per-site sent counters count
+        # *attempted* sends: they are incremented together, before any
+        # drop check, so ``net.sent`` always equals the sum of
+        # ``net.sent{site=*}`` once metrics are bound.  Counter bumps on
+        # this path write ``.value`` directly -- one attribute add per
+        # message instead of a method call.
+        self._c_sent.value += 1
+        src_id = self._host_site_ids[src]
+        if self._registry is not None:
+            try:
+                sent = self._site_sent[src_id]
+            except KeyError:
+                sent = self._site_sent[src_id] = self._registry.counter(
+                    "net.sent", site=src_id
+                )
+            sent.value += 1
         if src in self._crashed:
-            self.stats.dropped_crash += 1
+            self._c_dropped_crash.value += 1
             return
-        if dst not in self._mailboxes:
+        dst_id = self._host_site_ids.get(dst)
+        if dst_id is None:
             raise ValueError("unknown destination %r" % (dst,))
-        src_site = self._host_sites[src]
-        dst_site = self._host_sites[dst]
-        if (src_site.id, dst_site.id) in self._partitioned:
-            self.stats.dropped_partition += 1
+        if self._partitioned and (src_id, dst_id) in self._partitioned:
+            self._c_dropped_partition.value += 1
             return
-        if self.loss_rate > 0 and self._rng.random() < self.loss_rate:
-            self.stats.dropped_random += 1
+        if self.loss_rate > 0 and self._rng_random() < self.loss_rate:
+            self._c_dropped_random.value += 1
             return
 
-        latency = self.topology.one_way(src_site, dst_site)
+        try:
+            latency, bandwidth = self._path_cache[(src_id, dst_id)]
+        except KeyError:
+            latency, bandwidth = self._path_cache[(src_id, dst_id)] = (
+                self.topology.one_way(src_id, dst_id),
+                self.topology.bandwidth_bps(src_id, dst_id),
+            )
         if self.jitter_frac > 0:
-            latency *= 1.0 + self._rng.random() * self.jitter_frac
-        serialize = size_bytes * 8.0 / self.topology.bandwidth_bps(src_site, dst_site)
+            latency *= 1.0 + self._rng_random() * self.jitter_frac
+        serialize = size_bytes * 8.0 / bandwidth
 
         now = self.kernel.now
-        if src_site.id != dst_site.id:
+        if src_id != dst_id:
             # FIFO pipe: serialization occupies the shared link.
-            link = (src_site.id, dst_site.id)
+            link = (src_id, dst_id)
             start = max(now, self._link_free_at.get(link, now))
             self._link_free_at[link] = start + serialize
-            self.stats.bytes_by_link[link] = (
-                self.stats.bytes_by_link.get(link, 0) + size_bytes
-            )
+            bytes_by_link = self.stats.bytes_by_link
+            bytes_by_link[link] = bytes_by_link.get(link, 0) + size_bytes
             if self._registry is not None:
-                self._registry.counter(
-                    "net.bytes", site=src_site.id, dst=dst_site.id
-                ).inc(size_bytes)
+                try:
+                    link_bytes = self._link_bytes[link]
+                except KeyError:
+                    link_bytes = self._link_bytes[link] = self._registry.counter(
+                        "net.bytes", site=src_id, dst=dst_id
+                    )
+                link_bytes.value += size_bytes
             deliver_at = start + serialize + latency + self.SOFTWARE_OVERHEAD
         else:
             deliver_at = now + serialize + latency + self.SOFTWARE_OVERHEAD
-        if self._registry is not None:
-            self._registry.counter("net.sent", site=src_site.id).inc()
 
         message = Message(src, dst, payload, size_bytes, sent_at=now)
-        self.kernel.call_at(deliver_at, self._deliver, message)
+        self._call_at(deliver_at, self._deliver, message)
 
     def _deliver(self, message: Message) -> None:
-        if message.dst in self._crashed:
-            self.stats.dropped_crash += 1
+        dst = message.dst
+        if dst in self._crashed:
+            self._c_dropped_crash.value += 1
             return
-        src_site = self._host_sites[message.src]
-        dst_site = self._host_sites[message.dst]
-        if (src_site.id, dst_site.id) in self._partitioned:
-            self.stats.dropped_partition += 1
+        if self._partitioned and (
+            (self._host_site_ids[message.src], self._host_site_ids[dst])
+            in self._partitioned
+        ):
+            self._c_dropped_partition.value += 1
             return
         message.delivered_at = self.kernel.now
-        self.stats.delivered += 1
+        self._c_delivered.value += 1
         if self._registry is not None:
-            self._registry.counter("net.delivered", site=dst_site.id).inc()
-        self._mailboxes[message.dst].put(message)
+            dst_id = self._host_site_ids[dst]
+            try:
+                delivered = self._site_delivered[dst_id]
+            except KeyError:
+                delivered = self._site_delivered[dst_id] = self._registry.counter(
+                    "net.delivered", site=dst_id
+                )
+            delivered.value += 1
+        self._mailboxes[dst].put(message)

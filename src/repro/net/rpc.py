@@ -13,12 +13,58 @@ block on simulated I/O).
 
 from __future__ import annotations
 
-import inspect
 from dataclasses import dataclass, field
+from types import GeneratorType
 from typing import Any, Dict, Optional
 
-from ..sim import AnyOf, Event, Kernel
+import heapq
+
+from ..sim import Event, Interrupt, Kernel, Waitable
 from .network import Network
+
+
+class _ReplyOrTimeout(Waitable):
+    """``AnyOf([reply_event, Timeout(delay)])`` specialized for the RPC
+    wait-for-reply race.
+
+    Behaviourally identical to the generic combinator -- the yield value
+    is ``(0, reply)`` or ``(1, None)``, and the subscription order (event
+    first, then the timer) consumes kernel sequence numbers exactly as
+    ``AnyOf`` would -- but avoids its per-call closure factories, child
+    list, and Timeout allocation.  ``call`` runs once per RPC, which makes
+    this one of the hottest allocation sites in the simulator.
+    """
+
+    __slots__ = ("event", "delay", "_callback", "_settled")
+
+    def __init__(self, event: Event, delay: float):
+        self.event = event
+        self.delay = delay
+
+    def _subscribe(self, kernel: Kernel, callback) -> None:
+        self._callback = callback
+        self._settled = False
+        self.event._subscribe(kernel, self._on_reply)
+        kernel._seq += 1
+        heapq.heappush(
+            kernel._heap,
+            (kernel.now + self.delay, kernel._seq, self._on_timeout, (None, None)),
+        )
+
+    def _on_reply(self, value, exc) -> None:
+        if self._settled:
+            return
+        self._settled = True
+        if exc is not None:
+            self._callback(None, exc)
+        else:
+            self._callback((0, value), None)
+
+    def _on_timeout(self, value, exc) -> None:
+        if self._settled:
+            return
+        self._settled = True
+        self._callback((1, value), None)
 
 
 class RpcError(Exception):
@@ -33,7 +79,7 @@ class RpcRemoteError(RpcError):
     """The remote handler raised; carries the remote error string."""
 
 
-@dataclass
+@dataclass(slots=True)
 class RpcRequest:
     rpc_id: int
     method: str
@@ -41,14 +87,14 @@ class RpcRequest:
     reply_to: str
 
 
-@dataclass
+@dataclass(slots=True)
 class RpcReply:
     rpc_id: int
     value: Any = None
     error: Optional[str] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class Cast:
     """A one-way protocol message (no reply)."""
 
@@ -74,6 +120,13 @@ class Host:
         self._running = False
         self._loop = None
         self._children: list = []
+        # Dead children are pruned when the list reaches this size; the
+        # threshold then doubles with the surviving count so pruning is
+        # amortized O(1) per spawn (it is count-based, so deterministic).
+        self._prune_at = 32
+        # getattr(self, "rpc_..."/"on_...") resolved once per method name.
+        self._rpc_handlers: Dict[str, Any] = {}
+        self._cast_handlers: Dict[str, Any] = {}
         #: Fault-injection hook: RPC method -> sim time until which this
         #: host's *replies* to that method are suppressed (the request IS
         #: processed -- models a reply lost on the wire after the handler
@@ -114,50 +167,52 @@ class Host:
     def spawn_child(self, gen, name: str = ""):
         """Spawn a process that dies with this host (see :meth:`crash`).
 
-        The wrapper absorbs the :class:`~repro.sim.Interrupt` a crash
-        throws, so killed handlers never surface as orphan failures."""
-        from ..sim import Interrupt
-
-        def body():
-            try:
-                return (yield from gen)
-            except Interrupt:
-                return None
-
-        self._children = [p for p in self._children if not p.done]
-        proc = self.kernel.spawn(body(), name=name)
+        The process absorbs the :class:`~repro.sim.Interrupt` a crash
+        throws (``absorb_interrupt``), so killed handlers never surface
+        as orphan failures."""
+        if len(self._children) >= self._prune_at:
+            self._children = [p for p in self._children if not p.done]
+            self._prune_at = max(32, 2 * len(self._children))
+        proc = self.kernel.spawn(gen, name=name, absorb_interrupt=True)
         self._children.append(proc)
         return proc
 
     def _dispatch_loop(self):
-        from ..sim import Interrupt
-
+        mailbox_get = self.mailbox.get
         try:
             while self._running:
-                message = yield self.mailbox.get()
+                message = yield mailbox_get()
                 payload = message.payload
-                if isinstance(payload, RpcRequest):
+                # Exact-type dispatch: the three payload classes are final
+                # (slotted dataclasses, never subclassed), and an identity
+                # check is the cheapest test on this per-message path.
+                cls = payload.__class__
+                if cls is RpcRequest:
                     self.spawn_child(
                         self._serve(payload),
-                        name="serve:%s.%s" % (self.address, payload.method),
+                        name=("serve:%s.%s", (self.address, payload.method)),
                     )
-                elif isinstance(payload, RpcReply):
+                elif cls is RpcReply:
                     event = self._pending.pop(payload.rpc_id, None)
                     if event is not None and not event.triggered:
                         if payload.error is not None:
                             event.fail(RpcRemoteError(payload.error))
                         else:
                             event.trigger(payload.value)
-                elif isinstance(payload, Cast):
-                    handler = getattr(self, "on_" + payload.method, None)
+                elif cls is Cast:
+                    method = payload.method
+                    handler = self._cast_handlers.get(method)
                     if handler is None:
-                        raise RpcError(
-                            "%s has no handler on_%s" % (self.address, payload.method)
-                        )
+                        handler = getattr(self, "on_" + method, None)
+                        if handler is None:
+                            raise RpcError(
+                                "%s has no handler on_%s" % (self.address, method)
+                            )
+                        self._cast_handlers[method] = handler
                     result = handler(payload.src, **payload.args)
-                    if inspect.isgenerator(result):
+                    if type(result) is GeneratorType:
                         self.spawn_child(
-                            result, name="on:%s.%s" % (self.address, payload.method)
+                            result, name=("on:%s.%s", (self.address, method))
                         )
                 else:
                     raise RpcError("unexpected payload %r" % (payload,))
@@ -165,24 +220,30 @@ class Host:
             return
 
     def _serve(self, request: RpcRequest):
-        handler = getattr(self, "rpc_" + request.method, None)
+        try:
+            handler = self._rpc_handlers[request.method]
+        except KeyError:
+            handler = getattr(self, "rpc_" + request.method, None)
+            if handler is not None:
+                self._rpc_handlers[request.method] = handler
         reply = RpcReply(rpc_id=request.rpc_id)
         if handler is None:
             reply.error = "no such method %r on %s" % (request.method, self.address)
         else:
             try:
                 result = handler(**request.args)
-                if inspect.isgenerator(result):
+                if type(result) is GeneratorType:
                     result = yield from result
                 reply.value = result
             except Exception as exc:  # noqa: BLE001 - shipped to caller
                 reply.error = "%s: %s" % (type(exc).__name__, exc)
-        until = self._drop_reply_until.get(request.method)
-        if until is not None:
-            if self.kernel.now < until:
-                self._reply_dropped(request.method)
-                return
-            del self._drop_reply_until[request.method]
+        if self._drop_reply_until:
+            until = self._drop_reply_until.get(request.method)
+            if until is not None:
+                if self.kernel.now < until:
+                    self._reply_dropped(request.method)
+                    return
+                del self._drop_reply_until[request.method]
         self.network.send(
             self.address, request.reply_to, reply, size_bytes=self.DEFAULT_MSG_BYTES
         )
@@ -215,7 +276,7 @@ class Host:
         """
         self._next_rpc_id += 1
         rpc_id = self._next_rpc_id
-        event = self.kernel.event(name="rpc:%s->%s.%s" % (self.address, dst, method))
+        event = Event(self.kernel, ("rpc:%s->%s.%s", (self.address, dst, method)))
         self._pending[rpc_id] = event
         request = RpcRequest(rpc_id=rpc_id, method=method, args=args, reply_to=self.address)
         self.network.send(
@@ -224,7 +285,7 @@ class Host:
         if timeout is None:
             value = yield event
             return value
-        index, value = yield AnyOf([event, self.kernel.timeout(timeout)])
+        index, value = yield _ReplyOrTimeout(event, timeout)
         if index == 1:
             self._pending.pop(rpc_id, None)
             raise RpcTimeout(

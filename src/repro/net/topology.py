@@ -72,6 +72,14 @@ class Topology:
                     raise ValueError("missing RTT for (%s, %s)" % (a, b))
         self.intra_bandwidth_bps = intra_bandwidth_bps
         self.cross_bandwidth_bps = cross_bandwidth_bps
+        # The topology is immutable after construction, so RTT lookups and
+        # the per-origin RTTmax (queried on every propagation-loop
+        # iteration via the batch period) can be resolved once.
+        self._rtt_s: Dict[Tuple[int, int], float] = {}
+        for sa in self.sites:
+            for sb in self.sites:
+                self._rtt_s[(sa.id, sb.id)] = self._rtt_ms[(sa.name, sb.name)] / 1000.0
+        self._max_rtt_s: Dict[int, float] = {}
 
     @classmethod
     def ec2(cls, n_sites: int = 4) -> "Topology":
@@ -153,7 +161,7 @@ class Topology:
     def rtt(self, a, b) -> float:
         """Round-trip time between two sites, in seconds."""
         sa, sb = self.site(a), self.site(b)
-        return self._rtt_ms[(sa.name, sb.name)] / 1000.0
+        return self._rtt_s[(sa.id, sb.id)]
 
     def one_way(self, a, b) -> float:
         """One-way propagation delay between two sites, in seconds."""
@@ -169,7 +177,12 @@ class Topology:
         """RTTmax as used by the paper's replication-latency analysis:
         the largest RTT from ``origin`` to any *other* site, in seconds."""
         so = self.site(origin)
-        others = [s for s in self.sites if s.id != so.id]
-        if not others:
-            return self.rtt(so, so)
-        return max(self.rtt(so, s) for s in others)
+        cached = self._max_rtt_s.get(so.id)
+        if cached is None:
+            others = [s for s in self.sites if s.id != so.id]
+            if not others:
+                cached = self.rtt(so, so)
+            else:
+                cached = max(self.rtt(so, s) for s in others)
+            self._max_rtt_s[so.id] = cached
+        return cached

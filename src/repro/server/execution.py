@@ -52,7 +52,7 @@ class ExecutionMixin:
                 )
             tx = Transaction(tid=tid, site=self.site_id, start_vts=self.committed_vts)
             self._txs[tid] = tx
-            self.stats.started += 1
+            self.stats.inc("started")
             self._span(tid, span.EXECUTE)
         self._touch_tx_lease(tid)
         return tx
@@ -68,7 +68,14 @@ class ExecutionMixin:
         return self._txs.pop(tid, None)
 
     def rpc_tx_start(self, tid: str):
-        yield from self.cpu.use(self.costs.read_op)
+        # cpu.use() inlined: skips the sub-generator frame on the
+        # per-RPC path; the events (acquire, service-time timeout,
+        # release) are identical.
+        yield self.cpu.acquire()
+        try:
+            yield self.kernel.timeout(self.costs.read_op)
+        finally:
+            self.cpu.release()
         self._ensure_tx(tid)
         return "OK"
 
@@ -76,14 +83,21 @@ class ExecutionMixin:
         tx = self._drop_tx(tid)
         if tx is not None and tx.status is TxStatus.ACTIVE:
             tx.mark_aborted()
-            self.stats.aborts += 1
+            self.stats.inc("aborts")
         return "ABORTED"
 
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
     def rpc_tx_read(self, tid: str, oid: ObjectId, last: bool = False, notify: Optional[str] = None, fresh: bool = True):
-        yield from self.cpu.use(self.costs.read_op)
+        # cpu.use() inlined: skips the sub-generator frame on the
+        # per-RPC path; the events (acquire, service-time timeout,
+        # release) are identical.
+        yield self.cpu.acquire()
+        try:
+            yield self.kernel.timeout(self.costs.read_op)
+        finally:
+            self.cpu.release()
         tx = self._ensure_tx(tid, fresh)
         tx.require_active()
         value = yield from self._read_value(tx, oid)
@@ -97,7 +111,14 @@ class ExecutionMixin:
         return result
 
     def rpc_tx_set_read_id(self, tid: str, oid: ObjectId, elem: Hashable, last: bool = False, notify: Optional[str] = None, fresh: bool = True):
-        yield from self.cpu.use(self.costs.read_op)
+        # cpu.use() inlined: skips the sub-generator frame on the
+        # per-RPC path; the events (acquire, service-time timeout,
+        # release) are identical.
+        yield self.cpu.acquire()
+        try:
+            yield self.kernel.timeout(self.costs.read_op)
+        finally:
+            self.cpu.release()
         tx = self._ensure_tx(tid, fresh)
         tx.require_active()
         cset = yield from self._read_value(tx, oid)
@@ -140,7 +161,14 @@ class ExecutionMixin:
         suffix entries visible to the caller's snapshot plus, for csets,
         the GC base and watermark (see
         :meth:`~repro.core.history.SiteHistories.remote_read_payload`)."""
-        yield from self.cpu.use(self.costs.read_op)
+        # cpu.use() inlined: skips the sub-generator frame on the
+        # per-RPC path; the events (acquire, service-time timeout,
+        # release) are identical.
+        yield self.cpu.acquire()
+        try:
+            yield self.kernel.timeout(self.costs.read_op)
+        finally:
+            self.cpu.release()
         return self.histories.remote_read_payload(oid, start_vts)
 
     def _compose_value(self, tx: Transaction, oid: ObjectId, payload: Dict):
@@ -196,7 +224,14 @@ class ExecutionMixin:
     # Buffered updates
     # ------------------------------------------------------------------
     def rpc_tx_write(self, tid: str, oid: ObjectId, data: Any, last: bool = False, notify: Optional[str] = None, fresh: bool = True):
-        yield from self.cpu.use(self.costs.write_op)
+        # cpu.use() inlined: skips the sub-generator frame on the
+        # per-RPC path; the events (acquire, service-time timeout,
+        # release) are identical.
+        yield self.cpu.acquire()
+        try:
+            yield self.kernel.timeout(self.costs.write_op)
+        finally:
+            self.cpu.release()
         tx = self._ensure_tx(tid, fresh)
         tx.buffer_write(oid, data)
         if last:
@@ -204,7 +239,14 @@ class ExecutionMixin:
         return "OK"
 
     def rpc_tx_set_add(self, tid: str, oid: ObjectId, elem: Hashable, last: bool = False, notify: Optional[str] = None, fresh: bool = True):
-        yield from self.cpu.use(self.costs.write_op)
+        # cpu.use() inlined: skips the sub-generator frame on the
+        # per-RPC path; the events (acquire, service-time timeout,
+        # release) are identical.
+        yield self.cpu.acquire()
+        try:
+            yield self.kernel.timeout(self.costs.write_op)
+        finally:
+            self.cpu.release()
         tx = self._ensure_tx(tid, fresh)
         tx.buffer_set_add(oid, elem)
         if last:
@@ -212,7 +254,14 @@ class ExecutionMixin:
         return "OK"
 
     def rpc_tx_set_del(self, tid: str, oid: ObjectId, elem: Hashable, last: bool = False, notify: Optional[str] = None, fresh: bool = True):
-        yield from self.cpu.use(self.costs.write_op)
+        # cpu.use() inlined: skips the sub-generator frame on the
+        # per-RPC path; the events (acquire, service-time timeout,
+        # release) are identical.
+        yield self.cpu.acquire()
+        try:
+            yield self.kernel.timeout(self.costs.write_op)
+        finally:
+            self.cpu.release()
         tx = self._ensure_tx(tid, fresh)
         tx.buffer_set_del(oid, elem)
         if last:
@@ -229,7 +278,14 @@ class ExecutionMixin:
         return self.costs.read_op + max(0, n - 1) * self.costs.read_op * 0.25
 
     def rpc_tx_multiread(self, tid: str, oids: List[ObjectId], last: bool = False, notify: Optional[str] = None, fresh: bool = True):
-        yield from self.cpu.use(self._batch_cost(len(oids)))
+        # cpu.use() inlined: skips the sub-generator frame on the
+        # per-RPC path; the events (acquire, service-time timeout,
+        # release) are identical.
+        yield self.cpu.acquire()
+        try:
+            yield self.kernel.timeout(self._batch_cost(len(oids)))
+        finally:
+            self.cpu.release()
         tx = self._ensure_tx(tid, fresh)
         tx.require_active()
         values = []
@@ -242,7 +298,14 @@ class ExecutionMixin:
         return values
 
     def rpc_tx_multiwrite(self, tid: str, writes, last: bool = False, notify: Optional[str] = None, fresh: bool = True):
-        yield from self.cpu.use(self._batch_cost(len(writes)))
+        # cpu.use() inlined: skips the sub-generator frame on the
+        # per-RPC path; the events (acquire, service-time timeout,
+        # release) are identical.
+        yield self.cpu.acquire()
+        try:
+            yield self.kernel.timeout(self._batch_cost(len(writes)))
+        finally:
+            self.cpu.release()
         tx = self._ensure_tx(tid, fresh)
         for oid, data in writes:
             tx.buffer_write(oid, data)
@@ -274,7 +337,14 @@ class ExecutionMixin:
             elems = sorted(members, key=repr, reverse=newest_first)
         if limit is not None:
             elems = elems[:limit]
-        yield from self.cpu.use(self._batch_cost(1 + len(elems)))
+        # cpu.use() inlined: skips the sub-generator frame on the
+        # per-RPC path; the events (acquire, service-time timeout,
+        # release) are identical.
+        yield self.cpu.acquire()
+        try:
+            yield self.kernel.timeout(self._batch_cost(1 + len(elems)))
+        finally:
+            self.cpu.release()
         out = []
         for elem in elems:
             target = elem if isinstance(elem, ObjectId) else elem[-1]

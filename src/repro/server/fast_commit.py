@@ -25,7 +25,14 @@ ABORTED = "ABORTED"
 
 class FastCommitMixin:
     def rpc_tx_commit(self, tid: str, notify: Optional[str] = None, allow_fresh: bool = True, ck: Optional[str] = None):
-        yield from self.cpu.use(self.costs.commit_op)
+        # cpu.use() inlined: skips the sub-generator frame on the
+        # per-RPC path; the events (acquire, service-time timeout,
+        # release) are identical.
+        yield self.cpu.acquire()
+        try:
+            yield self.kernel.timeout(self.costs.commit_op)
+        finally:
+            self.cpu.release()
         # ``ck`` is the client's at-most-once idempotency token: a commit
         # whose reply was lost can be re-asked safely -- the cached
         # outcome is returned instead of re-running the commit (which,
@@ -65,8 +72,8 @@ class FastCommitMixin:
         if tx.is_read_only:
             tx.mark_committed_read_only(at=self.kernel.now)
             self._drop_tx(tx.tid)
-            self.stats.commits += 1
-            self.stats.read_only_commits += 1
+            self.stats.inc("commits")
+            self.stats.inc("read_only_commits")
             return COMMITTED
         if not self.config.is_active(self.site_id):
             # §5.7: a site under re-integration must not commit update
@@ -76,12 +83,19 @@ class FastCommitMixin:
             # finalize as if it were part of the abandoned suffix.
             tx.mark_aborted()
             self._drop_tx(tx.tid)
-            self.stats.aborts += 1
+            self.stats.inc("aborts")
             self._span(tx.tid, span.ABORT, phase="site_inactive")
             return ABORTED
         writeset = tx.write_set
         self._check_leases(writeset)
-        if all(self.config.preferred_site(oid) == self.site_id for oid in writeset):
+        preferred_site = self.config.preferred_site
+        site_id = self.site_id
+        all_local = True
+        for oid in writeset:
+            if preferred_site(oid) != site_id:
+                all_local = False
+                break
+        if all_local:
             status = yield from self._fast_commit(tx, notify)
         else:
             status = yield from self._slow_commit(tx, notify)
@@ -99,11 +113,14 @@ class FastCommitMixin:
         with remote preferred sites are checked authoritatively by the
         participant's prepare vote; the coordinator's cache may be stale
         (§5.1)."""
+        preferred_site = self.config.preferred_site
+        holds_lease = self.config.holds_preferred_lease
+        site_id = self.site_id
         for oid in writeset:
-            preferred = self.config.preferred_site(oid)
-            if preferred != self.site_id:
+            preferred = preferred_site(oid)
+            if preferred != site_id:
                 continue
-            if not self.config.holds_preferred_lease(oid.container, preferred):
+            if not holds_lease(oid.container, preferred):
                 raise PreferredSiteUnavailableError(
                     "container %r has no valid preferred-site lease" % (oid.container,)
                 )
@@ -117,15 +134,18 @@ class FastCommitMixin:
             # O(sites) per object (per-site max-seqno summary), so the
             # critical section does not grow with history length.
             yield self.kernel.timeout(self.costs.commit_critical)
-            conflict = any(
-                not self.histories.unmodified(oid, tx.start_vts)
-                or oid in self.locked
-                or self._is_access_delayed(oid)
-                for oid in tx.write_set
-            )
+            unmodified = self.histories.unmodified
+            locked = self.locked
+            delayed = self._is_access_delayed
+            start_vts = tx.start_vts
+            conflict = False
+            for oid in tx.write_set:
+                if not unmodified(oid, start_vts) or oid in locked or delayed(oid):
+                    conflict = True
+                    break
             if conflict:
                 tx.mark_aborted()
-                self.stats.aborts += 1
+                self.stats.inc("aborts")
                 self._span(tx.tid, span.ABORT, phase="fast_commit")
                 return ABORTED
             version = self._apply_local_commit(tx)
@@ -173,6 +193,6 @@ class FastCommitMixin:
         yield self.storage.log.append({"kind": "local_commit", "record": record})
         self._span(tx.tid, span.DISKLOG_FLUSH)
         tx.mark_committed(version, at=self.kernel.now)
-        self.stats.commits += 1
+        self.stats.inc("commits")
         self._enqueue_propagation(record, notify)
         self._drain_pending()

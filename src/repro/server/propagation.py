@@ -19,8 +19,9 @@ After a transaction commits locally it is propagated in the background:
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import List, Optional, Set
+from typing import Iterator, List, Optional, Set, Tuple
 
 from ..core.transaction import CommitRecord
 from ..core.updates import touched_oids
@@ -43,6 +44,89 @@ class PropagationTracker:
     committed_at: float = 0.0
     ds_at: Optional[float] = None
     visible_at: Optional[float] = None
+    #: Monotonic per-server enqueue stamp; orders retransmission casts
+    #: the way the legacy full-tracker walk did (enqueue order).
+    enqueue_seq: int = 0
+
+
+class PendingIndex:
+    """Seqno-indexed store of parked ``(record, reply_to)`` entries,
+    grouped by origin site.
+
+    Replaces the legacy list + restart-scan in ``_drain_pending``: a
+    vector-clock advance wakes exactly the entries it unblocks (the
+    duplicates at or below the new watermark, plus the next-seqno head)
+    instead of rescanning every parked record.  Every entry is stamped
+    with a monotonic insertion sequence so ``_drain_pending`` can act on
+    candidates in insertion order -- reproducing the legacy scan's
+    action order bit-for-bit.
+    """
+
+    __slots__ = ("_entries", "_heaps", "_next_seq")
+
+    def __init__(self):
+        # (site, seqno) -> (record, reply_to, insert_seq)
+        self._entries = {}
+        # site -> min-heap of parked seqnos; acted seqnos are pruned
+        # lazily (they may already have been popped by unblocked()).
+        self._heaps = {}
+        self._next_seq = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Tuple[CommitRecord, Optional[str]]]:
+        """Yield ``(record, reply_to)`` pairs in insertion order (the
+        legacy list's iteration order; for tests and debugging)."""
+        for record, reply_to, _seq in sorted(
+            self._entries.values(), key=lambda entry: entry[2]
+        ):
+            yield record, reply_to
+
+    def contains_version(self, record: CommitRecord) -> bool:
+        return (record.site, record.seqno) in self._entries
+
+    def add(self, record: CommitRecord, reply_to: Optional[str]) -> bool:
+        """Park an entry; returns False (a no-op) if this version is
+        already parked -- batches can carry duplicates."""
+        key = (record.site, record.seqno)
+        if key in self._entries:
+            return False
+        self._next_seq += 1
+        self._entries[key] = (record, reply_to, self._next_seq)
+        heap = self._heaps.get(record.site)
+        if heap is None:
+            heap = self._heaps[record.site] = []
+        heapq.heappush(heap, record.seqno)
+        return True
+
+    def get(self, site: int, seqno: int):
+        """The entry parked at exactly ``(site, seqno)``, or None."""
+        return self._entries.get((site, seqno))
+
+    def remove(self, site: int, seqno: int):
+        """Pop and return the entry at ``(site, seqno)``, or None."""
+        return self._entries.pop((site, seqno), None)
+
+    def sites(self) -> List[int]:
+        return list(self._heaps)
+
+    def unblocked(self, site: int, watermark: int) -> List[tuple]:
+        """Pop and return the entries of ``site`` with seqno <=
+        ``watermark`` (duplicates the clock already covers) in seqno
+        order.  The entries stay in the version map until the caller
+        acts on them via :meth:`remove`."""
+        heap = self._heaps.get(site)
+        if not heap:
+            return []
+        out = []
+        entries = self._entries
+        while heap and heap[0] <= watermark:
+            seqno = heapq.heappop(heap)
+            entry = entries.get((site, seqno))
+            if entry is not None:
+                out.append(entry)
+        return out
 
 
 class PropagationMixin:
@@ -50,16 +134,21 @@ class PropagationMixin:
     # Origin side
     # ------------------------------------------------------------------
     def _enqueue_propagation(self, record: CommitRecord, notify: Optional[str]) -> None:
+        self._enqueue_seq += 1
         tracker = PropagationTracker(
             record=record,
             client=notify,
             acked={self.site_id},
             visible={self.site_id},
-            ds_event=self.kernel.event("ds:%s" % record.tid),
-            visible_event=self.kernel.event("vis:%s" % record.tid),
+            ds_event=self.kernel.event(("ds:%s", (record.tid,))),
+            visible_event=self.kernel.event(("vis:%s", (record.tid,))),
             committed_at=self.kernel.now,
+            enqueue_seq=self._enqueue_seq,
         )
         self._trackers[record.tid] = tracker
+        # Resend bookkeeping: entries are appended in committed_at order,
+        # so the stale ones _resend_unacked looks for form a prefix.
+        self._undurable.append((tracker.committed_at, tracker))
         self._outbox.put(record)
         # A 1-site deployment (or f=0) may already satisfy durability.
         self._maybe_ds(tracker)
@@ -110,13 +199,27 @@ class PropagationMixin:
     def _resend_unacked(self) -> None:
         """Retransmit records whose PROPAGATE (or DS-DURABLE) may have
         been lost -- e.g. dropped by a partition that has since healed.
-        Receivers treat duplicates idempotently and simply re-ACK."""
+        Receivers treat duplicates idempotently and simply re-ACK.
+
+        Instead of walking every tracker, this consults two focused
+        structures the tracker lifecycle maintains: ``_ds_unvisible``
+        (DS-durable trackers still missing VISIBLE acks, re-announced in
+        enqueue order like the legacy full walk) and ``_undurable`` (a
+        committed_at-ordered deque whose stale entries form a prefix;
+        superseded entries -- resent or since-durable trackers -- are
+        dropped lazily as they surface at the head)."""
         now = self.kernel.now
         stale = 3.0 * self._batch_period()
-        resend: List[CommitRecord] = []
-        for tracker in self._trackers.values():
-            if tracker.ds_durable:
-                if not tracker.globally_visible and now - (tracker.ds_at or now) > stale:
+        if self._ds_unvisible:
+            # Near-sorted already (trackers become DS-durable roughly in
+            # enqueue order), so the sort is cheap; it exists to pin the
+            # legacy cast order exactly.
+            for tracker in sorted(
+                self._ds_unvisible.values(), key=lambda t: t.enqueue_seq
+            ):
+                if tracker.globally_visible:
+                    continue
+                if now - (tracker.ds_at or now) > stale:
                     for site in self.config.active_sites():
                         if site == self.site_id:
                             continue
@@ -141,14 +244,25 @@ class PropagationMixin:
                                 from_site=self.site_id,
                             )
                     tracker.ds_at = now
+        undurable = self._undurable
+        resend: List[CommitRecord] = []
+        while undurable:
+            stamped_at, tracker = undurable[0]
+            if tracker.ds_durable or tracker.committed_at != stamped_at:
+                # Became durable, or was resent since this entry was
+                # appended (its live entry sits further back).
+                undurable.popleft()
                 continue
-            if now - tracker.committed_at > stale:
-                resend.append(tracker.record)
-                tracker.committed_at = now  # back off further resends
+            if now - stamped_at <= stale:
+                break  # committed_at-ordered: nothing behind is stale
+            undurable.popleft()
+            resend.append(tracker.record)
+            tracker.committed_at = now  # back off further resends
+            undurable.append((now, tracker))
         if resend:
             resend.sort(key=lambda r: r.seqno)
             self._send_batch(resend)
-            self.stats.retransmissions += len(resend)
+            self.stats.inc("retransmissions", len(resend))
 
     def _send_batch(self, records: List[CommitRecord]) -> None:
         size = sum(r.payload_bytes() for r in records) + 64
@@ -164,7 +278,7 @@ class PropagationMixin:
                 records=records,
                 from_site=self.site_id,
             )
-        self.stats.batches_sent += 1
+        self.stats.inc("batches_sent")
 
     def on_propagate_ack(self, src: str, tid: str, site: int):
         tracker = self._trackers.get(tid)
@@ -194,6 +308,7 @@ class PropagationMixin:
             return
         tracker.ds_durable = True
         tracker.ds_at = self.kernel.now
+        self._ds_unvisible[tracker.record.tid] = tracker
         tracker.ds_event.trigger_once(None)
         self._ds_lag.observe(self.kernel.now - self._commit_time(tracker))
         self._span(tracker.record.tid, span.DS_DURABLE, acked=len(tracker.acked))
@@ -247,6 +362,7 @@ class PropagationMixin:
         # ignored; the commit record stays in _records_by_version).
         self._visible_tids.add(tracker.record.tid)
         self._trackers.pop(tracker.record.tid, None)
+        self._ds_unvisible.pop(tracker.record.tid, None)
 
     def recheck_durability(self) -> None:
         """Re-evaluate DS/visibility conditions, e.g. after the active-site
@@ -309,7 +425,7 @@ class PropagationMixin:
                     self.histories.apply(record.updates, version)
                     self.got_vts = self.got_vts.with_entry(record.site, record.seqno)
                     self._records_by_version[version] = record
-                    self.stats.remote_applied += 1
+                    self.stats.inc("remote_applied")
                     self._note_remote_apply(record)
                     last_durable = self.storage.log.append(
                         {"kind": "remote_apply", "record": record}
@@ -330,10 +446,7 @@ class PropagationMixin:
         carry duplicates (retransmissions, recovery delivery racing
         normal propagation), and parking a version twice would make
         ``_drain_pending`` spawn two applies for it."""
-        for held, _reply in self._pending_remote:
-            if held.version == record.version:
-                return
-        self._pending_remote.append((record, src))
+        self._pending_remote.add(record, src)
 
     def _note_remote_apply(self, record: CommitRecord) -> None:
         """Observability for one applied remote record: refresh the LRU
@@ -375,7 +488,7 @@ class PropagationMixin:
         finally:
             self.commit_lock.release()
         self._records_by_version[version] = record
-        self.stats.remote_applied += 1
+        self.stats.inc("remote_applied")
         self._note_remote_apply(record)
         return self.storage.log.append({"kind": "remote_apply", "record": record})
 
@@ -401,8 +514,7 @@ class PropagationMixin:
             # Dedup: DS-DURABLE is re-announced periodically while the
             # origin waits for our visible_ack, which can be a long time
             # if we are missing the record's causal dependencies.
-            if all(r.version != record.version for r, _reply in self._pending_ds):
-                self._pending_ds.append((record, src))
+            self._pending_ds.add(record, src)
             return
         self._commit_remote(record, src)
         self._drain_pending()
@@ -420,7 +532,7 @@ class PropagationMixin:
         self.committed_vts = self.committed_vts.with_entry(record.site, record.seqno)
         self._release_locks(record.tid)
         self.storage.log.append({"kind": "remote_commit", "version": record.version})
-        self.stats.remote_commits += 1
+        self.stats.inc("remote_commits")
         self._span(record.tid, span.REMOTE_COMMIT, origin=record.site)
         if self.trace is not None:
             self.trace.record_site_commit(self.site_id, record.version)
@@ -431,37 +543,109 @@ class PropagationMixin:
     # Guard re-evaluation
     # ------------------------------------------------------------------
     def _drain_pending(self) -> None:
-        """Re-scan held-back PROPAGATE/DS-DURABLE records until no guard
-        newly passes.  Called whenever GotVTS or CommittedVTS advances."""
-        progress = True
-        while progress:
-            progress = False
-            for i, (record, reply_to) in enumerate(list(self._pending_remote)):
-                if self.got_vts[record.site] >= record.seqno:
-                    self._pending_remote.pop(i)
+        """Wake held-back PROPAGATE/DS-DURABLE records whose guards now
+        pass.  Called whenever GotVTS or CommittedVTS advances.
+
+        The legacy implementation rescanned both pending lists from the
+        start after every action (O(n) per advance, O(n^2) per burst).
+        This version consults the :class:`PendingIndex` so each call
+        touches only the records the current clocks unblock, yet
+        reproduces the legacy action order exactly:
+
+        * the legacy loop took at most one remote action then one
+          DS action per pass, each the first actionable record in list
+          order -- i.e. the lowest insertion stamp;
+        * GotVTS is **fixed** for the whole call (applies are spawned
+          processes that run later), so the remote action sequence is
+          computable up front: per origin site, every parked duplicate
+          at or below GotVTS plus the next-seqno head if its got guard
+          passes, interleaved across sites by insertion stamp;
+        * CommittedVTS **advances** during the call (``_commit_remote``
+          runs inline), so DS candidates accumulate in a heap keyed by
+          insertion stamp: actionability is monotone within a call --
+          once a guard passes it stays passed -- and each commit can
+          only unblock the committing site's next head plus the heads
+          of other sites (whose dominates() test may newly pass).
+
+        ``_drain_scan_steps`` counts examined entries; the perf
+        regression tests assert it stays O(unblocked), not O(parked).
+        """
+        pending_remote = self._pending_remote
+        pending_ds = self._pending_ds
+        got = self.got_vts
+        site_id = self.site_id
+
+        # Remote actions, computable up front because GotVTS is fixed.
+        remote_actions = []
+        if len(pending_remote):
+            for site in pending_remote.sites():
+                watermark = got[site]
+                for entry in pending_remote.unblocked(site, watermark):
+                    self._drain_scan_steps += 1
+                    remote_actions.append((entry[2], entry[0], entry[1]))
+                head = pending_remote.get(site, watermark + 1)
+                if head is not None:
+                    self._drain_scan_steps += 1
+                    if got.dominates(head[0].start_vts):
+                        remote_actions.append((head[2], head[0], head[1]))
+            remote_actions.sort()
+
+        # DS candidates: a heap keyed by insertion stamp, re-fed as
+        # CommittedVTS advances.
+        candidates: list = []
+        queued = set()
+
+        def queue_ds_candidates(site: int) -> None:
+            watermark = self.committed_vts[site]
+            for entry in pending_ds.unblocked(site, watermark):
+                self._drain_scan_steps += 1
+                key = (site, entry[0].seqno)
+                if key not in queued:
+                    queued.add(key)
+                    heapq.heappush(candidates, (entry[2], site, entry[0].seqno))
+            head = pending_ds.get(site, watermark + 1)
+            if head is not None and (site, watermark + 1) not in queued:
+                self._drain_scan_steps += 1
+                if self._committed_guard(head[0]):
+                    queued.add((site, watermark + 1))
+                    heapq.heappush(candidates, (head[2], site, watermark + 1))
+
+        if len(pending_ds):
+            for site in pending_ds.sites():
+                queue_ds_candidates(site)
+
+        next_remote = 0
+        while True:
+            acted = False
+            if next_remote < len(remote_actions):
+                _stamp, record, reply_to = remote_actions[next_remote]
+                next_remote += 1
+                pending_remote.remove(record.site, record.seqno)
+                if got[record.site] >= record.seqno:
+                    # Duplicate of an already-applied version: re-ACK.
                     if reply_to is not None:  # recovery-staged: nobody to ack
-                        self.cast(reply_to, "propagate_ack", tid=record.tid, site=self.site_id)
-                    progress = True
-                    break
-                if self._got_guard(record):
-                    self._pending_remote.pop(i)
+                        self.cast(reply_to, "propagate_ack", tid=record.tid, site=site_id)
+                else:
                     self.spawn_child(
                         self._apply_remote(record, reply_to),
-                        name="apply:%s" % record.tid,
+                        name=("apply:%s", (record.tid,)),
                     )
-                    # Optimistically advance in this scan; _apply_remote
-                    # bumps got_vts at its first step.
-                    progress = True
-                    break
-            for i, (record, reply_to) in enumerate(list(self._pending_ds)):
-                if self.committed_vts[record.site] >= record.seqno:
-                    self._pending_ds.pop(i)
+                acted = True
+            while candidates:
+                _stamp, site, seqno = heapq.heappop(candidates)
+                entry = pending_ds.remove(site, seqno)
+                if entry is None:
+                    continue
+                record, reply_to = entry[0], entry[1]
+                if self.committed_vts[site] >= seqno:
                     if reply_to is not None:  # recovery-staged: nobody to ack
-                        self.cast(reply_to, "visible_ack", tid=record.tid, site=self.site_id)
-                    progress = True
-                    break
-                if self._committed_guard(record):
-                    self._pending_ds.pop(i)
+                        self.cast(reply_to, "visible_ack", tid=record.tid, site=site_id)
+                else:
                     self._commit_remote(record, reply_to)
-                    progress = True
-                    break
+                    if len(pending_ds):
+                        for other in pending_ds.sites():
+                            queue_ds_candidates(other)
+                acted = True
+                break
+            if not acted:
+                break

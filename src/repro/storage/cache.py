@@ -24,6 +24,9 @@ class CacheStats:
     evictions_regular: int = 0
     evictions_cset: int = 0
 
+    def inc(self, name: str, n: int = 1) -> None:
+        setattr(self, name, getattr(self, name) + n)
+
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
@@ -38,14 +41,24 @@ class RegistryCacheStats:
 
     FIELDS = ("hits", "misses", "evictions_regular", "evictions_cset")
 
-    __slots__ = ("_registry", "_site")
+    __slots__ = ("_registry", "_site", "_handles")
 
     def __init__(self, registry, site: int):
         object.__setattr__(self, "_registry", registry)
         object.__setattr__(self, "_site", site)
+        object.__setattr__(self, "_handles", {})
 
     def _counter(self, name: str):
-        return self._registry.counter("cache.%s" % name, site=self._site)
+        handle = self._handles.get(name)
+        if handle is None:
+            handle = self._handles[name] = self._registry.counter(
+                "cache.%s" % name, site=self._site
+            )
+        return handle
+
+    def inc(self, name: str, n: int = 1) -> None:
+        """See :meth:`ServerStats.inc` -- one handle lookup per bump."""
+        self._counter(name).inc(n)
 
     def __getattr__(self, name: str) -> int:
         if name in RegistryCacheStats.FIELDS:
@@ -99,9 +112,9 @@ class ObjectCache:
         queue = self._queue_for(oid)
         if oid in queue:
             queue.move_to_end(oid)
-            self.stats.hits += 1
+            self.stats.inc("hits")
             return True, queue[oid]
-        self.stats.misses += 1
+        self.stats.inc("misses")
         return False, None
 
     def put(self, oid: ObjectId, value: Any) -> Optional[ObjectId]:
@@ -119,10 +132,10 @@ class ObjectCache:
     def _evict(self) -> ObjectId:
         if self._regular:
             victim, _ = self._regular.popitem(last=False)
-            self.stats.evictions_regular += 1
+            self.stats.inc("evictions_regular")
         else:
             victim, _ = self._cset.popitem(last=False)
-            self.stats.evictions_cset += 1
+            self.stats.inc("evictions_cset")
         return victim
 
     def invalidate(self, oid: ObjectId) -> None:

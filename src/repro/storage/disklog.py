@@ -58,6 +58,7 @@ class DiskLog:
         self.kernel = kernel
         self.flush_latency = flush_latency
         self.name = name
+        self._durable_event_name = "%s.durable" % name
         self.entries: List[LogRecord] = []
         self.stats = DiskStats()
         self._flush_counter = None
@@ -104,7 +105,7 @@ class DiskLog:
 
     def append(self, payload: Any) -> Event:
         """Enqueue ``payload``; the returned event fires when durable."""
-        done = self.kernel.event(name="%s.durable" % self.name)
+        done = Event(self.kernel, self._durable_event_name)
         record = LogRecord(payload, appended_at=self.kernel.now)
         if self.flush_latency == 0 and self.kernel.now >= self._stalled_until:
             # Memory-speed commit: durable immediately (same kernel step).

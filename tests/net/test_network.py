@@ -182,3 +182,46 @@ def test_stats_byte_accounting():
     kernel.run()
     va, ca = topo.site("VA").id, topo.site("CA").id
     assert net.stats.bytes_by_link[(va, ca)] == 1000
+
+
+def test_sent_counters_consistent_under_faults():
+    """``net.sent`` (aggregate) and the per-site ``net.sent{site=*}``
+    mirrors both count *attempted* sends: they are bumped together
+    before any drop check, so the aggregate always equals the sum of
+    the per-site counters -- even when partitions, crashes, and random
+    loss drop most of the traffic."""
+    from repro.obs import MetricsRegistry
+
+    kernel, topo, net = make_net(n_sites=3, loss=0.5)
+    registry = MetricsRegistry()
+    net.bind_metrics(registry)
+    net.register("a", "VA")
+    net.register("b", "CA")
+    net.register("c", "IE")
+    net.partition("VA", "CA")
+    net.crash_host("c")
+
+    for i in range(40):
+        net.send("a", "b", i)  # partitioned: dropped at send time
+        net.send("b", "a", i)  # partitioned the other way
+        net.send("c", "a", i)  # crashed source
+        net.send("a", "c", i)  # delivered to a crashed host: dropped late
+        net.send("b", "c", i)  # lossy + crashed destination
+    kernel.run()
+
+    per_site = [
+        c.value
+        for c in registry.counters()
+        if c.name == "net.sent" and c.labels
+    ]
+    aggregate = registry.counter("net.sent").value
+    assert aggregate == 200
+    assert sum(per_site) == aggregate
+    assert net.stats.sent == aggregate
+    # Drops are attributed, not silently swallowed.
+    dropped = (
+        net.stats.dropped_partition
+        + net.stats.dropped_crash
+        + net.stats.dropped_random
+    )
+    assert net.stats.delivered == aggregate - dropped

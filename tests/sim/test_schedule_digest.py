@@ -1,0 +1,81 @@
+"""Golden-digest schedule regression (ISSUE 5 satellite).
+
+These tests pin a cryptographic digest of the *ordered* event trace of
+two fixed workloads -- a multi-site transactional run and a seeded chaos
+run with faults -- against values recorded before the kernel fast-lane /
+propagation-index optimizations landed.  Any change that perturbs the
+simulated schedule (event ordering, timing, RNG draw order) changes the
+digest; wall-clock-only optimizations must keep it bit-for-bit stable.
+
+If one of these digests changes, the simulator's *behaviour* changed:
+either you introduced nondeterminism, or you reordered events.  Do not
+re-pin the constant without understanding exactly why -- every figure
+benchmark and the chaos corpus verdicts move with it.
+"""
+
+import hashlib
+
+from repro.bench import PAYLOAD, populate, run_closed_loop
+from repro.chaos import ChaosConfig, run_chaos
+from repro.deployment import Deployment
+from repro.obs import trace_events_jsonl
+
+# Digests recorded on the pre-optimization kernel (heap-only scheduler,
+# list-scan _drain_pending).  The optimized substrate must reproduce the
+# same schedules bit-for-bit.
+WORKLOAD_DIGEST = "b2dac5cf9584ca28b5a38b004bbc58d6794a05af5e53a1ed69184aa260526523"
+CHAOS_DIGEST = "e35c67a4226c54945f16933946141a3810779f9fe33309226aea773f98619a36"
+
+
+def workload_digest() -> str:
+    """Run a fixed 3-site read/write workload with tracing on and hash
+    the ordered (time, host-site, event-kind, tid) span stream plus the
+    final simulated clock."""
+    world = Deployment(n_sites=3, seed=1234, tracing=True)
+    keys = populate(world, n_keys=120)
+
+    def factory(client, rng):
+        site = client.site.id
+
+        def op():
+            tx = client.start_tx()
+            oid = rng.choice(keys.by_site[site])
+            yield from client.read(tx, oid)
+            if rng.random() < 0.4:
+                remote = keys.by_site[(site + 1) % world.n_sites]
+                yield from client.write(tx, rng.choice(remote), PAYLOAD)
+            yield from client.write(tx, oid, PAYLOAD)
+            status = yield from client.commit(tx)
+            return status
+
+        return op
+
+    run_closed_loop(
+        world, factory, clients_per_site=3, warmup=0.05, measure=0.3,
+        name="digest", seed=99,
+    )
+    world.settle(1.0)
+    stream = trace_events_jsonl(world.obs.tracer)
+    blob = stream + "\nnow=%.9f" % world.kernel.now
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def chaos_digest() -> str:
+    """Run a fixed generated chaos schedule (faults included) and hash
+    its canonical verdict, which embeds oracle results and the exact
+    simulated end time."""
+    result = run_chaos(ChaosConfig(seed=9))
+    return hashlib.sha256(result.verdict_json().encode()).hexdigest()
+
+
+class TestScheduleDigest:
+    def test_workload_schedule_digest_pinned(self):
+        assert workload_digest() == WORKLOAD_DIGEST
+
+    def test_chaos_schedule_digest_pinned(self):
+        assert chaos_digest() == CHAOS_DIGEST
+
+
+if __name__ == "__main__":
+    print("WORKLOAD_DIGEST = %r" % workload_digest())
+    print("CHAOS_DIGEST = %r" % chaos_digest())
