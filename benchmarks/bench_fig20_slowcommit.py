@@ -20,6 +20,7 @@ from repro.bench import (
     walter_costs,
 )
 from repro.deployment import Deployment
+from repro.obs import aggregate_budgets, format_budget_table
 from repro.storage import FLUSH_EC2
 
 TX_SIZES = [2, 3, 4]
@@ -28,8 +29,11 @@ FARTHEST_RTT = {2: 0.082, 3: 0.087, 4: 0.261}
 
 
 def measure(tx_size):
+    # Deep tracing feeds the latency-budget table printed below; it is
+    # recording-only, so the measured latencies are unaffected.
     world = Deployment(
-        n_sites=4, costs=walter_costs("ec2"), flush_latency=FLUSH_EC2, seed=20
+        n_sites=4, costs=walter_costs("ec2"), flush_latency=FLUSH_EC2, seed=20,
+        tracing="deep",
     )
     keys = populate(world, n_keys=1000)
     commit_rec = LatencyRecorder("slow-commit-%d" % tx_size)
@@ -56,7 +60,7 @@ def measure(tx_size):
         world, factory, sites=[0], clients_per_site=8,
         warmup=1.0, measure=6.0, name="fig20-%d" % tx_size,
     )
-    return commit_rec, ds_rec
+    return commit_rec, ds_rec, world
 
 
 def run_all():
@@ -70,7 +74,7 @@ def test_fig20_slow_commit_latency(once):
     print("Figure 20: slow commit and DS-durability latency from VA (ms)")
     rows = []
     for size in TX_SIZES:
-        commit_rec, ds_rec = results[size]
+        commit_rec, ds_rec, _world = results[size]
         rows.append([
             "tx size=%d" % size,
             FARTHEST_RTT[size] * 1000,
@@ -82,9 +86,20 @@ def test_fig20_slow_commit_latency(once):
         ["workload", "paper commit~RTT", "commit p50", "commit p99", "DS p50"], rows
     ))
 
+    # Critical-path attribution for the farthest-site workload: the
+    # cross-site vote round must dominate the slow-commit budget.
+    budget_table = aggregate_budgets(
+        results[4][2].obs.tracer.traces(), client_only=True
+    )
+    print()
+    print(format_budget_table(budget_table))
+    slow_budget = budget_table.classes.get("slow")
+    assert slow_budget is not None and slow_budget["count"] > 30
+    assert slow_budget["segments"]["2pc_votes"]["share"] > 0.5
+
     rtt_max = 0.261  # VA-SG, the farthest site in the 4-site deployment
     for size in TX_SIZES:
-        commit_rec, ds_rec = results[size]
+        commit_rec, ds_rec, _world = results[size]
         assert len(commit_rec) > 30
         expected = FARTHEST_RTT[size]
         # Commit latency == round trip to the farthest preferred site.

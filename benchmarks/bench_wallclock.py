@@ -1,10 +1,11 @@
 """Wall-clock speed of the simulation substrate (not a paper figure).
 
 Measures how fast the simulator itself runs -- wall-clock seconds and
-kernel events per second -- on three fixed workloads (see
-``repro.bench.wallclock``): the Fig 17 mixed-throughput cell, the chaos
-seed-corpus replay (which also asserts byte-identical verdicts), and an
-8-site write-scaling run.  Results are recorded in
+kernel events per second -- on fixed workloads (see
+``repro.bench.wallclock``): the Fig 17 mixed-throughput cell (untraced
+and deep-traced, whose within-run ratio gates tracing overhead), the
+chaos seed-corpus replay (which also asserts byte-identical verdicts),
+and an 8-site write-scaling run.  Results are recorded in
 ``BENCH_wallclock.json`` at the repo root so the perf trajectory is
 tracked across PRs.
 
@@ -78,12 +79,32 @@ def main(argv=None):
         "exit non-zero on regression beyond --tolerance",
     )
     parser.add_argument("--tolerance", type=float, default=0.20)
+    parser.add_argument(
+        "--trace-overhead-max", type=float, default=0.20,
+        help="max fractional events/sec drop of fig17_traced vs "
+        "fig17_throughput in this invocation (relative, so it holds on "
+        "any machine); exit non-zero beyond it",
+    )
     args = parser.parse_args(argv)
 
     results = run_scenarios(args.scenario, small=args.small)
     _print_table(results)
 
     status = 0
+    # Tracing-overhead gate: both fig17 variants run the same simulated
+    # schedule, so their events/sec ratio within this run is the cost of
+    # deep tracing alone.
+    if "fig17_throughput" in results and "fig17_traced" in results:
+        plain = results["fig17_throughput"]["events_per_s"]
+        traced = results["fig17_traced"]["events_per_s"]
+        overhead = 1.0 - traced / plain
+        verdict = "ok" if overhead <= args.trace_overhead_max else "REGRESSED"
+        print(
+            "tracing overhead: %.1f%% events/s drop (max %.0f%%) %s"
+            % (overhead * 100.0, args.trace_overhead_max * 100.0, verdict)
+        )
+        if overhead > args.trace_overhead_max:
+            status = 1
     if args.check:
         doc = _load(args.check)
         ref = doc.get("optimized", {}).get("scenarios", {})

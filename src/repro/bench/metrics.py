@@ -35,25 +35,26 @@ class LatencyRecorder:
         # exact when a == b, keeping percentiles monotone in p.
         return data[low] + frac * (data[high] - data[low])
 
+    # The quantile properties (like mean/max/min below) return 0.0 with
+    # no samples -- an idle site in a lag report or an all-abort run is
+    # not an error; percentile() still raises, so code asking for a
+    # specific quantile of nothing fails loudly.
     @property
     def p50(self) -> float:
-        return self.percentile(50)
+        return self.percentile(50) if self.samples else 0.0
 
     @property
     def p95(self) -> float:
-        return self.percentile(95)
+        return self.percentile(95) if self.samples else 0.0
 
     @property
     def p99(self) -> float:
-        return self.percentile(99)
+        return self.percentile(99) if self.samples else 0.0
 
     @property
     def p999(self) -> float:
-        return self.percentile(99.9)
+        return self.percentile(99.9) if self.samples else 0.0
 
-    # mean/max/min return 0.0 with no samples (an idle site in a lag
-    # report is not an error); percentile() still raises, so code asking
-    # for a specific quantile of nothing fails loudly.
     @property
     def mean(self) -> float:
         return sum(self.samples) / len(self.samples) if self.samples else 0.0

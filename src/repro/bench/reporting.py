@@ -70,6 +70,7 @@ def format_site_observability(world) -> str:
                 commit.percentile(50) * 1e3,
                 commit.percentile(95) * 1e3,
                 commit.percentile(99) * 1e3,
+                commit.percentile(99.9) * 1e3,
                 repl.mean * 1e3,
                 ds.mean * 1e3,
                 vis.mean * 1e3,
@@ -83,6 +84,7 @@ def format_site_observability(world) -> str:
             "commit p50 (ms)",
             "p95 (ms)",
             "p99 (ms)",
+            "p99.9 (ms)",
             "repl lag (ms)",
             "ds lag (ms)",
             "vis lag (ms)",

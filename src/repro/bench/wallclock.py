@@ -8,11 +8,15 @@ fixed, seeded workloads.  They are the repo's performance trajectory --
 ``BENCH_wallclock.json`` at the repo root, and CI fails if events/sec
 regresses more than the tolerance against the committed numbers.
 
-Three scenarios bracket the substrate's hot paths:
+Four scenarios bracket the substrate's hot paths:
 
 * ``fig17_throughput`` -- the §8.3 mixed read/write workload on the
   4-site EC2 topology: RPC-heavy, exercises the commit path, batched
   propagation, and the network pipe model under load;
+* ``fig17_traced`` -- the same workload with deep tracing enabled;
+  tracing is recording-only (identical simulated schedule), so its
+  events/sec relative to ``fig17_throughput`` in the same invocation is
+  the tracing overhead, which CI bounds;
 * ``chaos_replay`` -- the checked-in chaos seed corpus: fault
   injection, recovery, pending-record parking/draining; each replay's
   verdict is also asserted byte-identical to the stored one, so this
@@ -61,6 +65,35 @@ def fig17_throughput(small: bool = False) -> Dict[str, Any]:
     size-5 writes, 4 EC2 sites, closed loop at saturation."""
     world = Deployment(
         n_sites=4, costs=walter_costs("ec2"), flush_latency=FLUSH_EC2, seed=17
+    )
+    keys = populate(world, n_keys=4000)
+    factory = mixed_tx_factory(keys, 1, 5)
+    start = time.perf_counter()
+    result = run_closed_loop(
+        world,
+        factory,
+        clients_per_site=16 if small else 48,
+        warmup=0.1 if small else 0.2,
+        measure=0.2 if small else 0.4,
+        name="fig17-mixed",
+    )
+    wall = time.perf_counter() - start
+    return {
+        "wall_s": wall,
+        "events": world.kernel.events_executed,
+        "sim": {"ops": result.ops, "ktps": round(result.ktps, 3)},
+    }
+
+
+@scenario
+def fig17_traced(small: bool = False) -> Dict[str, Any]:
+    """``fig17_throughput`` with deep tracing on: same seed, same
+    simulated schedule (tracing is recording-only), so comparing its
+    events/sec against the untraced scenario *within one invocation*
+    measures pure tracing overhead, independent of the machine."""
+    world = Deployment(
+        n_sites=4, costs=walter_costs("ec2"), flush_latency=FLUSH_EC2, seed=17,
+        tracing="deep",
     )
     keys = populate(world, n_keys=4000)
     factory = mixed_tx_factory(keys, 1, 5)

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..deployment import Deployment
+from ..obs import OnlineMonitor
 from ..sim import gc_paused
 from ..spec.checker import Violation, check_trace
 from ..storage import FLUSH_MEMORY
@@ -92,6 +93,10 @@ class ChaosResult:
     injection_errors: List[Tuple[str, str]] = field(default_factory=list)
     end_time: float = 0.0
     world: Any = None  # the Deployment, for post-mortem inspection
+    #: The OnlineMonitor when the run was monitored (run_chaos
+    #: ``monitor=True``); excluded from the verdict so monitored and
+    #: unmonitored runs stay byte-identical.
+    monitor: Any = None
 
     @property
     def passed(self) -> bool:
@@ -166,8 +171,18 @@ class ReproArtifact:
         return run_chaos(self.config, schedule=self.schedule)
 
 
-def run_chaos(config: ChaosConfig, schedule: Optional[Schedule] = None) -> ChaosResult:
+def run_chaos(
+    config: ChaosConfig,
+    schedule: Optional[Schedule] = None,
+    monitor: bool = False,
+) -> ChaosResult:
     """Run one chaos experiment; see the module docstring.
+
+    ``monitor=True`` attaches an :class:`~repro.obs.OnlineMonitor` (and
+    the span tracing that feeds it).  The monitor is passive -- it
+    creates no kernel events -- so a monitored run produces the
+    byte-identical verdict of an unmonitored one; its alerts are
+    returned on ``ChaosResult.monitor``.
 
     The whole experiment -- world construction, the fault run, repair,
     settling, and the oracle checks -- executes with the cyclic GC paused
@@ -175,10 +190,12 @@ def run_chaos(config: ChaosConfig, schedule: Optional[Schedule] = None) -> Chaos
     otherwise trigger a full young-generation scan at every run boundary.
     """
     with gc_paused():
-        return _run_chaos(config, schedule)
+        return _run_chaos(config, schedule, monitor)
 
 
-def _run_chaos(config: ChaosConfig, schedule: Optional[Schedule]) -> ChaosResult:
+def _run_chaos(
+    config: ChaosConfig, schedule: Optional[Schedule], monitor: bool = False
+) -> ChaosResult:
     if schedule is None:
         schedule = generate_schedule(config)
     world = Deployment(
@@ -188,8 +205,10 @@ def _run_chaos(config: ChaosConfig, schedule: Optional[Schedule]) -> ChaosResult
         trace=True,
         jitter_frac=0.10,
         lease_sweeper=True,
+        tracing=bool(monitor),
     )
     world.chaos_bug = config.bug
+    online = OnlineMonitor(world) if monitor else None
     oids, csets = make_objects(world, config)
     injector = FaultInjector(world, schedule)
     injector.start()
@@ -245,6 +264,11 @@ def _run_chaos(config: ChaosConfig, schedule: Optional[Schedule]) -> ChaosResult
                     Violation("exception", traceback.format_exc(limit=8).strip())
                 )
 
+    if online is not None:
+        # One last evaluation over the settled world: healed breaches
+        # resolve, planted-bug breaches stay active.
+        online.finalize(world.kernel.now)
+
     return ChaosResult(
         config=config,
         schedule=schedule,
@@ -254,6 +278,7 @@ def _run_chaos(config: ChaosConfig, schedule: Optional[Schedule]) -> ChaosResult
         injection_errors=list(injector.errors),
         end_time=world.kernel.now,
         world=world,
+        monitor=online,
     )
 
 

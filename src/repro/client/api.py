@@ -29,6 +29,7 @@ from typing import Any, Hashable, Optional
 from ..core.cset import CSet
 from ..core.objects import ObjectId, ObjectKind
 from ..net import Host, Network, RpcTimeout
+from ..obs.trace import CLIENT_COMMIT_REPLY, CLIENT_COMMIT_SEND, COMMIT_RPC_END
 from ..sim import Event, Kernel
 
 COMMITTED = "COMMITTED"
@@ -89,11 +90,15 @@ class WalterClient(Host):
         server_address: str,
         config,
         retry: Optional[RetryPolicy] = None,
+        obs=None,
     ):
         super().__init__(kernel, network, site, name)
         self.server_address = server_address
         self.config = config
         self.retry = retry
+        # Deep tracing only: the client brackets the commit RPC with
+        # send/reply spans so budgets cover the full observed round trip.
+        self._tracer = obs.tracer if obs is not None else None
         self._handles = {}
         # Per-client so tids are deterministic for a fixed seed (the
         # address is already unique on the network).
@@ -104,20 +109,22 @@ class WalterClient(Host):
         #: Retries actually performed (observability for tests).
         self.retries_attempted = 0
 
-    def _call_op(self, method: str, idempotent: bool = False, **args):
+    def _call_op(self, method: str, idempotent: bool = False, span=None, **args):
         """Generator: one client->server RPC, with retry-on-timeout for
         idempotent operations when a :class:`RetryPolicy` is set."""
         policy = self.retry
         if policy is None or not idempotent:
             result = yield from self.call(
-                self.server_address, method, timeout=self._op_timeout(), **args
+                self.server_address, method, timeout=self._op_timeout(),
+                span=span, **args
             )
             return result
         delay = policy.base_delay
         for attempt in range(max(1, policy.attempts)):
             try:
                 result = yield from self.call(
-                    self.server_address, method, timeout=self._op_timeout(), **args
+                    self.server_address, method, timeout=self._op_timeout(),
+                    span=span, **args
                 )
                 return result
             except RpcTimeout:
@@ -162,6 +169,13 @@ class WalterClient(Host):
         kwargs = {}
         if self.retry is not None:
             kwargs["ck"] = "%s#commit" % tx.tid
+        tracer = self._tracer
+        deep = tracer is not None and tracer.deep
+        if deep:
+            sent = tracer.record(
+                tx.tid, CLIENT_COMMIT_SEND, self.site.id, self.kernel.now
+            )
+            kwargs["span"] = (tx.tid, sent.seq)
         status = yield from self._call_op(
             "tx_commit",
             idempotent=self.retry is not None,
@@ -170,6 +184,11 @@ class WalterClient(Host):
             allow_fresh=not tx.started,
             **kwargs,
         )
+        if deep:
+            tracer.record(
+                tx.tid, CLIENT_COMMIT_REPLY, self.site.id, self.kernel.now,
+                parent=tracer.last_seq(tx.tid, COMMIT_RPC_END),
+            )
         self._finish(tx, status)
         return status
 

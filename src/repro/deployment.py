@@ -58,7 +58,7 @@ class Deployment:
         trace: bool = False,
         jitter_frac: float = 0.05,
         anti_starvation: bool = False,
-        tracing: bool = False,
+        tracing=False,
         trace_capacity: int = 8192,
         lease_sweeper: bool = False,
         leases: Optional[LeaseConfig] = None,
@@ -68,7 +68,9 @@ class Deployment:
         self.topology = topology or Topology.ec2(n_sites)
         self.n_sites = len(self.topology)
         #: Shared observability: the metrics registry is always on;
-        #: per-transaction span tracing is enabled with ``tracing=True``.
+        #: per-transaction span tracing is enabled with ``tracing=True``,
+        #: and ``tracing="deep"`` additionally records commit-path
+        #: milestones and causal parent edges (critical-path input).
         self.obs = Observability(tracing=tracing, trace_capacity=trace_capacity)
         self.network = Network(
             self.kernel, self.topology, streams=self.streams, jitter_frac=jitter_frac
@@ -99,6 +101,8 @@ class Deployment:
         ]
         for storage in self.storages:
             storage.bind_metrics(self.obs.registry)
+            if self.obs.tracer is not None:
+                storage.bind_tracer(self.obs.tracer)
         self.addresses: Dict[int, str] = {
             site: "walter-%d-%d" % (self._deploy_id, site) for site in range(self.n_sites)
         }
@@ -171,6 +175,7 @@ class Deployment:
             server_address=self.addresses[site],
             config=self.config,
             retry=retry,
+            obs=self.obs,
         )
         client.start()
         return client
@@ -252,7 +257,12 @@ class Deployment:
         first so they are current even if a server's GC loop is off."""
         for server in self.servers:
             server._refresh_gc_gauges()
-        return self.obs.snapshot()
+        snap = self.obs.snapshot()
+        snap["access_profile"] = {
+            site: server.profiler.as_dict()
+            for site, server in enumerate(self.servers)
+        }
+        return snap
 
     def gc_watermarks(self) -> Dict[int, "VectorTimestamp"]:
         """Per-site GC watermarks (meet of CommittedVTS with every active

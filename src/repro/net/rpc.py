@@ -85,6 +85,9 @@ class RpcRequest:
     method: str
     args: Dict[str, Any]
     reply_to: str
+    #: Deep-tracing span context: ``(tid, parent_seq)`` linking the
+    #: handler's spans back to the caller's span graph, or None.
+    span: Optional[tuple] = None
 
 
 @dataclass(slots=True)
@@ -220,6 +223,8 @@ class Host:
             return
 
     def _serve(self, request: RpcRequest):
+        if request.span is not None:
+            self._on_rpc_span(request.method, request.span)
         try:
             handler = self._rpc_handlers[request.method]
         except KeyError:
@@ -248,6 +253,10 @@ class Host:
             self.address, request.reply_to, reply, size_bytes=self.DEFAULT_MSG_BYTES
         )
 
+    def _on_rpc_span(self, method: str, span_ctx: tuple) -> None:
+        """Observability hook: a request carrying span context arrived.
+        Hosts with a tracer override this to record the receive edge."""
+
     def drop_replies(self, method: str, duration: float) -> None:
         """Suppress replies to ``method`` for ``duration`` sim-seconds
         (chaos fault injection; requests are still fully processed)."""
@@ -265,6 +274,7 @@ class Host:
         method: str,
         size_bytes: Optional[int] = None,
         timeout: Optional[float] = None,
+        span: Optional[tuple] = None,
         **args,
     ):
         """Generator: invoke ``method`` on host ``dst`` and return the value.
@@ -278,7 +288,9 @@ class Host:
         rpc_id = self._next_rpc_id
         event = Event(self.kernel, ("rpc:%s->%s.%s", (self.address, dst, method)))
         self._pending[rpc_id] = event
-        request = RpcRequest(rpc_id=rpc_id, method=method, args=args, reply_to=self.address)
+        request = RpcRequest(
+            rpc_id=rpc_id, method=method, args=args, reply_to=self.address, span=span
+        )
         self.network.send(
             self.address, dst, request, size_bytes=size_bytes or self.DEFAULT_MSG_BYTES
         )

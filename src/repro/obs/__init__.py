@@ -26,6 +26,13 @@ from .metrics import (
 )
 from .trace import (
     ABORT,
+    CLIENT_COMMIT_REPLY,
+    CLIENT_COMMIT_SEND,
+    COMMIT_CPU,
+    COMMIT_LOCK_ACQUIRED,
+    COMMIT_RPC_BEGIN,
+    COMMIT_RPC_END,
+    COMMIT_VOTES,
     DISKLOG_FLUSH,
     DS_DURABLE,
     EXECUTE,
@@ -35,20 +42,51 @@ from .trace import (
     PROPAGATE_SEND,
     REMOTE_APPLY,
     REMOTE_COMMIT,
+    RPC_RECV,
     SLOW_COMMIT_COMMIT,
     SLOW_COMMIT_PREPARE,
     SpanEvent,
+    TERMINAL_EVENTS,
     Tracer,
     TxTrace,
+    WAL_FLUSH,
 )
+from .artifact import (
+    collect_run,
+    diff_artifacts,
+    format_diff,
+    load_artifact,
+    summarize_artifact,
+    write_artifact,
+    write_run_artifact,
+)
+from .critical_path import (
+    BudgetTable,
+    TxBudget,
+    aggregate_budgets,
+    compute_budget,
+    format_budget_table,
+)
+from .monitor import Alert, OnlineMonitor
+from .profile import AccessProfiler, SpaceSaving
 
 
 class Observability:
-    """The per-deployment bundle: one registry, optionally one tracer."""
+    """The per-deployment bundle: one registry, optionally one tracer.
 
-    def __init__(self, tracing: bool = False, trace_capacity: int = 8192):
+    ``tracing`` accepts ``False`` (off), ``True`` (lifecycle spans), or
+    ``"deep"`` (lifecycle spans + commit-path milestones and causal
+    parent edges, the input to critical-path attribution).
+    """
+
+    def __init__(self, tracing=False, trace_capacity: int = 8192):
         self.registry = MetricsRegistry()
-        self.tracer: Optional[Tracer] = Tracer(trace_capacity) if tracing else None
+        if tracing:
+            self.tracer: Optional[Tracer] = Tracer(
+                trace_capacity, deep=(tracing == "deep")
+            )
+        else:
+            self.tracer = None
 
     @property
     def tracing(self) -> bool:
@@ -64,6 +102,16 @@ class Observability:
 
 __all__ = [
     "ABORT",
+    "AccessProfiler",
+    "Alert",
+    "BudgetTable",
+    "CLIENT_COMMIT_REPLY",
+    "CLIENT_COMMIT_SEND",
+    "COMMIT_CPU",
+    "COMMIT_LOCK_ACQUIRED",
+    "COMMIT_RPC_BEGIN",
+    "COMMIT_RPC_END",
+    "COMMIT_VOTES",
     "Counter",
     "DEFAULT_BUCKETS",
     "DISKLOG_FLUSH",
@@ -77,16 +125,32 @@ __all__ = [
     "LagReport",
     "MetricsRegistry",
     "Observability",
+    "OnlineMonitor",
     "PROPAGATE_SEND",
     "REMOTE_APPLY",
     "REMOTE_COMMIT",
+    "RPC_RECV",
     "SLOW_COMMIT_COMMIT",
     "SLOW_COMMIT_PREPARE",
+    "SpaceSaving",
     "SpanEvent",
+    "TERMINAL_EVENTS",
     "Tracer",
+    "TxBudget",
     "TxTrace",
+    "WAL_FLUSH",
+    "aggregate_budgets",
+    "collect_run",
+    "compute_budget",
     "compute_lag_report",
+    "diff_artifacts",
     "dump_jsonl",
+    "format_budget_table",
+    "format_diff",
+    "load_artifact",
+    "summarize_artifact",
+    "write_artifact",
+    "write_run_artifact",
     "format_timeline",
     "format_timelines",
     "lag_summary",

@@ -154,6 +154,7 @@ class Histogram:
             "p50": round(self.percentile(50), 9),
             "p95": round(self.percentile(95), 9),
             "p99": round(self.percentile(99), 9),
+            "p999": round(self.percentile(99.9), 9),
             "buckets": [
                 (bound, n)
                 for bound, n in zip(list(self.bounds) + [float("inf")], self.counts)

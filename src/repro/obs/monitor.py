@@ -1,0 +1,278 @@
+"""Online invariant monitor: streaming sim-time checks over a running
+deployment.
+
+The post-hoc chaos oracles judge a run after it settles; this monitor
+watches the same invariants *during* the run and raises structured
+:class:`Alert`\\ s the moment a breach persists past its grace period:
+
+* **watermark_regression** -- a site's ``CommittedVTS`` went backwards
+  (it is append-only except across server replacement, where the
+  baseline legitimately resets);
+* **got_behind_committed** -- ``CommittedVTS`` overtook ``GotVTS``
+  somewhere: the site claims to have committed an update it never
+  received (the Fig 13 committed guard forbids this);
+* **propagation_gap** -- a receiver has parked records from some origin
+  whose head seqno leaves a hole above ``GotVTS`` that is not filling:
+  the missing seqnos were lost and nobody is retransmitting them;
+* **lock_hold** -- an object lock (2PC prepare) held continuously past
+  the SLO: an orphaned lock the sweeper should have resolved;
+* **replication_stall** -- a receiver's ``GotVTS`` entry for some origin
+  sits strictly behind that origin's committed frontier and has stopped
+  advancing: propagation to that site is stuck.
+
+The monitor is **passive**: it never creates kernel events, so a
+monitored run has the byte-identical schedule of an unmonitored one.  It
+piggybacks on span tracing -- every recorded span gives it a chance to
+run its checks, throttled to once per ``check_interval`` of simulated
+time -- and the harness calls :meth:`finalize` once the run settles.
+
+Alerts auto-resolve when their condition clears (a partition heals, a
+lock is released, a stall drains), so transient SLO breaches during
+injected faults do not count against a run; a *clean* run judged at the
+end has no **active** alerts, while a run with a planted bug (leaked
+locks, never-resumed propagation) ends with the breach still active.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass
+class Alert:
+    """One invariant breach, raised at sim time ``raised_at`` and
+    resolved (condition cleared) at ``resolved_at`` -- or still active
+    when ``resolved_at`` is None."""
+
+    kind: str
+    site: int
+    key: str
+    raised_at: float
+    resolved_at: Optional[float] = None
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def active(self) -> bool:
+        return self.resolved_at is None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "site": self.site,
+            "key": self.key,
+            "raised_at": round(self.raised_at, 9),
+            "resolved_at": (
+                None if self.resolved_at is None else round(self.resolved_at, 9)
+            ),
+            "details": {k: self.details[k] for k in sorted(self.details)},
+        }
+
+
+class OnlineMonitor:
+    """Streaming invariant checker over a :class:`~repro.deployment.Deployment`.
+
+    Construct it after the deployment (``OnlineMonitor(world)``); when
+    span tracing is on it subscribes itself to the tracer and runs
+    automatically.  Without tracing, call :meth:`check` at points of
+    interest.  Either way, call :meth:`finalize` after the run settles
+    so end-of-run breaches are evaluated one last time.
+    """
+
+    def __init__(
+        self,
+        world,
+        check_interval: float = 0.25,
+        lock_slo: float = 6.0,
+        stall_grace: float = 2.0,
+        gap_grace: float = 1.0,
+    ):
+        self.world = world
+        self.check_interval = check_interval
+        self.lock_slo = lock_slo
+        self.stall_grace = stall_grace
+        self.gap_grace = gap_grace
+        #: Every alert ever raised, in raise order.
+        self.alerts: List[Alert] = []
+        self.checks_run = 0
+        self._active: Dict[Tuple[str, int, str], Alert] = {}
+        self._last_check = float("-inf")
+        # Baselines, reset when a site's server object is replaced.
+        self._server_ids: Dict[int, int] = {}
+        self._vts_max: Dict[int, List[int]] = {}
+        self._lock_seen: Dict[Tuple[int, str], Tuple[str, float]] = {}
+        self._stall_seen: Dict[Tuple[int, int], Tuple[int, float]] = {}
+        self._gap_seen: Dict[Tuple[int, int], Tuple[int, int, float]] = {}
+        tracer = world.obs.tracer
+        if tracer is not None:
+            tracer.subscribe(self._on_span)
+
+    # ------------------------------------------------------------------
+    # Feed
+    # ------------------------------------------------------------------
+    def _on_span(self, _event) -> None:
+        now = self.world.kernel.now
+        if now - self._last_check >= self.check_interval:
+            self.check(now)
+
+    def check(self, now: Optional[float] = None) -> None:
+        """Run all invariant checks against the current world state."""
+        if now is None:
+            now = self.world.kernel.now
+        self._last_check = now
+        self.checks_run += 1
+        for site, server in enumerate(self.world.servers):
+            if self._server_ids.get(site) != id(server):
+                self._reset_site(site, server, now)
+            self._check_watermarks(site, server, now)
+            self._check_locks(site, server, now)
+            self._check_gaps(site, server, now)
+        self._check_stalls(now)
+
+    def finalize(self, now: Optional[float] = None) -> None:
+        """One last evaluation after the run settled; end-of-run breaches
+        stay active, everything that healed is resolved."""
+        self.check(now)
+
+    # ------------------------------------------------------------------
+    # Alert bookkeeping
+    # ------------------------------------------------------------------
+    def _raise(self, kind: str, site: int, key: str, now: float, **details) -> None:
+        akey = (kind, site, key)
+        alert = self._active.get(akey)
+        if alert is not None:
+            alert.details.update(details)
+            return
+        alert = Alert(kind=kind, site=site, key=key, raised_at=now, details=details)
+        self._active[akey] = alert
+        self.alerts.append(alert)
+
+    def _resolve(self, kind: str, site: int, key: str, now: float) -> None:
+        alert = self._active.pop((kind, site, key), None)
+        if alert is not None:
+            alert.resolved_at = now
+
+    def active_alerts(self) -> List[Alert]:
+        return sorted(
+            self._active.values(), key=lambda a: (a.kind, a.site, a.key)
+        )
+
+    def summary(self) -> Dict[str, Any]:
+        by_kind: Dict[str, int] = {}
+        for alert in self.alerts:
+            by_kind[alert.kind] = by_kind.get(alert.kind, 0) + 1
+        return {
+            "raised": len(self.alerts),
+            "active": len(self._active),
+            "checks_run": self.checks_run,
+            "by_kind": dict(sorted(by_kind.items())),
+        }
+
+    # ------------------------------------------------------------------
+    # Checks
+    # ------------------------------------------------------------------
+    def _reset_site(self, site: int, server, now: float) -> None:
+        """A replacement server took over this site: its in-memory clocks
+        legitimately restart from recovered state, so baselines reset and
+        watermark alerts against the dead server resolve."""
+        self._server_ids[site] = id(server)
+        self._vts_max[site] = list(server.committed_vts)
+        self._resolve("watermark_regression", site, "committed_vts", now)
+        self._resolve("got_behind_committed", site, "got_vts", now)
+        for lkey in [k for k in self._lock_seen if k[0] == site]:
+            del self._lock_seen[lkey]
+            self._resolve("lock_hold", site, lkey[1], now)
+
+    def _check_watermarks(self, site: int, server, now: float) -> None:
+        current = list(server.committed_vts)
+        seen = self._vts_max[site]
+        if any(c < m for c, m in zip(current, seen)):
+            self._raise(
+                "watermark_regression", site, "committed_vts", now,
+                committed=current, max_seen=list(seen),
+            )
+        else:
+            self._resolve("watermark_regression", site, "committed_vts", now)
+        self._vts_max[site] = [max(c, m) for c, m in zip(current, seen)]
+        got = list(server.got_vts)
+        if any(g < c for g, c in zip(got, current)):
+            self._raise(
+                "got_behind_committed", site, "got_vts", now,
+                got=got, committed=current,
+            )
+        else:
+            self._resolve("got_behind_committed", site, "got_vts", now)
+
+    def _check_locks(self, site: int, server, now: float) -> None:
+        held = {(site, str(oid)): tid for oid, tid in server.locked.items()}
+        for lkey in [k for k in self._lock_seen if k[0] == site]:
+            if lkey not in held:
+                del self._lock_seen[lkey]
+                self._resolve("lock_hold", site, lkey[1], now)
+        for lkey, tid in sorted(held.items()):
+            seen = self._lock_seen.get(lkey)
+            if seen is None or seen[0] != tid:
+                self._lock_seen[lkey] = (tid, now)
+                if seen is not None:
+                    self._resolve("lock_hold", site, lkey[1], now)
+                continue
+            duration = now - seen[1]
+            if duration >= self.lock_slo:
+                self._raise(
+                    "lock_hold", site, lkey[1], now,
+                    holder=tid, held_for=round(duration, 9),
+                )
+
+    def _check_gaps(self, site: int, server, now: float) -> None:
+        pending = server._pending_remote
+        heads: Dict[int, int] = {}
+        for origin in pending.sites():
+            head = pending.parked_head(origin)
+            if head is None:
+                continue
+            got = server.got_vts[origin]
+            if head > got + 1:
+                heads[origin] = head
+                gkey = (site, origin)
+                seen = self._gap_seen.get(gkey)
+                if seen is None or seen[0] != head or seen[1] != got:
+                    self._gap_seen[gkey] = (head, got, now)
+                    continue
+                if now - seen[2] >= self.gap_grace:
+                    self._raise(
+                        "propagation_gap", site, "origin=%d" % origin, now,
+                        parked_head=head, got=got,
+                        missing=head - got - 1,
+                    )
+        for gkey in [k for k in self._gap_seen if k[0] == site]:
+            if gkey[1] not in heads:
+                del self._gap_seen[gkey]
+                self._resolve(
+                    "propagation_gap", site, "origin=%d" % gkey[1], now
+                )
+
+    def _check_stalls(self, now: float) -> None:
+        servers = self.world.servers
+        for origin, origin_server in enumerate(servers):
+            frontier = origin_server.committed_vts[origin]
+            for receiver, recv_server in enumerate(servers):
+                if receiver == origin:
+                    continue
+                got = recv_server.got_vts[origin]
+                skey = (origin, receiver)
+                if got >= frontier:
+                    self._stall_seen.pop(skey, None)
+                    self._resolve(
+                        "replication_stall", receiver, "origin=%d" % origin, now
+                    )
+                    continue
+                seen = self._stall_seen.get(skey)
+                if seen is None or seen[0] != got:
+                    # First sighting, or progress since: restart the clock.
+                    self._stall_seen[skey] = (got, now)
+                    continue
+                if now - seen[1] >= self.stall_grace:
+                    self._raise(
+                        "replication_stall", receiver, "origin=%d" % origin, now,
+                        got=got, frontier=frontier, behind=frontier - got,
+                    )

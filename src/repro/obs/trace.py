@@ -14,17 +14,28 @@ disaster-safe-durability lag is ``ds_durable - commit``, visibility lag
 is ``globally_visible - commit`` (paper Figs 18-20).
 
 The tracer keeps at most ``capacity`` transactions in an insertion-order
-ring buffer: when full, the oldest transaction's spans are dropped (and
-counted), so long benchmarks retain the recent window instead of growing
-without bound.  Tracing is opt-in; when disabled the servers hold no
-tracer and pay only a ``None`` check per hook.
+ring buffer: when full, the oldest *completed* transaction's spans are
+dropped (and counted), so long benchmarks retain the recent window
+instead of growing without bound while a long-lived in-flight
+transaction never loses spans mid-trace.  Tracing is opt-in; when
+disabled the servers hold no tracer and pay only a ``None`` check per
+hook.
+
+Deep tracing (``Tracer(deep=True)``, ``Deployment(tracing="deep")``)
+additionally records fine-grained commit-path milestones (the
+``commit.*``, ``rpc.*``, ``wal.*``, and ``client.*`` names below) and
+causal ``parent`` edges between spans, from which
+:mod:`repro.obs.critical_path` computes per-transaction latency budgets.
+Deep events and parent links are never emitted in default tracing mode,
+so the default span stream -- pinned by the schedule-digest tests --
+is byte-identical with or without this feature existing.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional
 
 # Canonical event names (callers may also emit ad-hoc names).
 EXECUTE = "execute"
@@ -42,8 +53,33 @@ GLOBALLY_VISIBLE = "globally_visible"
 #: injected faults appear on the same timeline as transaction spans.
 FAULT = "fault"
 
+# Deep-tracing milestone names (only emitted by a Tracer(deep=True)).
+#: Client issued the commit RPC (recorded by the benchmark driver).
+CLIENT_COMMIT_SEND = "client.commit_send"
+#: Client received the commit reply.
+CLIENT_COMMIT_REPLY = "client.commit_reply"
+#: The server's tx_commit handler started executing.
+COMMIT_RPC_BEGIN = "commit.rpc_begin"
+#: CPU admission + per-op service time paid (queueing shows up here).
+COMMIT_CPU = "commit.cpu"
+#: All 2PC prepare votes collected (slow commit only).
+COMMIT_VOTES = "commit.votes"
+#: The site-wide commit lock was acquired (lock wait ends here).
+COMMIT_LOCK_ACQUIRED = "commit.lock_acquired"
+#: The tx_commit handler finished (reply is about to be sent).
+COMMIT_RPC_END = "commit.rpc_end"
+#: An RPC request carrying span context arrived at a remote host.
+RPC_RECV = "rpc.recv"
+#: The WAL flushed a batch containing this transaction's commit record.
+WAL_FLUSH = "wal.flush"
+
 #: Events that mark the local commit point (start of the lag clocks).
 _COMMIT_EVENTS = (FAST_COMMIT, SLOW_COMMIT_COMMIT)
+
+#: Events after which a trace can no longer grow: the transaction either
+#: aborted or completed full propagation.  Used by the ring buffer to
+#: decide which traces are safe to evict.
+TERMINAL_EVENTS = frozenset((GLOBALLY_VISIBLE, ABORT))
 
 
 @dataclass
@@ -56,6 +92,10 @@ class SpanEvent:
     site: int
     t: float
     extra: Dict[str, Any] = field(default_factory=dict)
+    #: Causal edge: the ``seq`` of the span event that caused this one
+    #: (across RPC hops and propagation).  Only set in deep tracing mode;
+    #: serialized only when present, so default-mode JSONL is unchanged.
+    parent: Optional[int] = None
 
     def to_dict(self) -> Dict[str, Any]:
         out = {
@@ -65,6 +105,8 @@ class SpanEvent:
             "site": self.site,
             "t": round(self.t, 9),
         }
+        if self.parent is not None:
+            out["parent"] = self.parent
         for k in sorted(self.extra):
             out[k] = self.extra[k]
         return out
@@ -76,6 +118,10 @@ class TxTrace:
 
     tid: str
     events: List[SpanEvent] = field(default_factory=list)
+    #: A terminal event (globally visible / abort) was recorded, or the
+    #: owner called :meth:`Tracer.finish`; completed traces are the only
+    #: ones the ring buffer may evict.
+    completed: bool = False
 
     def first(self, name: str, site: Optional[int] = None) -> Optional[SpanEvent]:
         for event in self.events:
@@ -141,30 +187,87 @@ class Tracer:
     deterministic run.
     """
 
-    def __init__(self, capacity: int = 8192):
+    def __init__(self, capacity: int = 8192, deep: bool = False):
         if capacity < 1:
             raise ValueError("tracer capacity must be >= 1")
         self.capacity = capacity
+        #: Deep tracing: fine-grained commit milestones + parent edges.
+        self.deep = deep
         self._traces: "OrderedDict[str, TxTrace]" = OrderedDict()
         self._seq = 0
         self.events_recorded = 0
         self.traces_dropped = 0
+        self._subscribers: List[Callable[[SpanEvent], None]] = []
 
     def __len__(self) -> int:
         return len(self._traces)
 
-    def record(self, tid: str, name: str, site: int, t: float, **extra) -> SpanEvent:
+    def subscribe(self, callback: Callable[[SpanEvent], None]) -> None:
+        """Invoke ``callback(event)`` for every span recorded from now on
+        (the online invariant monitor's feed).  Callbacks must not record
+        spans themselves."""
+        self._subscribers.append(callback)
+
+    def record(
+        self,
+        tid: str,
+        name: str,
+        site: int,
+        t: float,
+        parent: Optional[int] = None,
+        **extra,
+    ) -> SpanEvent:
         trace = self._traces.get(tid)
         if trace is None:
             trace = self._traces[tid] = TxTrace(tid)
-            while len(self._traces) > self.capacity:
-                self._traces.popitem(last=False)
-                self.traces_dropped += 1
+            if len(self._traces) > self.capacity:
+                self._evict_completed()
         self._seq += 1
-        event = SpanEvent(self._seq, tid, name, site, t, dict(extra))
+        event = SpanEvent(self._seq, tid, name, site, t, dict(extra), parent)
         trace.events.append(event)
         self.events_recorded += 1
+        if name in TERMINAL_EVENTS:
+            trace.completed = True
+        if self._subscribers:
+            for callback in self._subscribers:
+                callback(event)
         return event
+
+    def _evict_completed(self) -> None:
+        """Drop the oldest *completed* traces until back within capacity.
+        Open (in-flight) traces are never evicted -- a transaction that
+        outlives the buffer window keeps its whole timeline -- so the
+        buffer may transiently exceed capacity by the number of open
+        traces."""
+        while len(self._traces) > self.capacity:
+            victim = None
+            for tid, trace in self._traces.items():
+                if trace.completed:
+                    victim = tid
+                    break
+            if victim is None:
+                return
+            del self._traces[victim]
+            self.traces_dropped += 1
+
+    def finish(self, tid: str) -> None:
+        """Mark a trace completed (evictable) for lifecycles with no
+        terminal span in the stream: read-only commits, client aborts
+        delivered as plain RPCs, lease reaps."""
+        trace = self._traces.get(tid)
+        if trace is not None:
+            trace.completed = True
+
+    def last_seq(self, tid: str, name: str) -> Optional[int]:
+        """``seq`` of the most recent ``name`` event of ``tid`` (used to
+        attach causal parent edges in deep mode)."""
+        trace = self._traces.get(tid)
+        if trace is None:
+            return None
+        for event in reversed(trace.events):
+            if event.name == name:
+                return event.seq
+        return None
 
     def get(self, tid: str) -> Optional[TxTrace]:
         return self._traces.get(tid)

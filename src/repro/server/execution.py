@@ -84,6 +84,10 @@ class ExecutionMixin:
         if tx is not None and tx.status is TxStatus.ACTIVE:
             tx.mark_aborted()
             self.stats.inc("aborts")
+        if self._tracer is not None:
+            # Client-initiated aborts emit no terminal span; mark the
+            # trace complete so the ring buffer may evict it.
+            self._tracer.finish(tid)
         return "ABORTED"
 
     # ------------------------------------------------------------------
@@ -132,6 +136,7 @@ class ExecutionMixin:
         """Fig 10 read: snapshot at startVTS + own buffer; remote fetch
         for objects not replicated locally."""
         container = self.config.container(oid.container)
+        owner = container.preferred_site == self.site_id
         if container.replicated_at(self.site_id):
             # LRU accounting only (paper §6): a miss means the object
             # would have been materialized from the log/checkpoint.  The
@@ -145,14 +150,17 @@ class ExecutionMixin:
                 value = self.histories.read_regular(oid, tx.start_vts, tx.updates)
             if not hit:
                 self.storage.cache.put(oid, True)
+            self.profiler.record_read(oid, owner)
             self._trace_read(tx, oid, value)
             return value
+        self.profiler.record_read(oid, owner)
         payload = yield from self.call(
             self.peers[container.preferred_site],
             "remote_read",
             oid=oid,
             start_vts=tx.start_vts,
             timeout=self._rpc_timeout(),
+            span=self._deep_ctx(tx.tid, span.EXECUTE),
         )
         return self._compose_value(tx, oid, payload)
 

@@ -25,6 +25,7 @@ ABORTED = "ABORTED"
 
 class FastCommitMixin:
     def rpc_tx_commit(self, tid: str, notify: Optional[str] = None, allow_fresh: bool = True, ck: Optional[str] = None):
+        self._deep(tid, span.COMMIT_RPC_BEGIN)
         # cpu.use() inlined: skips the sub-generator frame on the
         # per-RPC path; the events (acquire, service-time timeout,
         # release) are identical.
@@ -33,6 +34,7 @@ class FastCommitMixin:
             yield self.kernel.timeout(self.costs.commit_op)
         finally:
             self.cpu.release()
+        self._deep(tid, span.COMMIT_CPU)
         # ``ck`` is the client's at-most-once idempotency token: a commit
         # whose reply was lost can be re-asked safely -- the cached
         # outcome is returned instead of re-running the commit (which,
@@ -63,6 +65,7 @@ class FastCommitMixin:
             self._commit_inflight.discard(tid)
         if ck is not None:
             self._commit_outcomes[ck] = (status, self.kernel.now)
+        self._deep(tid, span.COMMIT_RPC_END, status=status)
         return status
 
     def _commit_tx(self, tx: Transaction, notify: Optional[str] = None):
@@ -74,6 +77,10 @@ class FastCommitMixin:
             self._drop_tx(tx.tid)
             self.stats.inc("commits")
             self.stats.inc("read_only_commits")
+            if self._tracer is not None:
+                # Read-only commits emit no terminal span; mark the trace
+                # complete so the ring buffer may evict it.
+                self._tracer.finish(tx.tid)
             return COMMITTED
         if not self.config.is_active(self.site_id):
             # §5.7: a site under re-integration must not commit update
@@ -128,6 +135,7 @@ class FastCommitMixin:
     def _fast_commit(self, tx: Transaction, notify: Optional[str] = None):
         """Fig 11 fastCommit."""
         yield self.commit_lock.acquire()
+        self._deep(tx.tid, span.COMMIT_LOCK_ACQUIRED)
         try:
             # The serialized conflict check -- the contended region that
             # bounds per-site write throughput (§8.3).  ``unmodified`` is
@@ -141,6 +149,7 @@ class FastCommitMixin:
             conflict = False
             for oid in tx.write_set:
                 if not unmodified(oid, start_vts) or oid in locked or delayed(oid):
+                    self.profiler.record_conflict(oid)
                     conflict = True
                     break
             if conflict:
@@ -160,6 +169,9 @@ class FastCommitMixin:
         advance CommittedVTS.  Runs with no yields (hence atomically)."""
         self.curr_seqno += 1
         version = Version(self.site_id, self.curr_seqno)
+        preferred_site = self.config.preferred_site
+        for oid in tx.touched:
+            self.profiler.record_write(oid, preferred_site(oid) == self.site_id)
         self.histories.apply(tx.updates, version)
         self.committed_vts = self.committed_vts.with_entry(self.site_id, self.curr_seqno)
         self.got_vts = self.got_vts.with_entry(self.site_id, self.curr_seqno)

@@ -111,6 +111,18 @@ class PendingIndex:
     def sites(self) -> List[int]:
         return list(self._heaps)
 
+    def parked_head(self, site: int) -> Optional[int]:
+        """The smallest live parked seqno of ``site``, or None.  Prunes
+        stale heap heads (already removed or acted on) lazily; used by
+        the online monitor's propagation-gap check."""
+        heap = self._heaps.get(site)
+        entries = self._entries
+        while heap:
+            if (site, heap[0]) in entries:
+                return heap[0]
+            heapq.heappop(heap)
+        return None
+
     def unblocked(self, site: int, watermark: int) -> List[tuple]:
         """Pop and return the entries of ``site`` with seqno <=
         ``watermark`` (duplicates the clock already covers) in seqno
@@ -452,11 +464,26 @@ class PropagationMixin:
         """Observability for one applied remote record: refresh the LRU
         accounting, measure replication lag (origin commit -> applied
         here, the clock the origin stamped into the record), and span."""
+        profiler = self.profiler
         for oid in touched_oids(record.updates):
             self.storage.cache.put(oid, True)
+            profiler.record_remote_apply(oid)
         if record.committed_at is not None:
             self._replication_lag.observe(self.kernel.now - record.committed_at)
-        self._span(record.tid, span.REMOTE_APPLY, origin=record.site)
+        tracer = self._tracer
+        if tracer is not None and tracer.deep:
+            # Deep mode: link the apply back to the origin's send so the
+            # propagation hop appears as a causal edge in the span graph.
+            tracer.record(
+                record.tid,
+                span.REMOTE_APPLY,
+                self.site_id,
+                self.kernel.now,
+                parent=tracer.last_seq(record.tid, span.PROPAGATE_SEND),
+                origin=record.site,
+            )
+        else:
+            self._span(record.tid, span.REMOTE_APPLY, origin=record.site)
 
     def _got_guard(self, record: CommitRecord) -> bool:
         """Fig 13: GotVTS_i >= x.startVTS and GotVTS_i[j] = x.seqno - 1."""

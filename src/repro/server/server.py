@@ -18,7 +18,8 @@ from ..core.objects import ObjectId
 from ..core.transaction import TxStatus
 from ..core.versions import VectorTimestamp, Version
 from ..net import Host, Network
-from ..obs import MetricsRegistry, Observability
+from ..obs import AccessProfiler, MetricsRegistry, Observability
+from ..obs import trace as span
 from ..sim import Kernel, Lock, Resource, Store
 from ..spec.checker import ExecutionTrace
 from ..storage import SiteStorage
@@ -206,6 +207,9 @@ class WalterServer(
         # view always has a registry behind it.
         self.obs = obs or Observability()
         self._tracer = self.obs.tracer
+        #: Per-site access profiler (hot keys, per-container traffic);
+        #: exported via Deployment.metrics_snapshot()["access_profile"].
+        self.profiler = AccessProfiler(site_id)
         registry = self.obs.registry
         self._commit_latency = registry.histogram("server.commit_latency", site=site_id)
         # Always-on lag histograms (the tracer, when enabled, additionally
@@ -244,13 +248,41 @@ class WalterServer(
     # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
-    def _span(self, tid: str, name: str, **extra) -> None:
+    def _span(self, tid: str, name: str, **extra):
         """Emit one transaction span event at the current simulated time.
 
         The single ``None`` check is the entire cost when tracing is off.
+        Returns the recorded event (or None) so deep milestones can chain
+        parent edges off it.
         """
         if self._tracer is not None:
-            self._tracer.record(tid, name, self.site_id, self.kernel.now, **extra)
+            return self._tracer.record(
+                tid, name, self.site_id, self.kernel.now, **extra
+            )
+        return None
+
+    def _deep(self, tid: str, name: str, parent: Optional[int] = None, **extra):
+        """Emit a deep-tracing milestone: recorded only when the tracer
+        runs in deep mode, so default-mode trace streams (and the pinned
+        schedule digests over them) are unchanged."""
+        tracer = self._tracer
+        if tracer is not None and tracer.deep:
+            return tracer.record(
+                tid, name, self.site_id, self.kernel.now, parent=parent, **extra
+            )
+        return None
+
+    def _deep_ctx(self, tid: str, name: str):
+        """Span context ``(tid, parent_seq)`` for an outgoing RPC, or
+        None outside deep mode; the callee records the receive edge."""
+        tracer = self._tracer
+        if tracer is not None and tracer.deep:
+            return (tid, tracer.last_seq(tid, name))
+        return None
+
+    def _on_rpc_span(self, method: str, span_ctx: tuple) -> None:
+        tid, parent = span_ctx
+        self._deep(tid, span.RPC_RECV, parent=parent, method=method)
 
     # ------------------------------------------------------------------
     # Maintenance
@@ -382,6 +414,11 @@ class WalterServer(
                 del self._tx_deadlines[tid]
                 if tx.status is TxStatus.ACTIVE:
                     tx.mark_aborted()
+                if self._tracer is not None:
+                    # The reaped transaction will never emit a terminal
+                    # span; mark its trace complete so the ring buffer
+                    # may evict it.
+                    self._tracer.finish(tid)
                 reaped += 1
         if reaped:
             self.obs.registry.counter("tx.reaped", site=self.site_id).inc(reaped)

@@ -76,6 +76,7 @@ class SlowCommitMixin:
         self.stats.inc("slow_commit_attempts")
         sites = sorted({self.config.preferred_site(oid) for oid in tx.write_set})
         self._span(tx.tid, span.SLOW_COMMIT_PREPARE, participants=len(sites))
+        span_ctx = self._deep_ctx(tx.tid, span.SLOW_COMMIT_PREPARE)
 
         def ask(site: int):
             oids = [o for o in sorted(tx.write_set, key=str) if self.config.preferred_site(o) == site]
@@ -88,6 +89,7 @@ class SlowCommitMixin:
                     start_vts=tx.start_vts,
                     coord_site=self.site_id,
                     timeout=self._rpc_timeout(),
+                    span=span_ctx,
                 )
                 return (site, bool(vote))
             except RpcError:
@@ -98,9 +100,11 @@ class SlowCommitMixin:
             for site in sites
         ]
         votes: Dict[int, bool] = dict((yield AllOf(procs)))
+        self._deep(tx.tid, span.COMMIT_VOTES, yes=sum(votes.values()), asked=len(votes))
 
         if all(votes.values()):
             yield self.commit_lock.acquire()
+            self._deep(tx.tid, span.COMMIT_LOCK_ACQUIRED)
             try:
                 yield self.kernel.timeout(self.costs.commit_critical)
                 version = self._apply_local_commit(tx)
@@ -200,10 +204,12 @@ class SlowCommitMixin:
             if not self.config.holds_preferred_lease(oid.container, self.site_id):
                 return False
             if oid in self.locked and self.locked[oid] != tid:
+                self.profiler.record_conflict(oid)
                 return False
             if not self.histories.unmodified(oid, start_vts):
                 # A fast commit beat this slow commit; mark the object so
                 # the retry can win (§6 anti-starvation).
+                self.profiler.record_conflict(oid)
                 self.mark_slow_commit_abort([oid])
                 return False
         for oid in oids:

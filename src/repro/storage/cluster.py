@@ -56,6 +56,11 @@ class SiteStorage:
         self.cache.bind_metrics(registry, self.site)
         self.log.bind_metrics(registry, self.site)
 
+    def bind_tracer(self, tracer) -> None:
+        """Attach the deployment tracer so the WAL can emit deep-mode
+        ``wal.flush`` spans (no-op outside deep tracing)."""
+        self.log.bind_tracer(tracer, self.site)
+
     def inject_flush_stall(self, duration: float) -> float:
         """Fault injection: stall WAL flushes for ``duration`` simulated
         seconds (see :meth:`DiskLog.inject_stall`)."""

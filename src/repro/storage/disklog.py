@@ -65,6 +65,8 @@ class DiskLog:
         self._record_counter = None
         self._stall_counter = None
         self._batch_hist = None
+        self._tracer = None
+        self._trace_site = 0
         #: Fault injection: flushes (even memory-speed ones) are held
         #: until this simulated time -- models a slow/saturated disk.
         self._stalled_until = 0.0
@@ -86,6 +88,30 @@ class DiskLog:
             "disklog.flush_batch", buckets=log_buckets(1.0, 4096.0), site=site
         )
         self._stall_counter = registry.counter("disklog.stalls", site=site)
+
+    def bind_tracer(self, tracer, site: int) -> None:
+        """Deep tracing: emit a ``wal.flush`` span when a local commit
+        record lands on disk, parented to the transaction's commit span
+        (the flush is the group-commit leg of the critical path)."""
+        self._tracer = tracer
+        self._trace_site = site
+
+    def _trace_flush(self, payload: Any, batch: int) -> None:
+        tracer = self._tracer
+        if tracer is None or not tracer.deep:
+            return
+        if not (isinstance(payload, dict) and payload.get("kind") == "local_commit"):
+            return
+        from ..obs.trace import FAST_COMMIT, SLOW_COMMIT_COMMIT, WAL_FLUSH
+
+        tid = payload["record"].tid
+        parent = tracer.last_seq(tid, FAST_COMMIT) or tracer.last_seq(
+            tid, SLOW_COMMIT_COMMIT
+        )
+        tracer.record(
+            tid, WAL_FLUSH, self._trace_site, self.kernel.now,
+            parent=parent, batch=batch,
+        )
 
     def inject_stall(self, duration: float) -> float:
         """Fault injection: hold every flush until ``now + duration``.
@@ -114,6 +140,8 @@ class DiskLog:
             self.stats.records += 1
             if self._record_counter is not None:
                 self._record_counter.inc()
+            if self._tracer is not None:
+                self._trace_flush(payload, 1)
             done.trigger(record)
             return done
         self._queue.put((record, done, self.epoch))
@@ -162,6 +190,8 @@ class DiskLog:
                 self.stats.records += 1
                 if self._record_counter is not None:
                     self._record_counter.inc()
+                if self._tracer is not None:
+                    self._trace_flush(record.payload, len(batch))
                 done.trigger(record)
             self._inflight = []
 

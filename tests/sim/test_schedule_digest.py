@@ -27,11 +27,10 @@ WORKLOAD_DIGEST = "b2dac5cf9584ca28b5a38b004bbc58d6794a05af5e53a1ed69184aa260526
 CHAOS_DIGEST = "e35c67a4226c54945f16933946141a3810779f9fe33309226aea773f98619a36"
 
 
-def workload_digest() -> str:
-    """Run a fixed 3-site read/write workload with tracing on and hash
-    the ordered (time, host-site, event-kind, tid) span stream plus the
-    final simulated clock."""
-    world = Deployment(n_sites=3, seed=1234, tracing=True)
+def run_digest_workload(tracing=True):
+    """Run the fixed 3-site read/write workload; returns the settled
+    world."""
+    world = Deployment(n_sites=3, seed=1234, tracing=tracing)
     keys = populate(world, n_keys=120)
 
     def factory(client, rng):
@@ -55,6 +54,14 @@ def workload_digest() -> str:
         name="digest", seed=99,
     )
     world.settle(1.0)
+    return world
+
+
+def workload_digest() -> str:
+    """Run the fixed workload with tracing on and hash the ordered
+    (time, host-site, event-kind, tid) span stream plus the final
+    simulated clock."""
+    world = run_digest_workload(tracing=True)
     stream = trace_events_jsonl(world.obs.tracer)
     blob = stream + "\nnow=%.9f" % world.kernel.now
     return hashlib.sha256(blob.encode()).hexdigest()
@@ -74,6 +81,19 @@ class TestScheduleDigest:
 
     def test_chaos_schedule_digest_pinned(self):
         assert chaos_digest() == CHAOS_DIGEST
+
+    def test_tracing_mode_does_not_perturb_schedule(self):
+        """Span tracing (lifecycle or deep) is recording-only: every
+        tracing mode must execute the identical simulated schedule --
+        same kernel event count, same final clock -- as tracing off."""
+        fingerprints = {}
+        for tracing in (False, True, "deep"):
+            world = run_digest_workload(tracing=tracing)
+            fingerprints[tracing] = (
+                world.kernel.events_executed,
+                round(world.kernel.now, 12),
+            )
+        assert fingerprints[False] == fingerprints[True] == fingerprints["deep"]
 
 
 if __name__ == "__main__":
