@@ -1,0 +1,173 @@
+"""The protocol zoo, head to head: one workload, four protocols.
+
+Runs the identical seeded mixed read/write workload through every
+backend in the registry and prints a single comparison table: commit
+latency (mean / p95 over committed transactions), throughput, outcome
+tally, and anomaly counts from each protocol's own oracle plus the
+inclusion-lattice report (both must be zero -- this benchmark doubles
+as a conformance gate).
+
+Expected shape, not exact numbers:
+
+* commit latency rises with coordination strength -- the SI baseline
+  (single primary, local commit) and NMSI (per-key-master 2PC-lite)
+  sit below Walter (2PC across preferred sites + vector snapshots),
+  and the Consus-flavored commit (a Paxos round per transaction,
+  including read-only ones) is the most expensive;
+* abort rates differ by protocol: first-committer-wins under SI/PSI
+  vs dependency-chained blind writes under NMSI vs occ-style slot
+  validation under strict serializability;
+* anomaly counts are zero everywhere: every protocol conforms to its
+  own level and to every weaker one.
+
+Set ``ZOO_BENCH_JSON=<path>`` to also write the table as a JSON
+artifact (the CI protocol-matrix job archives it).
+"""
+
+import json
+import os
+import random
+
+from repro.bench import format_table
+from repro.protocols.registry import PROTOCOL_NAMES, build
+
+SEED = 31
+N_SITES = 3
+SESSIONS_PER_SITE = 2
+TXS_PER_SESSION = 20
+KEYS = ["bk%d" % i for i in range(8)]
+HORIZON = 300.0
+SETTLE = 40.0
+
+
+def drive(backend):
+    """The shared benchmark workload; returns per-tx commit latencies."""
+    commit_latencies = []
+    errors = []
+
+    def client(session, rng):
+        can_write = session.site in backend.writable_sites
+        for i in range(TXS_PER_SESSION):
+            yield backend.kernel.timeout(rng.uniform(0.01, 0.2))
+            try:
+                tid = yield from session.begin()
+                value = yield from session.read(tid, rng.choice(KEYS))
+                if can_write and rng.random() < 0.7:
+                    yield from session.write(
+                        tid, rng.choice(KEYS), "%s:%d:%s" % (session.name, i, value)
+                    )
+                else:
+                    yield from session.read(tid, rng.choice(KEYS))
+                t0 = backend.kernel.now
+                status = yield from session.commit(tid)
+                if status == "COMMITTED":
+                    commit_latencies.append(backend.kernel.now - t0)
+            except Exception as exc:  # noqa: BLE001 - aborts are data here
+                errors.append(repr(exc))
+
+    rng = random.Random("zoo-bench:%d" % SEED)
+    procs = []
+    for site in range(backend.n_sites):
+        for _ in range(SESSIONS_PER_SITE):
+            session = backend.session(site)
+            crng = random.Random(rng.random())
+            procs.append(
+                backend.kernel.spawn(client(session, crng), name="bench:%s" % session.name)
+            )
+    backend.kernel.run(until=HORIZON, stop_when=lambda: all(p.done for p in procs))
+    assert all(p.done for p in procs), "benchmark workload did not drain"
+    busy_until = backend.kernel.now
+    backend.settle(SETTLE)
+    return commit_latencies, busy_until, errors
+
+
+def percentile(values, frac):
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(frac * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def run_zoo():
+    rows = []
+    for name in PROTOCOL_NAMES:
+        backend = build(name, n_sites=N_SITES, seed=SEED)
+        latencies, busy_until, errors = drive(backend)
+        tally = backend.history.outcome_tally()
+        committed = tally.get("COMMITTED", 0)
+        own = backend.check()
+        lattice = backend.lattice_report()
+        lattice_total = sum(len(vs) for vs in lattice.values())
+        rows.append(
+            {
+                "protocol": name,
+                "isolation": backend.isolation,
+                "committed": committed,
+                "aborted": tally.get("ABORTED", 0),
+                "errors": tally.get("ERROR", 0) + len(errors),
+                "tput_tps": committed / busy_until if busy_until else 0.0,
+                "commit_mean_ms": 1e3 * (sum(latencies) / len(latencies))
+                if latencies
+                else 0.0,
+                "commit_p95_ms": 1e3 * percentile(latencies, 0.95),
+                "own_anomalies": len(own),
+                "lattice_anomalies": lattice_total,
+            }
+        )
+    return rows
+
+
+def test_protocol_zoo_table(once):
+    rows = once(run_zoo)
+
+    print()
+    print("Protocol zoo: one workload, four protocols (seed=%d)" % SEED)
+    print(
+        format_table(
+            [
+                "protocol",
+                "isolation",
+                "committed",
+                "aborted",
+                "errors",
+                "tput (tx/s)",
+                "commit mean (ms)",
+                "commit p95 (ms)",
+                "own anomalies",
+                "lattice anomalies",
+            ],
+            [
+                [
+                    r["protocol"],
+                    r["isolation"],
+                    r["committed"],
+                    r["aborted"],
+                    r["errors"],
+                    "%.2f" % r["tput_tps"],
+                    "%.1f" % r["commit_mean_ms"],
+                    "%.1f" % r["commit_p95_ms"],
+                    r["own_anomalies"],
+                    r["lattice_anomalies"],
+                ]
+                for r in rows
+            ],
+        )
+    )
+
+    artifact = os.environ.get("ZOO_BENCH_JSON")
+    if artifact:
+        with open(artifact, "w") as fh:
+            json.dump({"seed": SEED, "rows": rows}, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    by_name = {r["protocol"]: r for r in rows}
+    for r in rows:
+        assert r["own_anomalies"] == 0, r
+        assert r["lattice_anomalies"] == 0, r
+        assert r["committed"] > 0, r
+    # Coordination cost ordering: consensus-per-commit is the most
+    # expensive commit in the zoo.
+    assert (
+        by_name["consus"]["commit_mean_ms"] > by_name["si"]["commit_mean_ms"]
+    ), (by_name["consus"], by_name["si"])

@@ -40,6 +40,7 @@ class BDBTx:
     reads: List[str] = field(default_factory=list)
     writes: Dict[str, Any] = field(default_factory=dict)
     status: str = "ACTIVE"
+    commit_ts: Optional[int] = None
 
 
 class BDBServer(Host):
@@ -75,6 +76,9 @@ class BDBServer(Host):
         self._ship_queue: List[Tuple[int, Dict[str, Any]]] = []
         self._shipper = None
         self.replicated_upto = 0  # on replicas: last applied commit ts
+        #: tid -> (start_ts, commit_ts) of committed transactions -- the
+        #: SI witness the protocol-zoo oracle checks reads against.
+        self.tx_timestamps: Dict[str, Tuple[int, int]] = {}
 
     def start(self) -> None:
         super().start()
@@ -124,8 +128,9 @@ class BDBServer(Host):
     # ------------------------------------------------------------------
     def rpc_tx_begin(self, tid: str):
         yield from self.cpu.use(self.costs.read_op * 0.5)
-        self._txs[tid] = BDBTx(tid=tid, start_ts=self._applied_ts)
-        return "OK"
+        tx = BDBTx(tid=tid, start_ts=self._applied_ts)
+        self._txs[tid] = tx
+        return tx.start_ts
 
     def _tx(self, tid: str) -> BDBTx:
         tx = self._txs.get(tid)
@@ -153,6 +158,8 @@ class BDBServer(Host):
         tx = self._tx(tid)
         if not tx.writes:
             tx.status = COMMITTED
+            tx.commit_ts = tx.start_ts
+            self.tx_timestamps[tid] = (tx.start_ts, tx.start_ts)
             self._txs.pop(tid, None)
             return COMMITTED
         yield self.commit_lock.acquire()
@@ -173,6 +180,8 @@ class BDBServer(Host):
             self._applied_ts = commit_ts
             self._commit_log.append((commit_ts, write_set))
             self._ship_queue.append((commit_ts, dict(tx.writes)))
+            tx.commit_ts = commit_ts
+            self.tx_timestamps[tid] = (tx.start_ts, commit_ts)
         finally:
             self.commit_lock.release()
         yield self.disk.append(("commit", tid))

@@ -25,6 +25,11 @@ from .harness import (
 )
 from .injector import FaultInjector
 from .oracles import check_convergence, check_durability
+from .protocols import (
+    ProtocolChaosConfig,
+    ProtocolChaosResult,
+    run_protocol_chaos,
+)
 from .schedule import FAULT_CATALOG, FaultEvent, Schedule, ScheduleError, canonical_json
 from .shrinker import ShrinkReport, shrink_schedule
 
@@ -34,6 +39,8 @@ __all__ = [
     "ChaosResult",
     "FaultEvent",
     "FaultInjector",
+    "ProtocolChaosConfig",
+    "ProtocolChaosResult",
     "ReproArtifact",
     "Schedule",
     "ScheduleError",
@@ -44,5 +51,6 @@ __all__ = [
     "generate_schedule",
     "run_batch",
     "run_chaos",
+    "run_protocol_chaos",
     "shrink_schedule",
 ]

@@ -63,6 +63,44 @@ def replay_corpus(directory: str) -> int:
     return 1 if failed else 0
 
 
+def run_protocol_batch(args) -> int:
+    """Run the protocol-zoo harness for each seed; fail on the first
+    verdict with oracle or lattice violations."""
+    from .protocols import ProtocolChaosConfig, run_protocol_chaos
+
+    for seed in range(args.seed, args.seed + args.runs):
+        config = ProtocolChaosConfig(
+            protocol=args.protocol,
+            seed=seed,
+            n_sites=args.sites,
+            fault_budget=args.budget,
+        )
+        result = run_protocol_chaos(config)
+        tally = result.outcomes
+        print(
+            "%s seed %d: %s  faults=%d committed=%d aborted=%d errors=%d  t=%.2fs"
+            % (
+                args.protocol,
+                seed,
+                "PASS" if result.passed else "FAIL",
+                len(result.applied_faults),
+                tally.get("COMMITTED", 0),
+                tally.get("ABORTED", 0),
+                tally.get("ERROR", 0),
+                result.end_time,
+            )
+        )
+        if result.passed:
+            continue
+        for violation in result.violations:
+            print("  %s" % violation)
+        for level, violations in sorted(result.lattice.items()):
+            for violation in violations:
+                print("  [lattice:%s] %s" % (level, violation))
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.chaos",
@@ -92,10 +130,20 @@ def main(argv=None) -> int:
         help="replay every seed-*.json artifact in this directory instead "
         "of generating runs; fail on any violation or verdict drift",
     )
+    parser.add_argument(
+        "--protocol",
+        default=None,
+        help="run the protocol-zoo harness against this registry backend "
+        "(walter, si, nmsi, consus) instead of the full Walter deployment; "
+        "the run is judged by the protocol's own oracle + lattice report",
+    )
     args = parser.parse_args(argv)
 
     if args.corpus is not None:
         return replay_corpus(args.corpus)
+
+    if args.protocol is not None:
+        return run_protocol_batch(args)
 
     base = ChaosConfig(
         seed=args.seed,

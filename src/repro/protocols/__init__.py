@@ -1,0 +1,64 @@
+"""The protocol zoo: PSI (Walter), SI (primary-copy), NMSI, and a
+Consus-style strictly-serializable commit, all on one sim substrate.
+
+Every backend implements the :class:`~repro.protocols.base.ProtocolBackend`
+/ :class:`~repro.protocols.base.ProtocolSession` contract, records a
+:class:`~repro.protocols.history.ProtocolHistory`, checks itself with its
+own oracle (``backend.check()``), and re-checks its history at every
+weaker isolation level (``backend.lattice_report()``).
+"""
+
+from .base import ProtocolBackend, ProtocolSession, key_site
+from .history import ABORTED, COMMITTED, ERROR, ProtocolHistory, TxRecord
+from .levels import (
+    ALL_LEVELS,
+    EVENTUAL,
+    FIG8_LEVELS,
+    LATTICE_CHAIN,
+    NMSI,
+    PSI,
+    SERIALIZABILITY,
+    SNAPSHOT_ISOLATION,
+    STRICT_SERIALIZABILITY,
+    WEAKER_THAN,
+    weaker_levels,
+)
+# The registry pulls in every backend (and through Walter the whole
+# deployment stack), while the spec layer needs only the constants above;
+# load it lazily so ``repro.spec.anomalies -> repro.protocols.levels``
+# does not cycle back through ``repro.deployment``.
+_REGISTRY_EXPORTS = ("PROTOCOLS", "PROTOCOL_NAMES", "build", "get_protocol")
+
+
+def __getattr__(name):
+    if name in _REGISTRY_EXPORTS:
+        from . import registry
+
+        return getattr(registry, name)
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))
+
+__all__ = [
+    "ABORTED",
+    "ALL_LEVELS",
+    "COMMITTED",
+    "ERROR",
+    "EVENTUAL",
+    "FIG8_LEVELS",
+    "LATTICE_CHAIN",
+    "NMSI",
+    "PROTOCOLS",
+    "PROTOCOL_NAMES",
+    "PSI",
+    "ProtocolBackend",
+    "ProtocolHistory",
+    "ProtocolSession",
+    "SERIALIZABILITY",
+    "SNAPSHOT_ISOLATION",
+    "STRICT_SERIALIZABILITY",
+    "TxRecord",
+    "WEAKER_THAN",
+    "build",
+    "get_protocol",
+    "key_site",
+    "weaker_levels",
+]

@@ -1,0 +1,200 @@
+"""The pluggable protocol interface.
+
+Every protocol in the zoo -- Walter's PSI, the primary-copy SI baseline,
+NMSI, and the Consus-flavored strictly-serializable commit -- plugs into
+one substrate-facing contract:
+
+* a :class:`ProtocolBackend` owns a simulation (kernel, topology,
+  network, servers) and records a :class:`ProtocolHistory` of everything
+  clients observed;
+* a :class:`ProtocolSession` is a client bound to one site, exposing the
+  common transactional surface as simulation generators:
+  ``begin`` / ``read`` / ``write`` / ``commit`` / ``abort``;
+* ``backend.check()`` runs the protocol's *own* oracle over the recorded
+  history, and ``backend.lattice_report()`` re-checks the same history
+  against every weaker level's oracle with a mechanically derived
+  witness -- the inclusion-lattice conformance check.
+
+Keys are plain strings.  Backends that spread data across sites (Walter,
+NMSI) place each key deterministically with :func:`key_site`, so
+identical workloads touch identical placements in every protocol.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Dict, Generator, List, Optional
+
+from ..net import Network, Topology
+from ..sim import Kernel, RandomStreams
+from ..spec.checker import Violation
+from .history import ABORTED, COMMITTED, ERROR, ProtocolHistory, TxRecord
+
+
+def key_site(key: str, n_sites: int) -> int:
+    """Deterministic home site for a key (stable across runs/processes)."""
+    return zlib.crc32(key.encode()) % n_sites
+
+
+class ProtocolSession:
+    """One client of a protocol backend, bound to a site.
+
+    Subclasses implement the ``_do_*`` generator hooks; the base class
+    records the observed history so oracles see every protocol through
+    the same lens.
+    """
+
+    def __init__(self, backend: "ProtocolBackend", site: int, name: str):
+        self.backend = backend
+        self.site = site
+        self.name = name
+        self._seq = 0
+        self._records: Dict[str, TxRecord] = {}
+
+    # -- the common transactional surface (all generators) -------------
+    def begin(self) -> Generator:
+        self._seq += 1
+        tid = "%s-%d" % (self.name, self._seq)
+        record = self.backend.history.begin(tid, self.site, self.backend.kernel.now)
+        self._records[tid] = record
+        yield from self._do_begin(tid, record)
+        return tid
+
+    def read(self, tid: str, key: str) -> Generator:
+        value = yield from self._do_read(tid, key)
+        self._records[tid].ops.append(("read", key, value))
+        return value
+
+    def write(self, tid: str, key: str, value: Any) -> Generator:
+        yield from self._do_write(tid, key, value)
+        self._records[tid].ops.append(("write", key, value))
+        return None
+
+    def commit(self, tid: str) -> Generator:
+        record = self._records[tid]
+        try:
+            status = yield from self._do_commit(tid, record)
+        except Exception:
+            record.status = ERROR
+            record.end_time = self.backend.kernel.now
+            raise
+        record.status = status
+        record.end_time = self.backend.kernel.now
+        return status
+
+    def abort(self, tid: str) -> Generator:
+        record = self._records[tid]
+        yield from self._do_abort(tid, record)
+        record.status = ABORTED
+        record.end_time = self.backend.kernel.now
+        return ABORTED
+
+    # -- protocol hooks ------------------------------------------------
+    def _do_begin(self, tid: str, record: TxRecord) -> Generator:
+        return
+        yield  # pragma: no cover
+
+    def _do_read(self, tid: str, key: str) -> Generator:
+        raise NotImplementedError
+
+    def _do_write(self, tid: str, key: str, value: Any) -> Generator:
+        raise NotImplementedError
+
+    def _do_commit(self, tid: str, record: TxRecord) -> Generator:
+        raise NotImplementedError
+
+    def _do_abort(self, tid: str, record: TxRecord) -> Generator:
+        raise NotImplementedError
+
+
+class ProtocolBackend:
+    """A running installation of one protocol over the sim substrate."""
+
+    #: Registry name ("walter", "si", "nmsi", "consus").
+    name: str = "abstract"
+    #: Isolation level from :mod:`repro.protocols.levels`.
+    isolation: str = "undefined"
+
+    def __init__(
+        self,
+        n_sites: int = 3,
+        seed: int = 0,
+        jitter_frac: float = 0.0,
+        flush_latency: float = 0.0,
+        topology: Optional[Topology] = None,
+    ):
+        self.n_sites = n_sites
+        self.seed = seed
+        self.flush_latency = flush_latency
+        self.history = ProtocolHistory(protocol=self.name, n_sites=n_sites)
+        self._build_substrate(topology, jitter_frac)
+        self._session_seq = 0
+        self._build()
+
+    # Subclasses that wrap a Deployment override this to reuse its
+    # kernel/network instead of building fresh ones.
+    def _build_substrate(self, topology: Optional[Topology], jitter_frac: float) -> None:
+        self.kernel = Kernel()
+        self.streams = RandomStreams(self.seed)
+        self.topology = topology or Topology.ec2(self.n_sites)
+        self.network = Network(
+            self.kernel, self.topology, streams=self.streams, jitter_frac=jitter_frac
+        )
+
+    def _build(self) -> None:
+        raise NotImplementedError
+
+    # -- clients -------------------------------------------------------
+    def session(self, site: int, name: Optional[str] = None) -> ProtocolSession:
+        self._session_seq += 1
+        name = name or "%s-s%d-c%d" % (self.name, site, self._session_seq)
+        return self._make_session(site, name)
+
+    def _make_session(self, site: int, name: str) -> ProtocolSession:
+        raise NotImplementedError
+
+    #: Sites a session may issue writes from (the SI baseline restricts
+    #: writes to its primary).
+    @property
+    def writable_sites(self) -> List[int]:
+        return list(range(self.n_sites))
+
+    # -- running -------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        return self.kernel.run(until=until)
+
+    def run_process(self, gen: Generator, within: float = 60.0):
+        return self.kernel.run_process(gen, until=self.kernel.now + within)
+
+    def settle(self, duration: float = 2.0) -> None:
+        self.kernel.run(until=self.kernel.now + duration)
+
+    # -- oracles -------------------------------------------------------
+    def check(self) -> List[Violation]:
+        """Model-check the recorded history against this protocol's own
+        oracle; empty list means conformant."""
+        raise NotImplementedError
+
+    def lattice_report(self) -> Dict[str, List[Violation]]:
+        """Check the same history against every weaker level's oracle,
+        deriving each weaker witness from this protocol's own.  A
+        non-empty entry is an inclusion-lattice violation: a history this
+        protocol's oracle accepts must be acceptable at every weaker
+        level."""
+        from .oracles import lattice_report
+
+        return lattice_report(self)
+
+    # -- partitions/faults (used by the protocol chaos harness) --------
+    def heal_all(self) -> None:
+        self.network.heal_all()
+
+
+__all__ = [
+    "ABORTED",
+    "COMMITTED",
+    "ERROR",
+    "ProtocolBackend",
+    "ProtocolSession",
+    "key_site",
+]

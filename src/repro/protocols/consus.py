@@ -1,0 +1,212 @@
+"""Consus-flavored strictly serializable commit on the sim substrate.
+
+One total order for everything: every transaction's outcome is decided
+by running its read/write summary through multi-decree Paxos (reusing
+:class:`repro.config_service.paxos.PaxosNode`) and validating it
+deterministically at slot-application time on every replica.  This is
+the "commit = consensus on the transaction itself" shape of
+Consus/Calvin-style geo-replicated commit, the strict end of the zoo's
+isolation lattice:
+
+* clients execute optimistically against their site's replica -- reads
+  record the **last-writer slot** of each key they observe;
+* commit proposes ``{tid, reads, writes}``; Paxos assigns it a slot;
+* ``apply_fn`` validates at the slot, identically on every replica: the
+  transaction commits iff every key it read still has the observed
+  last-writer slot (no intervening writer was serialized before it);
+* the slot order is the serialization order, and Paxos's
+  choose-once/adopt semantics guarantee a transaction that committed in
+  real time before another began occupies a smaller slot -- which is
+  what upgrades serializable to *strictly* serializable.
+
+Read-only transactions also go through consensus: their reads are
+certified at a slot, so they observe a state consistent with the
+real-time commit order (no stale local reads).
+
+Witness per committed transaction: its slot plus the per-key last-writer
+slots it read.  The oracle (:func:`repro.protocols.oracles.check_consus`)
+replays the replicated log deterministically and re-derives every
+outcome and read value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from ..config_service.paxos import PaxosNode, ProposalFailed
+from ..net import Host
+from .base import ProtocolBackend, ProtocolSession
+from .history import ABORTED, COMMITTED, TxRecord
+from .levels import STRICT_SERIALIZABILITY
+
+
+@dataclass
+class ConsusTx:
+    tid: str
+    #: key -> last-writer slot observed (None: read initial state).
+    reads: Dict[str, Optional[int]] = field(default_factory=dict)
+    #: key -> value observed at that slot (repeatable within the tx).
+    read_values: Dict[str, Any] = field(default_factory=dict)
+    writes: Dict[str, Any] = field(default_factory=dict)
+    status: str = "ACTIVE"
+
+
+def validate_and_apply(kv: Dict[str, Tuple[Any, int]], slot: int, cmd: dict) -> str:
+    """The deterministic state-machine transition shared by every
+    replica (and by the oracle's replay): commit iff every read key's
+    last-writer slot is unchanged, then install writes stamped ``slot``."""
+    for key, seen_slot in cmd["reads"].items():
+        current = kv.get(key)
+        current_slot = current[1] if current is not None else None
+        if current_slot != seen_slot:
+            return ABORTED
+    for key, value in cmd["writes"].items():
+        kv[key] = (value, slot)
+    return COMMITTED
+
+
+class ConsusServer(PaxosNode):
+    """One site's replica: Paxos node + KV state machine + transaction
+    coordinator for local clients."""
+
+    #: Commit is a consensus round; give contended proposals more room
+    #: than the config service needs before surfacing ProposalFailed.
+    MAX_ATTEMPTS = 40
+
+    def __init__(self, kernel, network, site, name, index, peers):
+        super().__init__(
+            kernel, network, site, name, index, peers, apply_fn=self._apply_cmd
+        )
+        #: key -> (value, last-writer slot), advanced only in slot order.
+        self.kv: Dict[str, Tuple[Any, int]] = {}
+        #: slot -> COMMITTED/ABORTED, the deterministic outcome.
+        self.decided: Dict[int, str] = {}
+        self._txs: Dict[str, ConsusTx] = {}
+        self._waiters: List = []
+
+    # -- state machine -------------------------------------------------
+    def _apply_cmd(self, slot: int, cmd: Any) -> None:
+        if isinstance(cmd, dict) and "reads" in cmd and "writes" in cmd:
+            self.decided[slot] = validate_and_apply(self.kv, slot, cmd)
+        for event in self._waiters:
+            event.trigger_once()
+        self._waiters = []
+
+    def _wait_applied(self, slot: int) -> Generator:
+        while self.applied_upto <= slot:
+            event = self.kernel.event(name="%s.wait:%d" % (self.address, slot))
+            self._waiters.append(event)
+            yield event
+
+    # -- transaction coordinator ---------------------------------------
+    def rpc_tx_begin(self, tid: str):
+        self._txs[tid] = ConsusTx(tid=tid)
+        return "OK"
+
+    def rpc_tx_read(self, tid: str, key: str):
+        tx = self._txs[tid]
+        if key in tx.writes:
+            return tx.writes[key]
+        if key in tx.reads:
+            # Repeatable read: the witness pins (slot, value) at first
+            # observation; validation aborts the tx if the slot moved.
+            return tx.read_values[key]
+        current = self.kv.get(key)
+        if current is None:
+            tx.reads[key] = None
+            tx.read_values[key] = None
+            return None
+        value, writer_slot = current
+        tx.reads[key] = writer_slot
+        tx.read_values[key] = value
+        return value
+
+    def rpc_tx_write(self, tid: str, key: str, value: Any):
+        self._txs[tid].writes[key] = value
+        return "OK"
+
+    def rpc_tx_abort(self, tid: str):
+        tx = self._txs.pop(tid, None)
+        if tx is not None:
+            tx.status = ABORTED
+        return ABORTED
+
+    def rpc_tx_commit(self, tid: str):
+        tx = self._txs.pop(tid)
+        cmd = {"tid": tid, "reads": dict(tx.reads), "writes": dict(tx.writes)}
+        slot = yield from self.propose(cmd)
+        yield from self._wait_applied(slot)
+        status = self.decided.get(slot, ABORTED)
+        tx.status = status
+        return {"status": status, "slot": slot}
+
+
+class ConsusSession(ProtocolSession):
+    def __init__(self, backend: "ConsusProtocol", site: int, name: str):
+        super().__init__(backend, site, name)
+        self._host = Host(backend.kernel, backend.network, site, name)
+        self._host.start()
+        self._server = backend.servers[site].address
+
+    def _call(self, method: str, **args) -> Generator:
+        result = yield from self._host.call(self._server, method, timeout=60.0, **args)
+        return result
+
+    def _do_begin(self, tid: str, record: TxRecord) -> Generator:
+        yield from self._call("tx_begin", tid=tid)
+
+    def _do_read(self, tid: str, key: str) -> Generator:
+        value = yield from self._call("tx_read", tid=tid, key=key)
+        return value
+
+    def _do_write(self, tid: str, key: str, value: Any) -> Generator:
+        yield from self._call("tx_write", tid=tid, key=key, value=value)
+
+    def _do_commit(self, tid: str, record: TxRecord) -> Generator:
+        reply = yield from self._call("tx_commit", tid=tid)
+        if reply["status"] == COMMITTED:
+            record.meta["slot"] = reply["slot"]
+            return COMMITTED
+        return ABORTED
+
+    def _do_abort(self, tid: str, record: TxRecord) -> Generator:
+        yield from self._call("tx_abort", tid=tid)
+
+
+class ConsusProtocol(ProtocolBackend):
+    name = "consus"
+    isolation = STRICT_SERIALIZABILITY
+
+    def _build(self) -> None:
+        names = ["consus-%d" % site for site in range(self.n_sites)]
+        self.servers = [
+            ConsusServer(
+                self.kernel, self.network, site, names[site], index=site, peers=names
+            )
+            for site in range(self.n_sites)
+        ]
+        for server in self.servers:
+            server.start()
+
+    def _make_session(self, site: int, name: str) -> ConsusSession:
+        return ConsusSession(self, site, name)
+
+    def chosen_log(self) -> List[Tuple[int, Any]]:
+        """The union of every replica's chosen commands, slot-ordered.
+        (Replicas converge; the oracle additionally checks prefix
+        agreement.)"""
+        merged: Dict[int, Any] = {}
+        for server in self.servers:
+            for slot in range(server.applied_upto):
+                merged.setdefault(slot, server.log_prefix()[slot])
+        return sorted(merged.items())
+
+    def check(self):
+        from .oracles import check_consus
+
+        return check_consus(self.history, self)
+
+
+__all__ = ["ConsusProtocol", "ConsusServer", "ConsusSession", "ProposalFailed",
+           "validate_and_apply"]

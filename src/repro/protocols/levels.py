@@ -1,0 +1,97 @@
+"""The isolation-level registry: one ordered list of consistency levels.
+
+This is the single source of truth shared by the anomaly table
+(:mod:`repro.spec.anomalies`), the Fig 8 benchmark, the acceptance
+checkers (:mod:`repro.spec.acceptance`), and the protocol registry
+(:mod:`repro.protocols.registry`).  Adding a protocol level here is the
+only way to add a column anywhere -- the table headers, the oracles, and
+the lattice tests all derive from these constants, so they cannot
+desynchronize.
+
+Levels are ordered strongest-first.  ``WEAKER_THAN`` encodes the
+*acceptance lattice*: an edge ``a -> b`` means every history acceptable
+under ``a`` is acceptable under ``b``.  The main chain is
+
+    strict serializability => (strong) SI => PSI => NMSI => eventual
+
+plus ``strict serializability => serializability => eventual``.  Plain
+(timing-blind) serializability and the operational snapshot levels are
+incomparable: serializability permits arbitrarily stale reads (any serial
+order explains them) while the paper's SI/PSI specifications bind
+snapshots to real start events; conversely SI permits write skew, which
+serializability forbids.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+STRICT_SERIALIZABILITY = "strict_serializability"
+SERIALIZABILITY = "serializability"
+SNAPSHOT_ISOLATION = "snapshot_isolation"
+PSI = "psi"
+NMSI = "nmsi"
+EVENTUAL = "eventual"
+
+#: The paper's Fig 8 columns, in printed order (kept for compatibility).
+FIG8_LEVELS: List[str] = [SERIALIZABILITY, SNAPSHOT_ISOLATION, PSI, EVENTUAL]
+
+#: Every level the repo can check, strongest first.
+ALL_LEVELS: List[str] = [
+    STRICT_SERIALIZABILITY,
+    SERIALIZABILITY,
+    SNAPSHOT_ISOLATION,
+    PSI,
+    NMSI,
+    EVENTUAL,
+]
+
+#: Acceptance-lattice edges: ``(stronger, weaker)`` -- any history the
+#: stronger level accepts, the weaker level accepts too.
+WEAKER_THAN: List[Tuple[str, str]] = [
+    (STRICT_SERIALIZABILITY, SERIALIZABILITY),
+    (STRICT_SERIALIZABILITY, SNAPSHOT_ISOLATION),
+    (SERIALIZABILITY, EVENTUAL),
+    (SNAPSHOT_ISOLATION, PSI),
+    (PSI, NMSI),
+    (NMSI, EVENTUAL),
+]
+
+#: The chain the conformance suite checks on real protocol runs.
+LATTICE_CHAIN: List[str] = [
+    STRICT_SERIALIZABILITY,
+    SNAPSHOT_ISOLATION,
+    PSI,
+    NMSI,
+    EVENTUAL,
+]
+
+
+def weaker_levels(level: str) -> List[str]:
+    """Transitive closure of ``WEAKER_THAN`` from ``level`` (exclusive),
+    in ``ALL_LEVELS`` order."""
+    reached = {level}
+    frontier = [level]
+    while frontier:
+        src = frontier.pop()
+        for a, b in WEAKER_THAN:
+            if a == src and b not in reached:
+                reached.add(b)
+                frontier.append(b)
+    reached.discard(level)
+    return [lv for lv in ALL_LEVELS if lv in reached]
+
+
+def level_index(level: str) -> int:
+    return ALL_LEVELS.index(level)
+
+
+#: Human-readable labels for tables.
+LEVEL_LABELS: Dict[str, str] = {
+    STRICT_SERIALIZABILITY: "strict ser.",
+    SERIALIZABILITY: "serializability",
+    SNAPSHOT_ISOLATION: "snapshot isolation",
+    PSI: "PSI",
+    NMSI: "NMSI",
+    EVENTUAL: "eventual",
+}

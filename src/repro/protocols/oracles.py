@@ -1,0 +1,690 @@
+"""Per-protocol oracles over :class:`ProtocolHistory`, plus the
+inclusion-lattice re-checks.
+
+Each oracle verifies a run against the *witness* its protocol recorded
+(:attr:`TxRecord.meta`):
+
+* :func:`check_si` -- primary-copy snapshot isolation: ``(start_ts,
+  commit_ts)`` per transaction; reads must match the newest version at
+  or below ``start_ts``, write-conflicting transactions must not be
+  concurrent, commit timestamps are unique.
+* :func:`check_nmsi` -- non-monotonic snapshot isolation: a version id
+  and dependency vector per committed transaction plus the version each
+  read observed; checks read values, snapshot consistency (no read's
+  dependency closure contains a version of another read key newer than
+  the one observed), and write-conflict freedom (conflicting committed
+  transactions are dependency-ordered).
+* :func:`check_psi_history` -- PSI at the witness level: NMSI's checks
+  strengthened with a single per-transaction snapshot vector
+  (``start_vts``) that every read must be *maximal* in -- the monotonic
+  site-snapshot property that NMSI deliberately drops.  (Walter's own
+  oracle remains :func:`repro.spec.checker.check_trace`; this
+  witness-level variant exists so stronger protocols' histories can be
+  re-checked as PSI.)
+* :func:`check_consus` -- strict serializability: replays the Paxos log
+  deterministically, re-deriving every outcome and read value, checks
+  replica prefix agreement, and enforces the real-time bound (a
+  transaction that committed before another began occupies a smaller
+  slot).
+* :func:`check_eventual` -- the lattice bottom: reads never fabricate
+  values (every non-initial read observed some written value).
+
+:func:`lattice_report` mechanically translates a protocol's witness into
+every weaker level's witness (consensus slots become SI timestamps, SI
+timestamps become a single-site dependency chain, Walter's
+``startVTS``/``Version`` become dependency vectors) and re-runs the
+weaker oracles: a history accepted at a level must be accepted at every
+level below it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..spec.checker import Violation
+from .history import COMMITTED, ProtocolHistory, TxRecord
+from .levels import EVENTUAL, NMSI, PSI, SNAPSHOT_ISOLATION
+
+Ver = Tuple[int, int]
+
+
+def _covers(depvec: Tuple[int, ...], ver: Ver) -> bool:
+    return depvec[ver[0]] >= ver[1]
+
+
+# ----------------------------------------------------------------------
+# Snapshot isolation (single commit order)
+# ----------------------------------------------------------------------
+def check_si(history: ProtocolHistory) -> List[Violation]:
+    violations: List[Violation] = []
+    committed = history.committed()
+    writers: List[TxRecord] = []
+    for tx in committed:
+        if "start_ts" not in tx.meta or tx.meta.get("commit_ts") is None:
+            violations.append(
+                Violation("si-witness", "%s committed without timestamps" % tx.tid)
+            )
+            continue
+        if tx.meta["commit_ts"] < tx.meta["start_ts"]:
+            violations.append(
+                Violation(
+                    "si-witness",
+                    "%s commit_ts %s < start_ts %s"
+                    % (tx.tid, tx.meta["commit_ts"], tx.meta["start_ts"]),
+                )
+            )
+        if tx.write_set():
+            writers.append(tx)
+
+    seen_cts: Dict[int, str] = {}
+    for tx in writers:
+        cts = tx.meta["commit_ts"]
+        if cts in seen_cts:
+            violations.append(
+                Violation(
+                    "si-unique-commit",
+                    "commit_ts %s reused by %s and %s" % (cts, seen_cts[cts], tx.tid),
+                )
+            )
+        seen_cts[cts] = tx.tid
+
+    # key -> [(commit_ts, value, tid)] ascending.
+    versions: Dict[str, List[Tuple[int, Any, str]]] = {}
+    for tx in writers:
+        for key, value in tx.writes().items():
+            versions.setdefault(key, []).append((tx.meta["commit_ts"], value, tx.tid))
+    for chain in versions.values():
+        chain.sort(key=lambda entry: entry[0])
+
+    def snapshot_value(key: str, ts: int) -> Any:
+        value = None
+        for commit_ts, v, _tid in versions.get(key, []):
+            if commit_ts <= ts:
+                value = v
+            else:
+                break
+        return value
+
+    for tx in committed:
+        if "start_ts" not in tx.meta:
+            continue
+        start_ts = tx.meta["start_ts"]
+        buffered: Dict[str, Any] = {}
+        for kind, key, value in tx.ops:
+            if kind == "write":
+                buffered[key] = value
+                continue
+            expected = (
+                buffered[key] if key in buffered else snapshot_value(key, start_ts)
+            )
+            if value != expected:
+                violations.append(
+                    Violation(
+                        "si-snapshot-read",
+                        "%s read %s=%r but snapshot@%s holds %r"
+                        % (tx.tid, key, value, start_ts, expected),
+                    )
+                )
+
+    for i, a in enumerate(writers):
+        for b in writers[i + 1:]:
+            if not (a.write_set() & b.write_set()):
+                continue
+            a_first = a.meta["commit_ts"] <= b.meta["start_ts"]
+            b_first = b.meta["commit_ts"] <= a.meta["start_ts"]
+            if not (a_first or b_first):
+                violations.append(
+                    Violation(
+                        "si-write-conflict",
+                        "%s and %s are concurrent and both wrote %s"
+                        % (a.tid, b.tid, sorted(a.write_set() & b.write_set())),
+                    )
+                )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# NMSI (dependency vectors)
+# ----------------------------------------------------------------------
+def _nmsi_version_table(
+    history: ProtocolHistory, violations: List[Violation]
+) -> Dict[Ver, TxRecord]:
+    table: Dict[Ver, TxRecord] = {}
+    for tx in history.committed():
+        if not tx.write_set():
+            continue
+        ver = tx.meta.get("ver")
+        if ver is None or tx.meta.get("depvec") is None:
+            violations.append(
+                Violation("nmsi-witness", "%s committed writes without ver/depvec" % tx.tid)
+            )
+            continue
+        ver = tuple(ver)
+        if ver in table:
+            violations.append(
+                Violation(
+                    "nmsi-witness",
+                    "version %r assigned to %s and %s" % (ver, table[ver].tid, tx.tid),
+                )
+            )
+        table[ver] = tx
+    return table
+
+
+def check_nmsi(history: ProtocolHistory) -> List[Violation]:
+    violations: List[Violation] = []
+    table = _nmsi_version_table(history, violations)
+
+    def newer_than(w: TxRecord, u: Optional[Ver]) -> bool:
+        # Per-key versions form a dependency chain; w is newer than the
+        # version u the transaction read iff u is in w's dependencies
+        # (or the transaction read the initial state).
+        if u is None:
+            return True
+        w_ver = tuple(w.meta["ver"])
+        return w_ver != u and _covers(tuple(w.meta["depvec"]), u)
+
+    for tx in history.committed():
+        read_vers = tx.meta.get("read_vers")
+        if read_vers is None:
+            if tx.reads():
+                violations.append(
+                    Violation("nmsi-witness", "%s committed reads without read_vers" % tx.tid)
+                )
+            continue
+        depvec = tuple(tx.meta["depvec"]) if tx.meta.get("depvec") is not None else None
+
+        # Read values match the witnessed versions (own buffered writes win).
+        buffered: Dict[str, Any] = {}
+        for kind, key, value in tx.ops:
+            if kind == "write":
+                buffered[key] = value
+                continue
+            if key in buffered:
+                expected = buffered[key]
+            else:
+                if key not in read_vers:
+                    violations.append(
+                        Violation(
+                            "nmsi-witness", "%s read %s with no witnessed version" % (tx.tid, key)
+                        )
+                    )
+                    continue
+                ver = read_vers[key]
+                if ver is None:
+                    expected = None
+                else:
+                    writer = table.get(tuple(ver))
+                    if writer is None:
+                        violations.append(
+                            Violation(
+                                "nmsi-read-version",
+                                "%s read %s at unknown version %r" % (tx.tid, key, ver),
+                            )
+                        )
+                        continue
+                    expected = writer.writes().get(key, _MISSING)
+                    if expected is _MISSING:
+                        violations.append(
+                            Violation(
+                                "nmsi-read-version",
+                                "%s read %s at version %r which did not write it"
+                                % (tx.tid, key, ver),
+                            )
+                        )
+                        continue
+                if depvec is not None and ver is not None and not _covers(depvec, tuple(ver)):
+                    violations.append(
+                        Violation(
+                            "nmsi-read-forward",
+                            "%s read %s at %r outside its dependency vector"
+                            % (tx.tid, key, ver),
+                        )
+                    )
+            if value != expected:
+                violations.append(
+                    Violation(
+                        "nmsi-read-value",
+                        "%s read %s=%r but witnessed version holds %r"
+                        % (tx.tid, key, value, expected),
+                    )
+                )
+
+        # Snapshot consistency: no read's dependency closure contains a
+        # version of another read key newer than the one observed.
+        items = list(read_vers.items())
+        for key, u in items:
+            u = tuple(u) if u is not None else None
+            for other_key, u_prime in items:
+                if other_key == key or u_prime is None:
+                    continue
+                u_prime = tuple(u_prime)
+                anchor = table.get(u_prime)
+                if anchor is None:
+                    continue
+                closure = tuple(anchor.meta["depvec"])
+                for w_ver, w_tx in table.items():
+                    if key not in w_tx.write_set():
+                        continue
+                    in_closure = w_ver == u_prime or _covers(closure, w_ver)
+                    if in_closure and w_ver != u and newer_than(w_tx, u):
+                        violations.append(
+                            Violation(
+                                "nmsi-snapshot-consistency",
+                                "%s read %s at %r but its read of %s at %r depends on "
+                                "newer version %r"
+                                % (tx.tid, key, u, other_key, u_prime, w_ver),
+                            )
+                        )
+
+    # Write-conflict freedom: conflicting committed transactions are
+    # dependency-ordered.
+    writers = list(table.values())
+    for i, a in enumerate(writers):
+        for b in writers[i + 1:]:
+            overlap = a.write_set() & b.write_set()
+            if not overlap:
+                continue
+            a_dep_b = _covers(tuple(b.meta["depvec"]), tuple(a.meta["ver"]))
+            b_dep_a = _covers(tuple(a.meta["depvec"]), tuple(b.meta["ver"]))
+            if not (a_dep_b or b_dep_a):
+                violations.append(
+                    Violation(
+                        "nmsi-write-conflict",
+                        "%s and %s are dependency-concurrent and both wrote %s"
+                        % (a.tid, b.tid, sorted(overlap)),
+                    )
+                )
+    return violations
+
+
+class _Missing:
+    __slots__ = ()
+
+
+_MISSING = _Missing()
+
+
+# ----------------------------------------------------------------------
+# PSI at the witness level (NMSI + monotonic snapshot vector)
+# ----------------------------------------------------------------------
+def check_psi_history(history: ProtocolHistory) -> List[Violation]:
+    violations = check_nmsi(history)
+    table = _nmsi_version_table(history, [])
+
+    def chain_max(key: str, vts: Tuple[int, ...]) -> Optional[Ver]:
+        best: Optional[Ver] = None
+        for ver, tx in table.items():
+            if key not in tx.write_set() or not _covers(vts, ver):
+                continue
+            if best is None or _covers(tuple(tx.meta["depvec"]), best):
+                best = ver
+        return best
+
+    for tx in history.committed():
+        read_vers = tx.meta.get("read_vers")
+        start_vts = tx.meta.get("start_vts")
+        if read_vers is None:
+            continue
+        if start_vts is None:
+            if read_vers:
+                violations.append(
+                    Violation("psi-witness", "%s committed reads without start_vts" % tx.tid)
+                )
+            continue
+        start_vts = tuple(start_vts)
+        for key, ver in read_vers.items():
+            ver = tuple(ver) if ver is not None else None
+            expected = chain_max(key, start_vts)
+            if ver != expected:
+                violations.append(
+                    Violation(
+                        "psi-monotonic-snapshot",
+                        "%s read %s at %r but its snapshot %r holds %r"
+                        % (tx.tid, key, ver, start_vts, expected),
+                    )
+                )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Strict serializability (Consus)
+# ----------------------------------------------------------------------
+def check_consus(history: ProtocolHistory, backend) -> List[Violation]:
+    from .consus import validate_and_apply
+
+    violations: List[Violation] = []
+
+    log = backend.chosen_log()
+    merged = {slot: cmd for slot, cmd in log}
+    for server in backend.servers:
+        prefix = server.log_prefix()
+        for slot, cmd in enumerate(prefix):
+            if merged.get(slot) != cmd:
+                violations.append(
+                    Violation(
+                        "consus-replica-agreement",
+                        "%s applied %r at slot %d but the merged log holds %r"
+                        % (server.address, cmd, slot, merged.get(slot)),
+                    )
+                )
+
+    # Deterministic replay of the merged log.
+    kv: Dict[str, Tuple[Any, int]] = {}
+    outcomes: Dict[int, str] = {}
+    pre_values: Dict[int, Dict[str, Any]] = {}
+    tid_slot: Dict[str, int] = {}
+    for slot, cmd in log:
+        if not (isinstance(cmd, dict) and "reads" in cmd and "writes" in cmd):
+            continue
+        read_keys = set(cmd["reads"]) | set(cmd["writes"])
+        pre_values[slot] = {
+            key: (kv[key][0] if key in kv else None) for key in read_keys
+        }
+        outcomes[slot] = validate_and_apply(kv, slot, cmd)
+        tid_slot.setdefault(cmd["tid"], slot)
+
+    for tx in history.committed():
+        slot = tx.meta.get("slot")
+        if slot is None:
+            violations.append(
+                Violation("consus-witness", "%s committed without a slot" % tx.tid)
+            )
+            continue
+        cmd = merged.get(slot)
+        if not isinstance(cmd, dict) or cmd.get("tid") != tx.tid:
+            violations.append(
+                Violation(
+                    "consus-witness",
+                    "%s claims slot %d but the log holds %r" % (tx.tid, slot, cmd),
+                )
+            )
+            continue
+        if outcomes.get(slot) != COMMITTED:
+            violations.append(
+                Violation(
+                    "consus-outcome",
+                    "%s reported COMMITTED but replay decides %s at slot %d"
+                    % (tx.tid, outcomes.get(slot), slot),
+                )
+            )
+            continue
+        buffered: Dict[str, Any] = {}
+        for kind, key, value in tx.ops:
+            if kind == "write":
+                buffered[key] = value
+                continue
+            expected = buffered[key] if key in buffered else pre_values[slot].get(key)
+            if value != expected:
+                violations.append(
+                    Violation(
+                        "consus-read-value",
+                        "%s read %s=%r but the serial state at slot %d holds %r"
+                        % (tx.tid, key, value, slot, expected),
+                    )
+                )
+
+    # A transaction the client saw ABORT must not have committed in the log.
+    for tx in history.finished():
+        if tx.status != "ABORTED":
+            continue
+        slot = tid_slot.get(tx.tid)
+        if slot is not None and outcomes.get(slot) == COMMITTED and tx.write_set():
+            violations.append(
+                Violation(
+                    "consus-outcome",
+                    "%s reported ABORTED but replay commits it at slot %d"
+                    % (tx.tid, slot),
+                )
+            )
+
+    # Real-time bound: commit before begin => smaller slot.
+    committed = [t for t in history.committed() if t.meta.get("slot") is not None]
+    for a in committed:
+        for b in committed:
+            if a is b or a.end_time is None:
+                continue
+            if a.end_time < b.begin_time and a.meta["slot"] > b.meta["slot"]:
+                violations.append(
+                    Violation(
+                        "consus-real-time",
+                        "%s finished before %s began but serializes after it "
+                        "(slots %d > %d)"
+                        % (a.tid, b.tid, a.meta["slot"], b.meta["slot"]),
+                    )
+                )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Eventual (lattice bottom): reads never fabricate values
+# ----------------------------------------------------------------------
+def check_eventual(history: ProtocolHistory) -> List[Violation]:
+    violations: List[Violation] = []
+    written: Dict[str, set] = {}
+    for tx in history.transactions:
+        for key, value in tx.writes().items():
+            written.setdefault(key, set()).add(_freeze(value))
+    for tx in history.committed():
+        for key, value in tx.reads():
+            if value is None:
+                continue
+            if _freeze(value) not in written.get(key, set()):
+                violations.append(
+                    Violation(
+                        "eventual-no-fabrication",
+                        "%s read %s=%r which nobody wrote" % (tx.tid, key, value),
+                    )
+                )
+    return violations
+
+
+def _freeze(value: Any):
+    if isinstance(value, dict):
+        return tuple(sorted(value.items()))
+    if isinstance(value, list):
+        return tuple(value)
+    return value
+
+
+# ----------------------------------------------------------------------
+# Lattice derivations: translate a stronger witness into a weaker one
+# ----------------------------------------------------------------------
+def _clone_with_meta(
+    history: ProtocolHistory, meta_of
+) -> ProtocolHistory:
+    derived = ProtocolHistory(protocol=history.protocol, n_sites=history.n_sites)
+    for tx in history.transactions:
+        clone = TxRecord(
+            tid=tx.tid,
+            site=tx.site,
+            begin_time=tx.begin_time,
+            ops=tx.ops,
+            end_time=tx.end_time,
+            status=tx.status,
+            meta=meta_of(tx) if tx.committed else dict(tx.meta),
+        )
+        derived.transactions.append(clone)
+    return derived
+
+
+def derive_si_from_slots(history: ProtocolHistory) -> ProtocolHistory:
+    """Consensus slots -> SI timestamps: a transaction serialized at slot
+    ``s`` starts at ``2s+1`` and commits at ``2s+2``, so its snapshot
+    contains exactly the writers of smaller slots."""
+
+    def meta_of(tx: TxRecord) -> dict:
+        slot = tx.meta.get("slot")
+        if slot is None:
+            return dict(tx.meta)
+        return {"start_ts": 2 * slot + 1, "commit_ts": 2 * slot + 2}
+
+    return _clone_with_meta(history, meta_of)
+
+
+def derive_nmsi_from_si(history: ProtocolHistory) -> ProtocolHistory:
+    """SI timestamps -> a single-site dependency chain: the i-th writer
+    in commit order becomes version ``(0, i)`` depending on every earlier
+    version; a reader's vector covers exactly its snapshot prefix."""
+    n = history.n_sites
+    writers = sorted(
+        (tx for tx in history.committed() if tx.write_set() and "commit_ts" in tx.meta),
+        key=lambda tx: tx.meta["commit_ts"],
+    )
+    rank_of: Dict[str, int] = {tx.tid: i + 1 for i, tx in enumerate(writers)}
+    commit_ts_of_rank = [tx.meta["commit_ts"] for tx in writers]
+
+    def vec(rank: int) -> Tuple[int, ...]:
+        return tuple([rank] + [0] * (n - 1))
+
+    def prefix_rank(ts: int) -> int:
+        rank = 0
+        for i, cts in enumerate(commit_ts_of_rank):
+            if cts <= ts:
+                rank = i + 1
+            else:
+                break
+        return rank
+
+    # key -> [(commit_ts, rank)] ascending, for read-version lookup.
+    chains: Dict[str, List[Tuple[int, int]]] = {}
+    for tx in writers:
+        for key in tx.write_set():
+            chains.setdefault(key, []).append(
+                (tx.meta["commit_ts"], rank_of[tx.tid])
+            )
+
+    def meta_of(tx: TxRecord) -> dict:
+        if "start_ts" not in tx.meta:
+            return dict(tx.meta)
+        start_ts = tx.meta["start_ts"]
+        snap = prefix_rank(start_ts)
+        read_vers: Dict[str, Optional[Ver]] = {}
+        buffered = set()
+        for kind, key, _value in tx.ops:
+            if kind == "write":
+                buffered.add(key)
+                continue
+            if key in buffered or key in read_vers:
+                continue
+            ver: Optional[Ver] = None
+            for cts, rank in chains.get(key, []):
+                if cts <= start_ts:
+                    ver = (0, rank)
+                else:
+                    break
+            read_vers[key] = ver
+        rank = rank_of.get(tx.tid)
+        meta: Dict[str, Any] = {
+            "depvec": vec(max(snap, (rank - 1) if rank else 0)),
+            "read_vers": read_vers,
+            "start_vts": vec(snap),
+            "ver": (0, rank) if rank is not None else None,
+        }
+        return meta
+
+    return _clone_with_meta(history, meta_of)
+
+
+def derive_nmsi_from_walter(backend) -> ProtocolHistory:
+    """Walter's trace witness -> NMSI: the commit ``Version`` becomes the
+    version id, ``startVTS`` the dependency vector, and each read's
+    observed version is the newest version of the key visible to the
+    snapshot (Walter's site-snapshot-read property)."""
+    history = backend.history
+    table: Dict[str, Tuple[Ver, Tuple[int, ...]]] = {}
+    for tx in history.committed():
+        version = tx.meta.get("version")
+        start_vts = tx.meta.get("start_vts")
+        if version is not None and tx.write_set():
+            table[tx.tid] = ((version.site, version.seqno), tuple(start_vts))
+
+    # key -> [(ver, depvec)] for committed writers of that key.
+    chains: Dict[str, List[Tuple[Ver, Tuple[int, ...]]]] = {}
+    for tx in history.committed():
+        if tx.tid not in table:
+            continue
+        ver, depvec = table[tx.tid]
+        for key in tx.write_set():
+            chains.setdefault(key, []).append((ver, depvec))
+
+    def newest_visible(key: str, vts: Tuple[int, ...]) -> Optional[Ver]:
+        best: Optional[Tuple[Ver, Tuple[int, ...]]] = None
+        for ver, depvec in chains.get(key, []):
+            if not _covers(vts, ver):
+                continue
+            if best is None or _covers(depvec, best[0]):
+                best = (ver, depvec)
+        return best[0] if best is not None else None
+
+    # Read-only committed transactions have no TracedTx entry (the trace
+    # records update transactions); recover their snapshot from the read
+    # trace, which stamps every observation with the reader's startVTS.
+    read_vts: Dict[str, Tuple[int, ...]] = {}
+    for read in backend.world.trace.reads:
+        read_vts.setdefault(read.tid, tuple(read.start_vts))
+
+    def meta_of(tx: TxRecord) -> dict:
+        start_vts = tx.meta.get("start_vts")
+        if start_vts is None and tx.tid in read_vts:
+            start_vts = read_vts[tx.tid]
+        if start_vts is None:
+            return dict(tx.meta)
+        vts = tuple(start_vts)
+        entry = table.get(tx.tid)
+        read_vers: Dict[str, Optional[Ver]] = {}
+        buffered = set()
+        for kind, key, _value in tx.ops:
+            if kind == "write":
+                buffered.add(key)
+            elif key not in buffered and key not in read_vers:
+                read_vers[key] = newest_visible(key, vts)
+        depvec = vts
+        if entry is not None:
+            # The commit version extends the snapshot chain: fold the
+            # origin-site seqno in so conflicting successors see it.
+            ver = entry[0]
+            depvec = tuple(
+                max(v, ver[1] - 1) if i == ver[0] else v for i, v in enumerate(vts)
+            )
+        return {
+            "ver": entry[0] if entry is not None else None,
+            "depvec": depvec,
+            "read_vers": read_vers,
+        }
+
+    return _clone_with_meta(history, meta_of)
+
+
+def lattice_report(backend) -> Dict[str, List[Violation]]:
+    """Re-check a protocol's history at every weaker level of the
+    inclusion lattice, deriving each weaker witness mechanically."""
+    history = backend.history
+    report: Dict[str, List[Violation]] = {}
+    if backend.name == "consus":
+        as_si = derive_si_from_slots(history)
+        report[SNAPSHOT_ISOLATION] = check_si(as_si)
+        as_nmsi = derive_nmsi_from_si(as_si)
+        report[PSI] = check_psi_history(as_nmsi)
+        report[NMSI] = check_nmsi(as_nmsi)
+    elif backend.name == "si":
+        as_nmsi = derive_nmsi_from_si(history)
+        report[PSI] = check_psi_history(as_nmsi)
+        report[NMSI] = check_nmsi(as_nmsi)
+    elif backend.name == "walter":
+        report[NMSI] = check_nmsi(derive_nmsi_from_walter(backend))
+    report[EVENTUAL] = check_eventual(history)
+    return report
+
+
+__all__ = [
+    "check_consus",
+    "check_eventual",
+    "check_nmsi",
+    "check_psi_history",
+    "check_si",
+    "derive_nmsi_from_si",
+    "derive_nmsi_from_walter",
+    "derive_si_from_slots",
+    "lattice_report",
+]

@@ -1,0 +1,39 @@
+"""The protocol registry: one name per backend, one place to look.
+
+``PROTOCOLS`` maps registry names to backend classes; the conformance
+suite, the chaos harness (``python -m repro.chaos --protocol ...``), and
+``benchmarks/bench_protocol_zoo.py`` all parametrize over it, so adding
+a protocol here enrolls it everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from .base import ProtocolBackend
+from .consus import ConsusProtocol
+from .nmsi import NMSIProtocol
+from .si import SIProtocol
+from .walter import WalterProtocol
+
+PROTOCOLS: Dict[str, Type[ProtocolBackend]] = {
+    cls.name: cls
+    for cls in (WalterProtocol, SIProtocol, NMSIProtocol, ConsusProtocol)
+}
+
+#: Strongest-first listing order used by reports and benchmarks.
+PROTOCOL_NAMES: List[str] = ["consus", "si", "walter", "nmsi"]
+
+
+def get_protocol(name: str) -> Type[ProtocolBackend]:
+    try:
+        return PROTOCOLS[name]
+    except KeyError:
+        raise KeyError(
+            "unknown protocol %r (have: %s)" % (name, ", ".join(sorted(PROTOCOLS)))
+        )
+
+
+def build(name: str, **kwargs) -> ProtocolBackend:
+    """Instantiate a registered backend."""
+    return get_protocol(name)(**kwargs)

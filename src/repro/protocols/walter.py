@@ -1,0 +1,112 @@
+"""Walter (PSI) plugged into the protocol-zoo interface.
+
+Wraps a full traced :class:`~repro.deployment.Deployment`: one container
+per site, keys placed on their :func:`~repro.protocols.base.key_site`
+home container, sessions backed by real :class:`WalterClient` instances.
+The oracle is the existing PSI trace checker
+(:func:`repro.spec.checker.check_trace`) -- the protocol layer adds the
+black-box :class:`ProtocolHistory` on top so Walter runs feed the same
+conformance suite and lattice derivations as every other protocol.
+
+Witness recorded per committed transaction: its commit ``Version`` and
+``startVTS`` (from the execution trace), which the lattice check
+translates into an NMSI dependency vector.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional
+
+from ..core.objects import ObjectId
+from ..deployment import Deployment
+from ..net import Topology
+from .base import ProtocolBackend, ProtocolSession, key_site
+from .history import ABORTED, COMMITTED, TxRecord
+from .levels import PSI
+
+
+class WalterSession(ProtocolSession):
+    def __init__(self, backend: "WalterProtocol", site: int, name: str):
+        super().__init__(backend, site, name)
+        self._client = backend.world.new_client(site, name=name)
+        self._handles: Dict[str, Any] = {}
+
+    def _do_begin(self, tid_ignored: str, record: TxRecord) -> Generator:
+        handle = self._client.start_tx()
+        # Use Walter's own tid so the ProtocolHistory rows join directly
+        # with the execution trace rows.
+        record.tid = handle.tid
+        self._records[handle.tid] = record
+        self._handles[handle.tid] = handle
+        return
+        yield  # pragma: no cover
+
+    def begin(self) -> Generator:
+        # Override: the Walter tid is minted by the client library, not
+        # by the session counter.
+        record = self.backend.history.begin(
+            "walter-pending", self.site, self.backend.kernel.now
+        )
+        yield from self._do_begin(record.tid, record)
+        return record.tid
+
+    def _do_read(self, tid: str, key: str) -> Generator:
+        value = yield from self._client.read(self._handles[tid], self.backend.oid(key))
+        return value
+
+    def _do_write(self, tid: str, key: str, value: Any) -> Generator:
+        yield from self._client.write(self._handles[tid], self.backend.oid(key), value)
+
+    def _do_commit(self, tid: str, record: TxRecord) -> Generator:
+        status = yield from self._client.commit(self._handles[tid])
+        if status == COMMITTED:
+            traced = self.backend.world.trace.transactions.get(tid)
+            if traced is not None:
+                record.meta["version"] = traced.version
+                record.meta["start_vts"] = traced.start_vts
+        return COMMITTED if status == COMMITTED else ABORTED
+
+    def _do_abort(self, tid: str, record: TxRecord) -> Generator:
+        yield from self._client.abort(self._handles[tid])
+
+
+class WalterProtocol(ProtocolBackend):
+    name = "walter"
+    isolation = PSI
+
+    def _build_substrate(self, topology: Optional[Topology], jitter_frac: float) -> None:
+        self.world = Deployment(
+            n_sites=self.n_sites,
+            topology=topology,
+            seed=self.seed,
+            flush_latency=self.flush_latency,
+            trace=True,
+            jitter_frac=jitter_frac,
+        )
+        self.kernel = self.world.kernel
+        self.network = self.world.network
+        self.topology = self.world.topology
+        self.streams = self.world.streams
+
+    def _build(self) -> None:
+        self._containers = [
+            self.world.create_container("zoo-c%d" % site, preferred_site=site)
+            for site in range(self.n_sites)
+        ]
+        self._oids: Dict[str, ObjectId] = {}
+
+    def oid(self, key: str) -> ObjectId:
+        oid = self._oids.get(key)
+        if oid is None:
+            container = self._containers[key_site(key, self.n_sites)]
+            oid = container.new_id(local="k:%s" % key)
+            self._oids[key] = oid
+        return oid
+
+    def _make_session(self, site: int, name: str) -> WalterSession:
+        return WalterSession(self, site, name)
+
+    def check(self) -> List:
+        from ..spec.checker import check_trace
+
+        return check_trace(self.world.trace, abandoned=self.world.abandoned_versions)

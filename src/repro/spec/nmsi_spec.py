@@ -1,0 +1,239 @@
+"""Executable specification of Non-Monotonic Snapshot Isolation.
+
+NMSI (Ardekani, Sutra, Shapiro: "Non-Monotonic Snapshot Isolation")
+keeps two of PSI's guarantees -- write-conflict freedom (no lost
+updates) and consistent snapshots -- but drops snapshot *monotonicity*:
+a transaction's snapshot is any dependency-closed, per-key-consistent
+set of committed transactions, not a prefix of some site's commit order.
+Two transactions, even consecutive ones of the same client, may observe
+incomparable snapshots.
+
+This centralized engine mirrors :mod:`repro.spec.si_spec` /
+:mod:`repro.spec.psi_spec` in style: operations execute one at a time
+against a single committed-transaction log.  Where SI's read is
+deterministic (snapshot = timestamp prefix), NMSI's read carries the
+spec's essential non-determinism explicitly: ``read(tx, oid, at=...)``
+lets the caller pick *which* committed version to observe (default: the
+newest consistent one), and the engine validates the choice:
+
+* dependency floor: if the transaction's dependency closure already
+  contains a writer of ``oid``, it cannot observe anything older;
+* snapshot consistency: the chosen version's dependency closure must not
+  contain a writer of an already-read object newer than the version the
+  transaction observed.
+
+Commit enforces write-conflict freedom against the committed state: a
+read-modify-write must have observed the newest committed version of
+every object it writes (else: lost update, abort); a blind write adopts
+the overwritten version into its dependencies, keeping each object's
+committed versions totally ordered by dependency.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Set
+
+from ..core.objects import ObjectId
+from ..core.updates import DataUpdate, Update, last_data, write_set
+from ..errors import TransactionStateError
+
+COMMITTED = "COMMITTED"
+ABORTED = "ABORTED"
+
+
+class _At:
+    """Sentinel for the ``at=`` argument of :meth:`read`."""
+
+    __slots__ = ("_label",)
+
+    def __init__(self, label):
+        self._label = label
+
+    def __repr__(self):
+        return "<%s>" % self._label
+
+
+#: Default for ``read(..., at=NEWEST)``: the newest consistent version.
+NEWEST = _At("newest")
+
+#: Pass ``at=INITIAL`` to read the initial (pre-history) state.
+INITIAL = _At("initial")
+
+
+@dataclass
+class NMSICommit:
+    """A committed transaction: its writes plus dependency closure."""
+
+    tid: str
+    updates: List[Update]
+    #: Transitive dependency closure (committed tids), not including self.
+    deps: FrozenSet[str]
+
+    @property
+    def write_set(self):
+        return write_set(self.updates)
+
+
+@dataclass
+class NMSISpecTx:
+    tid: str
+    updates: List[Update] = field(default_factory=list)
+    status: str = "ACTIVE"
+    #: Dependency closure accumulated from reads (committed tids).
+    deps: Set[str] = field(default_factory=set)
+    #: oid -> tid of the version observed (None = initial state).
+    read_vers: Dict[ObjectId, Optional[str]] = field(default_factory=dict)
+
+    @property
+    def write_set(self):
+        return write_set(self.updates)
+
+
+class NonMonotonicSnapshotIsolation:
+    """The NMSI specification, executed literally."""
+
+    def __init__(self):
+        self.commits: List[NMSICommit] = []
+        self.by_tid: Dict[str, NMSICommit] = {}
+        self.transactions: List[NMSISpecTx] = []
+        self._tids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def start_tx(self) -> NMSISpecTx:
+        tx = NMSISpecTx(tid="nmsi-%d" % next(self._tids))
+        self.transactions.append(tx)
+        return tx
+
+    def write(self, tx: NMSISpecTx, oid: ObjectId, data: Any) -> None:
+        self._require_active(tx)
+        tx.updates.append(DataUpdate(oid, data))
+
+    def read(self, tx: NMSISpecTx, oid: ObjectId, at=NEWEST) -> Any:
+        """Observe ``oid``.  ``at`` picks the version: ``NEWEST``
+        (default) takes the newest consistent committed version,
+        ``INITIAL`` the pre-history state, a committed tid that exact
+        version.  Raises :class:`TransactionStateError` if the choice
+        would not extend ``tx``'s snapshot consistently."""
+        self._require_active(tx)
+        found, data = last_data(tx.updates, oid)
+        if found:
+            return data
+        if oid in tx.read_vers:
+            chosen = tx.read_vers[oid]
+            return None if chosen is None else self._value_of(chosen, oid)
+        chain = self._writers_of(oid)
+        floor = self._floor(tx, chain)
+        if at is NEWEST:
+            for rec in reversed(chain if floor is None else chain[chain.index(floor):]):
+                if self._consistent(tx, rec):
+                    return self._observe(tx, oid, rec)
+            if floor is not None:
+                raise TransactionStateError(
+                    "%s has no consistent snapshot extension for %s" % (tx.tid, oid)
+                )
+            return self._observe(tx, oid, None)
+        if at is INITIAL:
+            if floor is not None:
+                raise TransactionStateError(
+                    "%s already depends on %s's write of %s; cannot read the "
+                    "initial state" % (tx.tid, floor.tid, oid)
+                )
+            return self._observe(tx, oid, None)
+        rec = self.by_tid.get(at)
+        if rec is None or oid not in rec.write_set:
+            raise TransactionStateError("%r is not a committed writer of %s" % (at, oid))
+        if floor is not None and chain.index(rec) < chain.index(floor):
+            raise TransactionStateError(
+                "%s already depends on the newer version %s of %s"
+                % (tx.tid, floor.tid, oid)
+            )
+        if not self._consistent(tx, rec):
+            raise TransactionStateError(
+                "reading %s of %s would make %s's snapshot inconsistent"
+                % (rec.tid, oid, tx.tid)
+            )
+        return self._observe(tx, oid, rec)
+
+    def commit_tx(self, tx: NMSISpecTx) -> str:
+        self._require_active(tx)
+        for oid in tx.write_set:
+            chain = self._writers_of(oid)
+            latest = chain[-1] if chain else None
+            if oid in tx.read_vers:
+                # Read-modify-write: must have observed the newest version.
+                if (latest.tid if latest else None) != tx.read_vers[oid]:
+                    tx.status = ABORTED
+                    return tx.status
+            elif latest is not None:
+                # Blind write: depend on the overwritten version, keeping
+                # the object's versions dependency-ordered.
+                tx.deps |= latest.deps | {latest.tid}
+        tx.status = COMMITTED
+        rec = NMSICommit(tid=tx.tid, updates=list(tx.updates), deps=frozenset(tx.deps))
+        self.commits.append(rec)
+        self.by_tid[tx.tid] = rec
+        return tx.status
+
+    def abort_tx(self, tx: NMSISpecTx) -> str:
+        self._require_active(tx)
+        tx.status = ABORTED
+        return tx.status
+
+    # ------------------------------------------------------------------
+    # Snapshot machinery
+    # ------------------------------------------------------------------
+    def _writers_of(self, oid: ObjectId) -> List[NMSICommit]:
+        """Committed writers of ``oid`` in commit order (== dependency
+        order, by write-conflict freedom)."""
+        return [rec for rec in self.commits if oid in rec.write_set]
+
+    def _floor(self, tx: NMSISpecTx, chain: List[NMSICommit]) -> Optional[NMSICommit]:
+        """The newest writer already inside ``tx``'s dependency closure."""
+        for rec in reversed(chain):
+            if rec.tid in tx.deps:
+                return rec
+        return None
+
+    def _consistent(self, tx: NMSISpecTx, candidate: NMSICommit) -> bool:
+        closure = candidate.deps | {candidate.tid}
+        for prev_oid, read_tid in tx.read_vers.items():
+            chain = self._writers_of(prev_oid)
+            newer = chain if read_tid is None else chain[
+                [r.tid for r in chain].index(read_tid) + 1:
+            ]
+            if any(rec.tid in closure for rec in newer):
+                return False
+        return True
+
+    def _observe(self, tx: NMSISpecTx, oid: ObjectId, rec: Optional[NMSICommit]) -> Any:
+        if rec is None:
+            tx.read_vers[oid] = None
+            return None
+        tx.deps |= rec.deps | {rec.tid}
+        tx.read_vers[oid] = rec.tid
+        return self._value_of(rec.tid, oid)
+
+    def _value_of(self, tid: str, oid: ObjectId) -> Any:
+        found, data = last_data(self.by_tid[tid].updates, oid)
+        if not found:
+            raise KeyError((tid, oid))
+        return data
+
+    @staticmethod
+    def _require_active(tx: NMSISpecTx) -> None:
+        if tx.status != "ACTIVE":
+            raise TransactionStateError("spec transaction %s is %s" % (tx.tid, tx.status))
+
+    # ------------------------------------------------------------------
+    # Observer helpers
+    # ------------------------------------------------------------------
+    def committed_value(self, oid: ObjectId) -> Any:
+        chain = self._writers_of(oid)
+        if not chain:
+            return None
+        found, data = last_data(chain[-1].updates, oid)
+        return data if found else None

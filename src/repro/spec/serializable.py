@@ -62,3 +62,28 @@ def is_serializable(
         replay_serial(list(order), initial)
         for order in itertools.permutations(observed)
     )
+
+
+def is_strictly_serializable(
+    observed: List[ObservedTx],
+    initial: Dict[ObjectId, Any],
+    precedes: List[Tuple[str, str]],
+) -> bool:
+    """True iff some serial order that *respects real-time order*
+    explains every read.
+
+    ``precedes`` lists the real-time edges ``(a, b)``: transaction ``a``
+    finished (its commit returned) before ``b`` started, so any
+    admissible serial order must place ``a`` before ``b``.  With an
+    empty ``precedes`` this degenerates to plain serializability; with
+    the full real-time order it is the linearizability-style strict
+    variant the Consus-flavored protocol must satisfy.
+    """
+    edges = [(a, b) for a, b in precedes]
+    for order in itertools.permutations(observed):
+        position = {tx.tid: i for i, tx in enumerate(order)}
+        if any(position[a] > position[b] for a, b in edges if a in position and b in position):
+            continue
+        if replay_serial(list(order), initial):
+            return True
+    return False

@@ -1,0 +1,75 @@
+"""Shared drivers for the protocol-zoo conformance suite.
+
+``drive_workload`` pushes the *identical* seeded workload through any
+backend: same keys, same per-session op sequence, same think times.
+Sessions that sit at non-writable sites (the SI baseline's replicas)
+run the read-only variant of each transaction, so every protocol sees
+the same access pattern modulo its own write-placement rules.
+"""
+
+import random
+
+import pytest
+
+from repro.protocols.registry import PROTOCOL_NAMES, build
+
+WORKLOAD_KEYS = ["zk%d" % i for i in range(5)]
+
+
+def drive_workload(
+    backend,
+    sessions_per_site: int = 2,
+    txs_per_session: int = 6,
+    seed: int = 42,
+    horizon: float = 90.0,
+    settle: float = 30.0,
+):
+    """Run the standard seeded mixed read/write workload to completion;
+    returns the list of per-client error strings (chaosless runs should
+    produce none, but protocol aborts surface as statuses, not errors)."""
+    errors = []
+
+    def client(session, rng):
+        can_write = session.site in backend.writable_sites
+        for i in range(txs_per_session):
+            yield backend.kernel.timeout(rng.uniform(0.01, 0.3))
+            try:
+                tid = yield from session.begin()
+                k1 = rng.choice(WORKLOAD_KEYS)
+                k2 = rng.choice(WORKLOAD_KEYS)
+                value = yield from session.read(tid, k1)
+                if can_write and rng.random() < 0.75:
+                    yield from session.write(
+                        tid, k2, "%s:%d:%s" % (session.name, i, value)
+                    )
+                else:
+                    yield from session.read(tid, k2)
+                yield from session.commit(tid)
+            except Exception as exc:  # noqa: BLE001 - aborts are outcomes
+                errors.append("%s tx%d: %r" % (session.name, i, exc))
+
+    rng = random.Random("zoo-conformance:%d" % seed)
+    procs = []
+    for site in range(backend.n_sites):
+        for _ in range(sessions_per_site):
+            session = backend.session(site)
+            crng = random.Random(rng.random())
+            procs.append(
+                backend.kernel.spawn(
+                    client(session, crng), name="conf:%s" % session.name
+                )
+            )
+    backend.kernel.run(until=horizon, stop_when=lambda: all(p.done for p in procs))
+    assert all(p.done for p in procs), "workload did not drain by t=%s" % horizon
+    backend.settle(settle)
+    return errors
+
+
+@pytest.fixture(params=PROTOCOL_NAMES)
+def protocol_name(request):
+    return request.param
+
+
+@pytest.fixture
+def backend(protocol_name):
+    return build(protocol_name, n_sites=3, seed=11)

@@ -1,0 +1,164 @@
+"""The acceptance lattice, made executable and property-tested.
+
+Random tiny histories are run through the bounded-search acceptance
+checkers (:mod:`repro.spec.acceptance`); acceptance must never invert
+along the chain
+
+    strict serializability => SI => PSI => NMSI => eventual
+
+nor along the side branch strict => serializable => eventual.  The
+canonical separating histories (write skew, long fork, non-monotonic
+snapshot, the real-time stale read) pin each inclusion as *strict*.
+"""
+
+import pytest
+
+from repro.spec.acceptance import (
+    ACCEPTANCE_CHAIN,
+    LiteTx,
+    accepts_eventual,
+    accepts_nmsi,
+    accepts_psi,
+    accepts_serializable,
+    accepts_snapshot_isolation,
+    accepts_strict_serializable,
+)
+
+hypothesis = pytest.importorskip(
+    "hypothesis", reason="property test needs the bundled hypothesis"
+)
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+KEYS = ["x", "y"]
+VALUES = [1, 2]
+
+
+def tx(tid, site, begin, end, ops, status="COMMITTED"):
+    return LiteTx(
+        tid=tid, site=site, begin=begin, end=end, status=status, ops=tuple(ops)
+    )
+
+
+# ----------------------------------------------------------------------
+# Canonical histories: each strict inclusion has a separating witness.
+# ----------------------------------------------------------------------
+WRITE_SKEW = [
+    tx("t1", 0, 0.0, 2.0, [("read", "x", None), ("read", "y", None), ("write", "x", 1)]),
+    tx("t2", 0, 0.0, 2.0, [("read", "x", None), ("read", "y", None), ("write", "y", 1)]),
+]
+
+LONG_FORK = [
+    tx("w1", 0, 0.0, 1.0, [("write", "x", 1)]),
+    tx("w2", 1, 0.0, 1.0, [("write", "y", 1)]),
+    tx("r1", 0, 2.0, 3.0, [("read", "x", 1), ("read", "y", None)]),
+    tx("r2", 1, 2.0, 3.0, [("read", "x", None), ("read", "y", 1)]),
+]
+
+NON_MONOTONIC = [
+    tx("w", 0, 0.0, 1.0, [("write", "x", 1)]),
+    tx("see", 1, 2.0, 3.0, [("read", "x", 1)]),
+    tx("unsee", 1, 4.0, 5.0, [("read", "x", None)]),
+]
+
+RT_STALE = [
+    tx("w", 0, 0.0, 1.0, [("write", "x", 1)]),
+    tx("r", 1, 2.0, 3.0, [("read", "x", None)]),
+]
+
+LOST_UPDATE = [
+    tx("u1", 0, 0.0, 2.0, [("read", "x", None), ("write", "x", 1)]),
+    tx("u2", 1, 0.0, 2.0, [("read", "x", None), ("write", "x", 2)]),
+    tx("check", 0, 3.0, 4.0, [("read", "x", 1)]),
+]
+
+FABRICATED = [
+    tx("r", 0, 0.0, 1.0, [("read", "x", 77)]),
+]
+
+
+@pytest.mark.parametrize(
+    "history,expected",
+    [
+        # (strict, ser, si, psi, nmsi, eventual)
+        (WRITE_SKEW, (False, False, True, True, True, True)),
+        (LONG_FORK, (False, False, False, True, True, True)),
+        (NON_MONOTONIC, (False, True, False, False, True, True)),
+        (RT_STALE, (False, True, False, True, True, True)),
+        (LOST_UPDATE, (False, False, False, False, False, True)),
+        (FABRICATED, (False, False, False, False, False, False)),
+    ],
+    ids=["write-skew", "long-fork", "non-monotonic", "rt-stale", "lost-update",
+         "fabricated"],
+)
+def test_canonical_histories_separate_the_levels(history, expected):
+    got = (
+        accepts_strict_serializable(history),
+        accepts_serializable(history),
+        accepts_snapshot_isolation(history),
+        accepts_psi(history),
+        accepts_nmsi(history),
+        accepts_eventual(history),
+    )
+    assert got == expected
+
+
+# ----------------------------------------------------------------------
+# Property: acceptance never inverts along the lattice.
+# ----------------------------------------------------------------------
+@st.composite
+def histories(draw):
+    n = draw(st.integers(min_value=1, max_value=4))
+    txs = []
+    for i in range(n):
+        begin = draw(st.sampled_from([0.0, 1.0, 2.0, 3.0]))
+        duration = draw(st.sampled_from([0.5, 1.5]))
+        site = draw(st.integers(min_value=0, max_value=1))
+        n_ops = draw(st.integers(min_value=1, max_value=3))
+        ops = []
+        for _ in range(n_ops):
+            kind = draw(st.sampled_from(["read", "write"]))
+            key = draw(st.sampled_from(KEYS))
+            if kind == "write":
+                ops.append(("write", key, draw(st.sampled_from(VALUES))))
+            else:
+                ops.append(("read", key, draw(st.sampled_from([None] + VALUES))))
+        status = draw(
+            st.sampled_from(["COMMITTED", "COMMITTED", "COMMITTED", "ABORTED"])
+        )
+        txs.append(
+            tx("h%d" % i, site, begin, begin + duration, ops, status=status)
+        )
+    return txs
+
+
+@given(histories())
+@settings(max_examples=120, deadline=None)
+def test_acceptance_monotone_along_the_chain(history):
+    verdicts = [(name, checker(history)) for name, checker in ACCEPTANCE_CHAIN]
+    for (strong_name, strong_ok), (weak_name, weak_ok) in zip(
+        verdicts, verdicts[1:]
+    ):
+        assert not strong_ok or weak_ok, (
+            "%s accepted but weaker %s rejected: %r"
+            % (strong_name, weak_name, history)
+        )
+
+
+@given(histories())
+@settings(max_examples=120, deadline=None)
+def test_side_branch_strict_implies_serializable_implies_eventual(history):
+    if accepts_strict_serializable(history):
+        assert accepts_serializable(history)
+    if accepts_serializable(history):
+        assert accepts_eventual(history)
+
+
+def test_chain_is_ordered_strongest_first():
+    names = [name for name, _checker in ACCEPTANCE_CHAIN]
+    assert names == [
+        "strict_serializability",
+        "snapshot_isolation",
+        "psi",
+        "nmsi",
+        "eventual",
+    ]

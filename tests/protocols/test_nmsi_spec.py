@@ -1,0 +1,136 @@
+"""The NMSI spec engine: non-monotonicity allowed, lost updates and
+inconsistent snapshots rejected."""
+
+import pytest
+
+from repro.core.objects import ObjectId, ObjectKind
+from repro.errors import TransactionStateError
+from repro.spec.nmsi_spec import (
+    ABORTED,
+    COMMITTED,
+    INITIAL,
+    NonMonotonicSnapshotIsolation,
+)
+
+A = ObjectId("nmsi-spec", "A", ObjectKind.REGULAR)
+B = ObjectId("nmsi-spec", "B", ObjectKind.REGULAR)
+
+
+def test_read_write_commit_roundtrip():
+    spec = NonMonotonicSnapshotIsolation()
+    t1 = spec.start_tx()
+    assert spec.read(t1, A) is None
+    spec.write(t1, A, 1)
+    assert spec.commit_tx(t1) == COMMITTED
+    t2 = spec.start_tx()
+    assert spec.read(t2, A) == 1
+    assert spec.committed_value(A) == 1
+
+
+def test_snapshots_may_go_backwards_between_transactions():
+    spec = NonMonotonicSnapshotIsolation()
+    t1 = spec.start_tx()
+    spec.write(t1, A, 1)
+    assert spec.commit_tx(t1) == COMMITTED
+    t2 = spec.start_tx()
+    assert spec.read(t2, A) == 1
+    assert spec.commit_tx(t2) == COMMITTED
+    # The session's NEXT transaction may legally observe the old state.
+    t3 = spec.start_tx()
+    assert spec.read(t3, A, at=INITIAL) is None
+    assert spec.commit_tx(t3) == COMMITTED
+
+
+def test_lost_update_rejected():
+    spec = NonMonotonicSnapshotIsolation()
+    t1 = spec.start_tx()
+    t2 = spec.start_tx()
+    assert spec.read(t1, A) is None and spec.read(t2, A) is None
+    spec.write(t1, A, 1)
+    spec.write(t2, A, 2)
+    assert spec.commit_tx(t1) == COMMITTED
+    assert spec.commit_tx(t2) == ABORTED
+    assert spec.committed_value(A) == 1
+
+
+def test_snapshot_consistency_enforced():
+    spec = NonMonotonicSnapshotIsolation()
+    w1 = spec.start_tx()
+    spec.write(w1, A, 1)
+    assert spec.commit_tx(w1) == COMMITTED
+    w2 = spec.start_tx()
+    assert spec.read(w2, A) == 1
+    spec.write(w2, B, 7)
+    assert spec.commit_tx(w2) == COMMITTED  # B=7 depends on A=1
+
+    r = spec.start_tx()
+    assert spec.read(r, A, at=INITIAL) is None
+    # B=7's closure contains a newer version of A than r observed.
+    with pytest.raises(TransactionStateError):
+        spec.read(r, B, at=w2.tid)
+    # The default (newest consistent) read falls back to the initial B.
+    assert spec.read(r, B) is None
+
+
+def test_dependency_floor_blocks_older_reads():
+    spec = NonMonotonicSnapshotIsolation()
+    w1 = spec.start_tx()
+    spec.write(w1, A, 1)
+    spec.write(w1, B, 2)
+    assert spec.commit_tx(w1) == COMMITTED
+    r = spec.start_tx()
+    assert spec.read(r, A) == 1  # drags w1 into r's dependency closure
+    with pytest.raises(TransactionStateError):
+        spec.read(r, B, at=INITIAL)  # cannot un-see w1
+    assert spec.read(r, B) == 2
+
+
+def test_blind_writes_chain_dependencies():
+    spec = NonMonotonicSnapshotIsolation()
+    b1 = spec.start_tx()
+    spec.write(b1, A, 1)
+    assert spec.commit_tx(b1) == COMMITTED
+    b2 = spec.start_tx()
+    spec.write(b2, A, 2)
+    assert spec.commit_tx(b2) == COMMITTED
+    # The overwriting blind write adopted its predecessor.
+    assert b1.tid in spec.by_tid[b2.tid].deps
+    assert spec.committed_value(A) == 2
+
+
+def test_rmw_against_stale_version_aborts():
+    spec = NonMonotonicSnapshotIsolation()
+    w1 = spec.start_tx()
+    spec.write(w1, A, 1)
+    assert spec.commit_tx(w1) == COMMITTED
+    stale = spec.start_tx()
+    assert spec.read(stale, A, at=INITIAL) is None  # allowed: just stale
+    spec.write(stale, A, 99)
+    assert spec.commit_tx(stale) == ABORTED  # but writing through it is not
+
+
+def test_operations_on_finished_tx_rejected():
+    spec = NonMonotonicSnapshotIsolation()
+    t1 = spec.start_tx()
+    spec.write(t1, A, 1)
+    assert spec.commit_tx(t1) == COMMITTED
+    with pytest.raises(TransactionStateError):
+        spec.read(t1, A)
+    with pytest.raises(TransactionStateError):
+        spec.commit_tx(t1)
+    t2 = spec.start_tx()
+    assert spec.abort_tx(t2) == ABORTED
+    with pytest.raises(TransactionStateError):
+        spec.write(t2, A, 5)
+
+
+def test_reading_a_non_writer_version_rejected():
+    spec = NonMonotonicSnapshotIsolation()
+    w1 = spec.start_tx()
+    spec.write(w1, A, 1)
+    assert spec.commit_tx(w1) == COMMITTED
+    r = spec.start_tx()
+    with pytest.raises(TransactionStateError):
+        spec.read(r, B, at=w1.tid)  # w1 never wrote B
+    with pytest.raises(TransactionStateError):
+        spec.read(r, A, at="no-such-tid")

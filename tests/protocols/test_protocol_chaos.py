@@ -1,0 +1,60 @@
+"""Chaos smoke for the protocol zoo: every registry backend survives a
+seeded fault schedule and passes its own oracle plus the lattice report.
+
+Fixed seeds keep these deterministic; the CI protocol-matrix job runs a
+wider seed range via ``python -m repro.chaos --protocol <name>``.
+"""
+
+import pytest
+
+from repro.chaos import ChaosConfig, ProtocolChaosConfig, run_chaos, run_protocol_chaos
+from repro.chaos.protocols import generate_protocol_faults
+from repro.protocols.registry import PROTOCOL_NAMES
+
+SMOKE = dict(n_sites=3, horizon=10.0, fault_budget=3, clients_per_site=2,
+             txs_per_client=4, settle=30.0)
+
+
+@pytest.mark.parametrize("name", PROTOCOL_NAMES)
+def test_protocol_chaos_smoke(name):
+    result = run_protocol_chaos(ProtocolChaosConfig(protocol=name, seed=5, **SMOKE))
+    detail = "\n".join(
+        [str(v) for v in result.violations]
+        + ["[%s] %s" % (lvl, v) for lvl, vs in result.lattice.items() for v in vs]
+    )
+    assert result.passed, detail
+    assert result.outcomes.get("COMMITTED", 0) > 0, result.outcomes
+    assert result.applied_faults, "schedule applied no faults"
+
+
+@pytest.mark.parametrize("name", PROTOCOL_NAMES)
+def test_protocol_chaos_verdict_deterministic(name):
+    config = ProtocolChaosConfig(
+        protocol=name, seed=6, n_sites=3, horizon=6.0, fault_budget=2,
+        clients_per_site=1, txs_per_client=3, settle=20.0,
+    )
+    first = run_protocol_chaos(config)
+    second = run_protocol_chaos(config)
+    assert first.verdict_json() == second.verdict_json()
+
+
+def test_fault_schedules_differ_across_protocols_but_not_runs():
+    a = generate_protocol_faults(ProtocolChaosConfig(protocol="nmsi", seed=1))
+    b = generate_protocol_faults(ProtocolChaosConfig(protocol="nmsi", seed=1))
+    c = generate_protocol_faults(ProtocolChaosConfig(protocol="nmsi", seed=2))
+    assert a == b
+    assert a != c
+
+
+def test_run_chaos_protocol_dispatch():
+    result = run_chaos(
+        ChaosConfig(seed=5, fault_budget=3, clients_per_site=1, txs_per_client=3),
+        protocol="nmsi",
+    )
+    assert result.config.protocol == "nmsi"
+    assert result.passed, result.verdict_json()
+
+
+def test_run_chaos_rejects_schedule_with_protocol():
+    with pytest.raises(ValueError):
+        run_chaos(ChaosConfig(seed=1), schedule="anything", protocol="nmsi")
