@@ -52,6 +52,14 @@ class ObjectId:
     def __hash__(self) -> int:
         return self._hash
 
+    def __reduce__(self):
+        # String hashing is per-process (PYTHONHASHSEED), so the cached
+        # ``_hash`` must not travel inside pickled state: an id unpickled
+        # in another process (parallel executor workers) would never land
+        # in the same dict bucket as a locally minted equal id.  Rebuild
+        # through the constructor so ``__post_init__`` recomputes it.
+        return (self.__class__, (self.container, self.local, self.kind))
+
     def __str__(self) -> str:
         tag = "c" if self.kind is ObjectKind.CSET else "r"
         return "%s/%s#%s" % (self.container, self.local, tag)

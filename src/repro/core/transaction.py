@@ -153,6 +153,19 @@ class CommitRecord:
             v = self._version = Version(self.site, self.seqno)
         return v
 
+    def __reduce__(self):
+        # Commit records are the bulk of cross-cluster traffic in the
+        # parallel executor.  Constructor-args reduce is ~2x cheaper than
+        # the default dict pickle, drops the lazily rebuilt ``_version``
+        # cache from the wire, and inlines the snapshot vector as a bare
+        # int tuple (one fewer Python-level reduce per record; update
+        # objects stay as-is so shared oids keep their pickle-memo hits).
+        return (
+            _restore_record,
+            (self.tid, self.site, self.seqno, self.start_vts._seqnos,
+             self.updates, self.committed_at),
+        )
+
     def payload_bytes(self) -> int:
         """Rough wire size, used by the network bandwidth model."""
         base = 64
@@ -167,3 +180,10 @@ class CommitRecord:
             else:
                 per_update += 48
         return base + per_update
+
+
+def _restore_record(tid, site, seqno, seqnos, updates, committed_at):
+    """Unpickle target of :meth:`CommitRecord.__reduce__`."""
+    return CommitRecord(
+        tid, site, seqno, VectorTimestamp._wrap(seqnos), updates, committed_at
+    )

@@ -30,6 +30,11 @@ class DataUpdate:
                 "write on cset object %s; csets do not support write (§3.3)" % self.oid
             )
 
+    def __reduce__(self):
+        # Hot on the parallel executor's barrier exchanges (every
+        # propagated commit record ships its update buffer).
+        return (DataUpdate, (self.oid, self.data))
+
 
 @dataclass(frozen=True)
 class CSetAdd:
@@ -42,6 +47,9 @@ class CSetAdd:
         if self.oid.kind is not ObjectKind.CSET:
             raise TypeMismatchError("setAdd on regular object %s" % self.oid)
 
+    def __reduce__(self):
+        return (CSetAdd, (self.oid, self.elem))
+
 
 @dataclass(frozen=True)
 class CSetDel:
@@ -53,6 +61,9 @@ class CSetDel:
     def __post_init__(self):
         if self.oid.kind is not ObjectKind.CSET:
             raise TypeMismatchError("setDel on regular object %s" % self.oid)
+
+    def __reduce__(self):
+        return (CSetDel, (self.oid, self.elem))
 
 
 Update = Union[DataUpdate, CSetAdd, CSetDel]

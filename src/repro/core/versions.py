@@ -38,6 +38,13 @@ class Version:
     def __hash__(self) -> int:
         return self._hash
 
+    def __reduce__(self):
+        # Rebuild through the constructor: cheaper than the default
+        # state-dict pickle and keeps the cached hash out of the wire
+        # format (int hashes are process-stable, but the slim form wins
+        # on the parallel executor's barrier exchanges).
+        return (Version, (self.site, self.seqno))
+
     def __str__(self) -> str:
         return "<%d:%d>" % (self.site, self.seqno)
 
@@ -88,6 +95,12 @@ class VectorTimestamp:
 
     def __hash__(self) -> int:
         return hash(self._seqnos)
+
+    def __reduce__(self):
+        # Every propagated commit record carries a snapshot vector, so
+        # these are pickled by the thousand at parallel-executor
+        # barriers; ``_wrap`` skips the per-entry validation on load.
+        return (VectorTimestamp._wrap, (self._seqnos,))
 
     def __repr__(self) -> str:
         return "VTS(%s)" % (", ".join(str(s) for s in self._seqnos))

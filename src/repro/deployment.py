@@ -11,12 +11,13 @@ one-call operations used by tests and examples.
 from __future__ import annotations
 
 import itertools
+import operator
 from typing import Dict, Generator, List, Optional, Set
 
 from .client import WalterClient
 from .core.objects import Container
 from .core.versions import Version
-from .net import Host, Network, Topology
+from .net import ClusterGateway, Envelope, Host, Network, Topology
 from .obs import Observability
 from .server import LeaseConfig, LocalConfig, ServerCosts, SiteRecoveryCoordinator, WalterServer
 from .sim import Kernel, RandomStreams
@@ -44,7 +45,8 @@ class Deployment:
         # the already-running servers, not just future replacements.
         self._chaos_bug = value
         for server in getattr(self, "servers", ()):
-            server.chaos_bug = value
+            if server is not None:
+                server.chaos_bug = value
 
     def __init__(
         self,
@@ -62,7 +64,47 @@ class Deployment:
         trace_capacity: int = 8192,
         lease_sweeper: bool = False,
         leases: Optional[LeaseConfig] = None,
+        cluster=None,
+        executor: str = "serial",
+        workers: int = 0,
     ):
+        if executor not in ("serial", "parallel"):
+            raise ValueError("executor must be 'serial' or 'parallel', got %r" % (executor,))
+        if executor == "parallel":
+            # Driver-handle mode (DESIGN.md §12): no world is built here.
+            # Each parallel worker constructs its own cluster-restricted
+            # Deployment from these kwargs; drive it with run_scenario().
+            if cluster is not None:
+                raise ValueError("executor='parallel' builds its own cluster workers")
+            self.executor = "parallel"
+            self.workers = workers or 2
+            self._parallel_kwargs = dict(
+                n_sites=n_sites,
+                topology=topology,
+                seed=seed,
+                costs=costs,
+                flush_latency=flush_latency,
+                f=f,
+                ds_mode=ds_mode,
+                trace=trace,
+                jitter_frac=jitter_frac,
+                anti_starvation=anti_starvation,
+                tracing=tracing,
+                trace_capacity=trace_capacity,
+                lease_sweeper=lease_sweeper,
+                leases=leases,
+            )
+            return
+        self.executor = "serial"
+        self.workers = 0
+        #: Cluster mode (set by the parallel executor's workers): this
+        #: deployment simulates only ``cluster.spec.owned_sites``; the
+        #: rest of the topology lives in sibling workers, reached through
+        #: the network gateway at synchronization barriers.
+        self.cluster = cluster
+        self._owned = (
+            frozenset(cluster.spec.owned_sites) if cluster is not None else None
+        )
         self.kernel = Kernel()
         self.streams = RandomStreams(seed)
         self.topology = topology or Topology.ec2(n_sites)
@@ -76,6 +118,10 @@ class Deployment:
             self.kernel, self.topology, streams=self.streams, jitter_frac=jitter_frac
         )
         self.network.bind_metrics(self.obs.registry)
+        if cluster is not None:
+            gateway = ClusterGateway(cluster.spec.cluster_id, cluster.spec.cluster_of)
+            self.network.attach_gateway(gateway)
+            cluster.gateway = gateway
         self.config = LocalConfig(self.n_sites)
         self.trace = ExecutionTrace(n_sites=self.n_sites) if trace else None
         self.costs = costs or ServerCosts()
@@ -95,24 +141,51 @@ class Deployment:
         #: The chaos durability oracle excludes these from "lost".
         self.abandoned_versions: Set[Version] = set()
 
-        self.storages: List[SiteStorage] = [
-            SiteStorage(self.kernel, site, flush_latency, name="disk-%d-%d" % (self._deploy_id, site))
+        self.storages: List[Optional[SiteStorage]] = [
+            SiteStorage(
+                self.kernel,
+                site,
+                flush_latency,
+                # Cluster workers cannot share the process-global deploy
+                # counter, so cluster-mode names are deploy-independent.
+                name=(
+                    "disk-p-%d" % site
+                    if cluster is not None
+                    else "disk-%d-%d" % (self._deploy_id, site)
+                ),
+            )
+            if self.owns(site)
+            else None
             for site in range(self.n_sites)
         ]
         for storage in self.storages:
+            if storage is None:
+                continue
             storage.bind_metrics(self.obs.registry)
             if self.obs.tracer is not None:
                 storage.bind_tracer(self.obs.tracer)
         self.addresses: Dict[int, str] = {
-            site: "walter-%d-%d" % (self._deploy_id, site) for site in range(self.n_sites)
+            site: (
+                "walter-p-%d" % site
+                if cluster is not None
+                else "walter-%d-%d" % (self._deploy_id, site)
+            )
+            for site in range(self.n_sites)
         }
-        self.servers: List[WalterServer] = [
-            self._make_server(site) for site in range(self.n_sites)
+        self.servers: List[Optional[WalterServer]] = [
+            self._make_server(site) if self.owns(site) else None
+            for site in range(self.n_sites)
         ]
+        if cluster is not None:
+            for site in range(self.n_sites):
+                if not self.owns(site):
+                    self.network.register_remote(self.addresses[site], site)
         for server in self.servers:
-            self._boot(server)
+            if server is not None:
+                self._boot(server)
         self._client_seq = itertools.count(1)
         self._container_seq = itertools.count(1)
+        self._preload_shadow_seq = 0
 
     def _make_server(self, site: int, takeover: bool = False) -> WalterServer:
         server = WalterServer(
@@ -144,6 +217,44 @@ class Deployment:
     # ------------------------------------------------------------------
     # Topology/objects
     # ------------------------------------------------------------------
+    def owns(self, site: int) -> bool:
+        """Whether this deployment simulates ``site`` (always true outside
+        cluster mode)."""
+        return self._owned is None or site in self._owned
+
+    def owned_sites(self) -> List[int]:
+        if self._owned is None:
+            return list(range(self.n_sites))
+        return sorted(self._owned)
+
+    def _owned_servers(self) -> List[WalterServer]:
+        return [server for server in self.servers if server is not None]
+
+    def _require_serial(self, operation: str) -> None:
+        if self.cluster is not None:
+            raise RuntimeError(
+                "%s is not available in cluster mode: the parallel executor "
+                "only supports fault-free, configuration-static workloads "
+                "(DESIGN.md §12)" % operation
+            )
+
+    def run_scenario(self, scenario, params=None, mode: str = "auto"):
+        """Parallel-handle entry point (``executor='parallel'``): run
+        ``scenario(world, **params)`` across ``self.workers`` cluster
+        workers and return the merged
+        :class:`~repro.sim.parallel.ParallelResult`."""
+        if getattr(self, "executor", "serial") != "parallel":
+            raise RuntimeError("run_scenario() requires Deployment(executor='parallel')")
+        from .sim.parallel import run_scenario
+
+        return run_scenario(
+            scenario,
+            deploy_kwargs=self._parallel_kwargs,
+            params=params,
+            workers=self.workers,
+            mode=mode,
+        )
+
     def server(self, site: int) -> WalterServer:
         return self.servers[site]
 
@@ -167,6 +278,12 @@ class Deployment:
         # No deploy id in the default name: client names feed into tids,
         # and traces must be byte-identical across same-seed runs.
         name = name or "client-%d-%d" % (site, next(self._client_seq))
+        if not self.owns(site):
+            # Cluster mode: the sequence number above is burned on
+            # purpose so every worker assigns the same name to the same
+            # global client index; the client itself lives in the worker
+            # that owns its site.
+            return None
         client = WalterClient(
             self.kernel,
             self.network,
@@ -191,10 +308,16 @@ class Deployment:
         from .core.cset import CSet
         from .core.transaction import CommitRecord
         from .core.updates import CSetAdd, CSetDel, DataUpdate
-        from .core.versions import Version
+        from .core.versions import VectorTimestamp, Version
 
-        seq = self.servers[0].curr_seqno
-        start_vts = self.servers[0].committed_vts
+        if self.servers[0] is not None:
+            seq = self.servers[0].curr_seqno
+            start_vts = self.servers[0].committed_vts
+        else:
+            # Cluster mode without site 0: shadow the seqno stream so
+            # every worker mints identical preload versions/records.
+            seq = self._preload_shadow_seq
+            start_vts = VectorTimestamp.zeros(self.n_sites).with_entry(0, seq)
         for oid, value in values.items():
             seq += 1
             version = Version(0, seq)
@@ -216,7 +339,7 @@ class Deployment:
                 start_vts=start_vts,
                 updates=updates,
             )
-            for server in self.servers:
+            for server in self._owned_servers():
                 server.histories.apply(updates, version)
                 server._records_by_version[version] = record
             if self.trace is not None:
@@ -227,26 +350,65 @@ class Deployment:
                         u.oid for u in updates if isinstance(u, DataUpdate)
                     ))
                 )
-                for site in range(self.n_sites):
+                # Cluster mode: only the owning worker records a site's
+                # commit order, so the merged trace has each site once.
+                for site in self.owned_sites():
                     self.trace.record_site_commit(site, version)
-        for server in self.servers:
+        for server in self._owned_servers():
             server.got_vts = server.got_vts.with_entry(0, seq)
             server.committed_vts = server.committed_vts.with_entry(0, seq)
-        self.servers[0].curr_seqno = seq
+        if self.servers[0] is not None:
+            self.servers[0].curr_seqno = seq
+        self._preload_shadow_seq = seq
 
     # ------------------------------------------------------------------
     # Running
     # ------------------------------------------------------------------
     def run(self, until: Optional[float] = None) -> float:
-        return self.kernel.run(until=until)
+        """Advance the simulation.  In cluster mode this is the barrier
+        loop of the conservative parallel executor (DESIGN.md §12): run
+        the local kernel in windows of at most one lookahead, exchange
+        cross-cluster envelopes with the sibling workers at every window
+        boundary, and schedule the inbound ones (all strictly in the
+        future) in canonical order."""
+        if self.cluster is None:
+            return self.kernel.run(until=until)
+        if until is None:
+            raise RuntimeError(
+                "cluster mode requires a bounded run(until=...): the "
+                "barrier loop advances in lookahead-sized windows"
+            )
+        exchange = self.cluster.exchange
+        gateway = self.cluster.gateway
+        lookahead = self.cluster.lookahead_s
+        # C-level sort key (same canonical order as Envelope.sort_key,
+        # without a Python call per envelope -- this sort sees every
+        # cross-cluster message of the run).
+        envelope_key = operator.attrgetter(
+            "deliver_at", "src_site", "dst_site", "link_seq"
+        )
+        deliver = self.network.deliver_envelope
+        while True:
+            if lookahead == float("inf"):
+                barrier = until
+            else:
+                barrier = min(until, self.kernel.now + lookahead)
+            self.kernel.run(until=barrier)
+            inbound = exchange.sync(barrier, gateway.drain())
+            inbound.sort(key=envelope_key)
+            for envelope in inbound:
+                deliver(envelope)
+            if barrier >= until:
+                return self.kernel.now
 
     def run_process(self, gen: Generator, within: float = 60.0):
         """Spawn a process and run the world until it finishes."""
+        self._require_serial("run_process")
         return self.kernel.run_process(gen, until=self.kernel.now + within)
 
     def settle(self, duration: float = 2.0) -> None:
         """Let in-flight propagation finish."""
-        self.kernel.run(until=self.kernel.now + duration)
+        self.run(until=self.kernel.now + duration)
 
     # ------------------------------------------------------------------
     # Observability
@@ -255,19 +417,24 @@ class Deployment:
         """Deterministic dump of every counter/gauge/histogram.  GC
         gauges (watermark, history entries, commit records) are refreshed
         first so they are current even if a server's GC loop is off."""
-        for server in self.servers:
+        for server in self._owned_servers():
             server._refresh_gc_gauges()
         snap = self.obs.snapshot()
         snap["access_profile"] = {
             site: server.profiler.as_dict()
             for site, server in enumerate(self.servers)
+            if server is not None
         }
         return snap
 
     def gc_watermarks(self) -> Dict[int, "VectorTimestamp"]:
         """Per-site GC watermarks (meet of CommittedVTS with every active
         transaction's startVTS) -- what a GC pass at each site would use."""
-        return {site: server.gc_watermark() for site, server in enumerate(self.servers)}
+        return {
+            site: server.gc_watermark()
+            for site, server in enumerate(self.servers)
+            if server is not None
+        }
 
     def lag_report(self):
         """Per-site replication/ds/visibility lag from retained traces
@@ -279,11 +446,13 @@ class Deployment:
     # ------------------------------------------------------------------
     def crash_server(self, site: int) -> None:
         """Crash the Walter server process at a site (storage survives)."""
+        self._require_serial("crash_server")
         self.servers[site].crash()
 
     def replace_server(self, site: int) -> WalterServer:
         """Start a replacement server over the site's cluster storage; it
         recovers its state and resumes propagation (§5.7)."""
+        self._require_serial("replace_server")
         doomed = self._fence_storage(site)
         replacement = self._make_server(site, takeover=True)
         replacement.restore_from_storage()
@@ -321,6 +490,7 @@ class Deployment:
 
     def fail_site(self, site: int) -> None:
         """An entire site fails: server down, links severed."""
+        self._require_serial("fail_site")
         self.servers[site].crash()
         for other in range(self.n_sites):
             if other != site:

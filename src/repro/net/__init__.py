@@ -1,6 +1,6 @@
 """Simulated wide-area network: topology, message delivery, RPC."""
 
-from .network import Message, Network, NetworkStats
+from .network import ClusterGateway, Envelope, Message, Network, NetworkStats
 from .rpc import Cast, Host, RpcError, RpcRemoteError, RpcReply, RpcRequest, RpcTimeout
 from .topology import (
     EC2_CROSS_SITE_BANDWIDTH_BPS,
@@ -13,6 +13,8 @@ from .topology import (
 
 __all__ = [
     "Cast",
+    "ClusterGateway",
+    "Envelope",
     "EC2_CROSS_SITE_BANDWIDTH_BPS",
     "EC2_INTRA_SITE_BANDWIDTH_BPS",
     "EC2_RTT_MS",

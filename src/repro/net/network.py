@@ -34,6 +34,86 @@ class Message:
     delivered_at: Optional[float] = None
 
 
+@dataclass(slots=True)
+class Envelope:
+    """A cross-cluster message in the parallel executor (DESIGN.md §12).
+
+    The sender computes the exact delivery time -- jitter, link FIFO
+    serialization and software overhead included, all of which are
+    sender-site state -- so the receiving cluster merely schedules
+    ``_deliver`` at ``deliver_at``.  ``link_seq`` is a per-directed-link
+    sequence number: together with ``(deliver_at, src_site, dst_site)``
+    it gives every envelope batch a total order that is identical no
+    matter which worker produced or observed it, which is what makes the
+    parallel schedule bit-reproducible.
+    """
+
+    deliver_at: float
+    src_site: int
+    dst_site: int
+    link_seq: int
+    src: str
+    dst: str
+    payload: Any
+    size_bytes: int
+    sent_at: float
+    #: Stamped by ``_deliver``: an envelope doubles as the delivered
+    #: :class:`Message` (same field names), so the receive path schedules
+    #: it directly instead of materializing a second object per message.
+    delivered_at: Optional[float] = None
+
+    def sort_key(self):
+        return (self.deliver_at, self.src_site, self.dst_site, self.link_seq)
+
+    def __reduce__(self):
+        # Envelopes are pickled in bulk at every parallel-executor
+        # barrier; rebuilding through the constructor skips the slot
+        # state-dict round trip (~2x cheaper either direction).
+        return (
+            Envelope,
+            (
+                self.deliver_at,
+                self.src_site,
+                self.dst_site,
+                self.link_seq,
+                self.src,
+                self.dst,
+                self.payload,
+                self.size_bytes,
+                self.sent_at,
+            ),
+        )
+
+
+class ClusterGateway:
+    """Routing state a :class:`Network` holds when it simulates only one
+    cluster of a partitioned deployment.
+
+    ``cluster_of`` maps every site id to its cluster; messages whose
+    destination site lives in another cluster are appended to ``outbox``
+    as :class:`Envelope`\\ s instead of being scheduled locally.  The
+    parallel executor drains the outbox at every synchronization barrier.
+    """
+
+    __slots__ = ("cluster_id", "cluster_of", "outbox", "_link_seqs")
+
+    def __init__(self, cluster_id: int, cluster_of: Dict[int, int]):
+        self.cluster_id = cluster_id
+        self.cluster_of = cluster_of
+        self.outbox: list = []
+        self._link_seqs: Dict[Tuple[int, int], int] = {}
+
+    def next_link_seq(self, src_site: int, dst_site: int) -> int:
+        link = (src_site, dst_site)
+        seq = self._link_seqs.get(link, 0) + 1
+        self._link_seqs[link] = seq
+        return seq
+
+    def drain(self) -> list:
+        out, self.outbox = self.outbox, []
+        return out
+
+
 class NetworkStats:
     """Counters exposed to tests and benchmarks.
 
@@ -103,9 +183,15 @@ class Network:
         self.kernel = kernel
         self.topology = topology
         self.streams = streams or RandomStreams(0)
-        self._rng = self.streams.stream("net.jitter")
-        # Bound-method caches for the per-message path.
-        self._rng_random = self._rng.random
+        # One jitter/loss stream per *directed site link*, not one shared
+        # stream: messages on a link draw in their (deterministic) send
+        # order on that link, independent of how sends on other links
+        # interleave globally.  A shared stream would make the draws
+        # depend on the global event order -- impossible to reproduce
+        # when the parallel executor runs each site cluster in its own
+        # worker (the nondeterminism the dual-executor digest gate
+        # flushed out first).  Values are the bound ``random`` methods.
+        self._link_rng: Dict[Tuple[int, int], Any] = {}
         self._call_at = kernel.call_at
         self.jitter_frac = jitter_frac
         self.loss_rate = loss_rate
@@ -131,6 +217,9 @@ class Network:
         self._site_sent: Dict[int, Any] = {}
         self._site_delivered: Dict[int, Any] = {}
         self._link_bytes: Dict[Tuple[int, int], Any] = {}
+        #: Set in cluster mode (parallel executor): messages to sites in
+        #: other clusters become outbox envelopes instead of local events.
+        self._gateway: Optional[ClusterGateway] = None
         self._bind_stat_handles()
 
     def _bind_stat_handles(self) -> None:
@@ -178,6 +267,21 @@ class Network:
         self._host_site_ids[address] = self._host_sites[address].id
         self._crashed.discard(address)
         return mailbox
+
+    def register_remote(self, address: str, site) -> None:
+        """Make ``address`` routable without a local mailbox (cluster
+        mode): the host lives in another cluster's worker, but senders
+        here still need its site for latency/bandwidth resolution, and
+        ``_deliver`` needs the *source* site of inbound envelopes for the
+        partition check."""
+        if address in self._mailboxes:
+            return
+        resolved = self.topology.site(site)
+        self._host_sites[address] = resolved
+        self._host_site_ids[address] = resolved.id
+
+    def attach_gateway(self, gateway: ClusterGateway) -> None:
+        self._gateway = gateway
 
     def site_of(self, address: str) -> Site:
         return self._host_sites[address]
@@ -249,7 +353,15 @@ class Network:
         if self._partitioned and (src_id, dst_id) in self._partitioned:
             self._c_dropped_partition.value += 1
             return
-        if self.loss_rate > 0 and self._rng_random() < self.loss_rate:
+        rng_random = None
+        if self.loss_rate > 0 or self.jitter_frac > 0:
+            try:
+                rng_random = self._link_rng[(src_id, dst_id)]
+            except KeyError:
+                rng_random = self._link_rng[(src_id, dst_id)] = self.streams.stream(
+                    "net.jitter.%d-%d" % (src_id, dst_id)
+                ).random
+        if self.loss_rate > 0 and rng_random() < self.loss_rate:
             self._c_dropped_random.value += 1
             return
 
@@ -261,7 +373,7 @@ class Network:
                 self.topology.bandwidth_bps(src_id, dst_id),
             )
         if self.jitter_frac > 0:
-            latency *= 1.0 + self._rng_random() * self.jitter_frac
+            latency *= 1.0 + rng_random() * self.jitter_frac
         serialize = size_bytes * 8.0 / bandwidth
 
         now = self.kernel.now
@@ -284,8 +396,39 @@ class Network:
         else:
             deliver_at = now + serialize + latency + self.SOFTWARE_OVERHEAD
 
+        gateway = self._gateway
+        if gateway is not None and gateway.cluster_of[dst_id] != gateway.cluster_id:
+            gateway.outbox.append(
+                Envelope(
+                    deliver_at,
+                    src_id,
+                    dst_id,
+                    gateway.next_link_seq(src_id, dst_id),
+                    src,
+                    dst,
+                    payload,
+                    size_bytes,
+                    now,
+                )
+            )
+            return
         message = Message(src, dst, payload, size_bytes, sent_at=now)
         self._call_at(deliver_at, self._deliver, message)
+
+    def deliver_envelope(self, envelope: Envelope) -> None:
+        """Schedule a cross-cluster envelope received at a barrier.  The
+        sending cluster already resolved jitter, link FIFO serialization
+        and overhead into ``deliver_at``; conservative lookahead
+        guarantees it is still in this kernel's future (``call_at``
+        raises otherwise -- a lookahead-safety violation, not a race).
+
+        The envelope itself is scheduled as the message (it carries the
+        same fields): this path runs once per cross-cluster message of
+        the whole run, and skipping the per-message ``Message`` rebuild
+        is a measurable slice of the parallel executor's critical path."""
+        if envelope.src not in self._host_site_ids:
+            self.register_remote(envelope.src, envelope.src_site)
+        self._call_at(envelope.deliver_at, self._deliver, envelope)
 
     def _deliver(self, message: Message) -> None:
         dst = message.dst

@@ -89,12 +89,20 @@ class RpcRequest:
     #: handler's spans back to the caller's span graph, or None.
     span: Optional[tuple] = None
 
+    def __reduce__(self):
+        # Wire messages cross process boundaries at every parallel
+        # barrier; constructor-args reduce beats the slot-state default.
+        return (RpcRequest, (self.rpc_id, self.method, self.args, self.reply_to, self.span))
+
 
 @dataclass(slots=True)
 class RpcReply:
     rpc_id: int
     value: Any = None
     error: Optional[str] = None
+
+    def __reduce__(self):
+        return (RpcReply, (self.rpc_id, self.value, self.error))
 
 
 @dataclass(slots=True)
@@ -104,6 +112,9 @@ class Cast:
     method: str
     args: Dict[str, Any] = field(default_factory=dict)
     src: str = ""
+
+    def __reduce__(self):
+        return (Cast, (self.method, self.args, self.src))
 
 
 class Host:

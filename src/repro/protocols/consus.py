@@ -9,24 +9,32 @@ Consus/Calvin-style geo-replicated commit, the strict end of the zoo's
 isolation lattice:
 
 * clients execute optimistically against their site's replica -- reads
-  record the **last-writer slot** of each key they observe;
-* commit proposes ``{tid, reads, writes}``; Paxos assigns it a slot;
-* ``apply_fn`` validates at the slot, identically on every replica: the
-  transaction commits iff every key it read still has the observed
-  last-writer slot (no intervening writer was serialized before it);
-* the slot order is the serialization order, and Paxos's
-  choose-once/adopt semantics guarantee a transaction that committed in
-  real time before another began occupies a smaller slot -- which is
-  what upgrades serializable to *strictly* serializable.
+  record the **last-writer sequence number** of each key they observe;
+* commit enqueues ``{tid, reads, writes}`` at its site's coordinator,
+  which **batches every command that accumulates while a proposal is in
+  flight into the next Paxos slot** (one consensus round amortized over
+  the whole batch -- the Consus/Calvin trick that keeps the ordering
+  layer off the commit critical path under load);
+* ``apply_fn`` walks each slot's batch in list order and assigns every
+  command a global *sequence number*; validation is deterministic and
+  identical on every replica: the transaction commits iff every key it
+  read still has the observed last-writer seq (no intervening writer
+  was serialized before it);
+* the sequence order (slot-major, batch-position-minor) is the
+  serialization order, and Paxos's choose-once/adopt semantics
+  guarantee a transaction that committed in real time before another
+  began occupies a smaller seq -- which is what upgrades serializable
+  to *strictly* serializable.
 
 Read-only transactions also go through consensus: their reads are
-certified at a slot, so they observe a state consistent with the
+certified at a seq, so they observe a state consistent with the
 real-time commit order (no stale local reads).
 
-Witness per committed transaction: its slot plus the per-key last-writer
-slots it read.  The oracle (:func:`repro.protocols.oracles.check_consus`)
-replays the replicated log deterministically and re-derives every
-outcome and read value.
+Witness per committed transaction: its seq (``meta["slot"]``, kept
+under the historical key) plus the per-key last-writer seqs it read.
+The oracle (:func:`repro.protocols.oracles.check_consus`) replays the
+replicated log deterministically, batch entries in order, and
+re-derives every outcome and read value.
 """
 
 from __future__ import annotations
@@ -41,10 +49,14 @@ from .history import ABORTED, COMMITTED, TxRecord
 from .levels import STRICT_SERIALIZABILITY
 
 
+#: Internal outcome marker for commands whose batch never got chosen.
+_PROPOSAL_FAILED = object()
+
+
 @dataclass
 class ConsusTx:
     tid: str
-    #: key -> last-writer slot observed (None: read initial state).
+    #: key -> last-writer seq observed (None: read initial state).
     reads: Dict[str, Optional[int]] = field(default_factory=dict)
     #: key -> value observed at that slot (repeatable within the tx).
     read_values: Dict[str, Any] = field(default_factory=dict)
@@ -52,18 +64,30 @@ class ConsusTx:
     status: str = "ACTIVE"
 
 
-def validate_and_apply(kv: Dict[str, Tuple[Any, int]], slot: int, cmd: dict) -> str:
+def validate_and_apply(kv: Dict[str, Tuple[Any, int]], seq: int, cmd: dict) -> str:
     """The deterministic state-machine transition shared by every
     replica (and by the oracle's replay): commit iff every read key's
-    last-writer slot is unchanged, then install writes stamped ``slot``."""
-    for key, seen_slot in cmd["reads"].items():
+    last-writer seq is unchanged, then install writes stamped ``seq``."""
+    for key, seen_seq in cmd["reads"].items():
         current = kv.get(key)
-        current_slot = current[1] if current is not None else None
-        if current_slot != seen_slot:
+        current_seq = current[1] if current is not None else None
+        if current_seq != seen_seq:
             return ABORTED
     for key, value in cmd["writes"].items():
-        kv[key] = (value, slot)
+        kv[key] = (value, seq)
     return COMMITTED
+
+
+def batched_commands(cmd: Any) -> List[dict]:
+    """The transaction commands carried by one log entry: a batch's
+    members in list order, a bare command as a singleton, anything else
+    (e.g. a no-op filler) as none."""
+    if isinstance(cmd, dict):
+        if "batch" in cmd:
+            return list(cmd["batch"])
+        if "reads" in cmd and "writes" in cmd:
+            return [cmd]
+    return []
 
 
 class ConsusServer(PaxosNode):
@@ -71,24 +95,40 @@ class ConsusServer(PaxosNode):
     coordinator for local clients."""
 
     #: Commit is a consensus round; give contended proposals more room
-    #: than the config service needs before surfacing ProposalFailed.
-    MAX_ATTEMPTS = 40
+    #: than the config service needs before surfacing ProposalFailed --
+    #: especially since a failed proposal now fails a whole batch.
+    MAX_ATTEMPTS = 80
 
     def __init__(self, kernel, network, site, name, index, peers):
         super().__init__(
             kernel, network, site, name, index, peers, apply_fn=self._apply_cmd
         )
-        #: key -> (value, last-writer slot), advanced only in slot order.
+        #: key -> (value, last-writer seq), advanced only in seq order.
         self.kv: Dict[str, Tuple[Any, int]] = {}
-        #: slot -> COMMITTED/ABORTED, the deterministic outcome.
+        #: seq -> COMMITTED/ABORTED, the deterministic outcome.
         self.decided: Dict[int, str] = {}
+        #: Commands applied so far = the next command's seq.
+        self.applied_seq = 0
+        #: tid -> (status, seq) once its command has been applied.
+        self._outcomes: Dict[str, Tuple[str, int]] = {}
         self._txs: Dict[str, ConsusTx] = {}
         self._waiters: List = []
+        #: Commands from local commits waiting for the next proposal.
+        self._commit_queue: List[dict] = []
+        self._batch_kick = None
+
+    def start(self) -> None:
+        super().start()
+        self.kernel.spawn(self._batch_loop(), name="%s.batcher" % self.address)
 
     # -- state machine -------------------------------------------------
     def _apply_cmd(self, slot: int, cmd: Any) -> None:
-        if isinstance(cmd, dict) and "reads" in cmd and "writes" in cmd:
-            self.decided[slot] = validate_and_apply(self.kv, slot, cmd)
+        for entry in batched_commands(cmd):
+            seq = self.applied_seq
+            self.applied_seq += 1
+            status = validate_and_apply(self.kv, seq, entry)
+            self.decided[seq] = status
+            self._outcomes[entry["tid"]] = (status, seq)
         for event in self._waiters:
             event.trigger_once()
         self._waiters = []
@@ -109,16 +149,16 @@ class ConsusServer(PaxosNode):
         if key in tx.writes:
             return tx.writes[key]
         if key in tx.reads:
-            # Repeatable read: the witness pins (slot, value) at first
-            # observation; validation aborts the tx if the slot moved.
+            # Repeatable read: the witness pins (seq, value) at first
+            # observation; validation aborts the tx if the seq moved.
             return tx.read_values[key]
         current = self.kv.get(key)
         if current is None:
             tx.reads[key] = None
             tx.read_values[key] = None
             return None
-        value, writer_slot = current
-        tx.reads[key] = writer_slot
+        value, writer_seq = current
+        tx.reads[key] = writer_seq
         tx.read_values[key] = value
         return value
 
@@ -135,11 +175,49 @@ class ConsusServer(PaxosNode):
     def rpc_tx_commit(self, tid: str):
         tx = self._txs.pop(tid)
         cmd = {"tid": tid, "reads": dict(tx.reads), "writes": dict(tx.writes)}
-        slot = yield from self.propose(cmd)
-        yield from self._wait_applied(slot)
-        status = self.decided.get(slot, ABORTED)
+        self._commit_queue.append(cmd)
+        if self._batch_kick is not None:
+            self._batch_kick.trigger_once()
+        while tid not in self._outcomes:
+            event = self.kernel.event(name="%s.commit:%s" % (self.address, tid))
+            self._waiters.append(event)
+            yield event
+        status, seq = self._outcomes.pop(tid)
+        if status is _PROPOSAL_FAILED:
+            raise ProposalFailed(
+                "%s could not get %s's batch chosen" % (self.address, tid)
+            )
         tx.status = status
-        return {"status": status, "slot": slot}
+        return {"status": status, "slot": seq}
+
+    # -- batcher --------------------------------------------------------
+    def _batch_loop(self) -> Generator:
+        """One proposal in flight per site: every command that arrives
+        while the previous consensus round runs rides the next slot as a
+        single batch, so consensus cost is amortized across concurrent
+        local commits instead of paid per transaction."""
+        while True:
+            while not self._commit_queue:
+                self._batch_kick = self.kernel.event(
+                    name="%s.batch-kick" % self.address
+                )
+                yield self._batch_kick
+                self._batch_kick = None
+            batch = list(self._commit_queue)
+            del self._commit_queue[:]
+            proposal = {"batch": batch} if len(batch) > 1 else batch[0]
+            try:
+                slot = yield from self.propose(proposal)
+                yield from self._wait_applied(slot)
+            except ProposalFailed:
+                # Surface the failure to every commit riding this batch
+                # (the client sees the same ProposalFailed the unbatched
+                # path used to raise).
+                for entry in batch:
+                    self._outcomes.setdefault(entry["tid"], (_PROPOSAL_FAILED, -1))
+                for event in self._waiters:
+                    event.trigger_once()
+                self._waiters = []
 
 
 class ConsusSession(ProtocolSession):
@@ -209,4 +287,4 @@ class ConsusProtocol(ProtocolBackend):
 
 
 __all__ = ["ConsusProtocol", "ConsusServer", "ConsusSession", "ProposalFailed",
-           "validate_and_apply"]
+           "batched_commands", "validate_and_apply"]

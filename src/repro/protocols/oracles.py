@@ -351,7 +351,7 @@ def check_psi_history(history: ProtocolHistory) -> List[Violation]:
 # Strict serializability (Consus)
 # ----------------------------------------------------------------------
 def check_consus(history: ProtocolHistory, backend) -> List[Violation]:
-    from .consus import validate_and_apply
+    from .consus import batched_commands, validate_and_apply
 
     violations: List[Violation] = []
 
@@ -369,20 +369,26 @@ def check_consus(history: ProtocolHistory, backend) -> List[Violation]:
                     )
                 )
 
-    # Deterministic replay of the merged log.
+    # Deterministic replay of the merged log: slots in order, each
+    # slot's batched commands in list order, every command assigned a
+    # global sequence number -- the serialization position the servers
+    # report as the (historically named) ``slot`` witness.
     kv: Dict[str, Tuple[Any, int]] = {}
     outcomes: Dict[int, str] = {}
     pre_values: Dict[int, Dict[str, Any]] = {}
+    seq_cmd: Dict[int, dict] = {}
     tid_slot: Dict[str, int] = {}
-    for slot, cmd in log:
-        if not (isinstance(cmd, dict) and "reads" in cmd and "writes" in cmd):
-            continue
-        read_keys = set(cmd["reads"]) | set(cmd["writes"])
-        pre_values[slot] = {
-            key: (kv[key][0] if key in kv else None) for key in read_keys
-        }
-        outcomes[slot] = validate_and_apply(kv, slot, cmd)
-        tid_slot.setdefault(cmd["tid"], slot)
+    seq = 0
+    for _slot, cmd in log:
+        for entry in batched_commands(cmd):
+            read_keys = set(entry["reads"]) | set(entry["writes"])
+            pre_values[seq] = {
+                key: (kv[key][0] if key in kv else None) for key in read_keys
+            }
+            outcomes[seq] = validate_and_apply(kv, seq, entry)
+            seq_cmd[seq] = entry
+            tid_slot.setdefault(entry["tid"], seq)
+            seq += 1
 
     for tx in history.committed():
         slot = tx.meta.get("slot")
@@ -391,12 +397,12 @@ def check_consus(history: ProtocolHistory, backend) -> List[Violation]:
                 Violation("consus-witness", "%s committed without a slot" % tx.tid)
             )
             continue
-        cmd = merged.get(slot)
+        cmd = seq_cmd.get(slot)
         if not isinstance(cmd, dict) or cmd.get("tid") != tx.tid:
             violations.append(
                 Violation(
                     "consus-witness",
-                    "%s claims slot %d but the log holds %r" % (tx.tid, slot, cmd),
+                    "%s claims seq %d but the log holds %r" % (tx.tid, slot, cmd),
                 )
             )
             continue
@@ -404,7 +410,7 @@ def check_consus(history: ProtocolHistory, backend) -> List[Violation]:
             violations.append(
                 Violation(
                     "consus-outcome",
-                    "%s reported COMMITTED but replay decides %s at slot %d"
+                    "%s reported COMMITTED but replay decides %s at seq %d"
                     % (tx.tid, outcomes.get(slot), slot),
                 )
             )
@@ -419,7 +425,7 @@ def check_consus(history: ProtocolHistory, backend) -> List[Violation]:
                 violations.append(
                     Violation(
                         "consus-read-value",
-                        "%s read %s=%r but the serial state at slot %d holds %r"
+                        "%s read %s=%r but the serial state at seq %d holds %r"
                         % (tx.tid, key, value, slot, expected),
                     )
                 )
