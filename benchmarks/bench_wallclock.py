@@ -91,6 +91,13 @@ def main(argv=None):
         "repeat must execute the identical simulated schedule",
     )
     parser.add_argument(
+        "--shard-speedup-min", type=float, default=2.0,
+        help="with shard_scaling selected: fail unless aggregate "
+        "simulated throughput at 4 shards/site is >= this multiple of "
+        "the 1-shard run (a simulated-schedule property, so it holds on "
+        "any machine)",
+    )
+    parser.add_argument(
         "--parallel-speedup-min", type=float, default=None,
         help="with eight_site_scaling and eight_site_parallel both "
         "selected: fail unless parallel wall-clock speedup >= this",
@@ -193,6 +200,17 @@ def main(argv=None):
                     % (effective, args.parallel_speedup_min)
                 )
                 status = 1
+    # Shard-scaling gate: per-shard servers bring their own cores and WAL
+    # devices, so aggregate simulated throughput must scale with shards.
+    if "shard_scaling" in results:
+        speedup = results["shard_scaling"]["sim"]["speedup"]
+        verdict = "ok" if speedup >= args.shard_speedup_min else "REGRESSED"
+        print(
+            "shard scaling: %.2fx aggregate throughput at 4 shards/site "
+            "(min %.1fx) %s" % (speedup, args.shard_speedup_min, verdict)
+        )
+        if speedup < args.shard_speedup_min:
+            status = 1
     if args.check:
         doc = _load(args.check)
         ref = doc.get("optimized", {}).get("scenarios", {})

@@ -302,6 +302,86 @@ def parallel_digest_gate(small: bool = False) -> Dict[str, Any]:
     }
 
 
+def _shard_run(shards: int, small: bool) -> Dict[str, Any]:
+    """One closed-loop mixed run on 4 base EC2 sites split into
+    ``shards`` keyspace shards; returns aggregate committed throughput."""
+    world = Deployment(
+        n_sites=4, costs=walter_costs("ec2"), flush_latency=FLUSH_EC2,
+        seed=31, shards=shards,
+    )
+    keys = populate(world, n_keys=500 * world.n_sites)
+    factory = mixed_tx_factory(keys, 1, 5)
+    result = run_closed_loop(
+        world,
+        factory,
+        clients_per_site=8 if small else 16,
+        warmup=0.1,
+        measure=0.2 if small else 0.4,
+        name="shard-scaling-%d" % shards,
+    )
+    return {
+        "events": world.kernel.events_executed,
+        "ops": result.ops,
+        "ktps": round(result.ktps, 3),
+    }
+
+
+@scenario
+def shard_scaling(small: bool = False) -> Dict[str, Any]:
+    """Throughput vs shards-per-site (DESIGN.md §13): the Fig 17 mixed
+    workload on 4 base sites at 1 and 4 keyspace shards each.  Every
+    shard server brings its own cores, WAL device, and propagation
+    stream, so aggregate committed throughput must scale; the ISSUE 9
+    acceptance gate requires >= 2x at 4 shards."""
+    start = time.perf_counter()
+    one = _shard_run(1, small)
+    four = _shard_run(4, small)
+    wall = time.perf_counter() - start
+    speedup = four["ktps"] / one["ktps"] if one["ktps"] else 0.0
+    return {
+        "wall_s": wall,
+        "events": one["events"] + four["events"],
+        "sim": {
+            "ktps_shards1": one["ktps"],
+            "ktps_shards4": four["ktps"],
+            "ops_shards1": one["ops"],
+            "ops_shards4": four["ops"],
+            "speedup": round(speedup, 3),
+        },
+    }
+
+
+@scenario
+def sharded_eight_site(small: bool = False) -> Dict[str, Any]:
+    """The eight-site write workload with the 8 logical sites built as
+    4 base sites x 2 shards (LAN between co-located shard servers, the
+    uniform 80 ms WAN between bases): propagation bookkeeping at the
+    same logical fan-out as ``eight_site_scaling``, plus the sharded
+    topology's mixed LAN/WAN link model."""
+    start = time.perf_counter()
+    cpu_start = time.process_time()
+    world = Deployment(
+        n_sites=4,
+        topology=Topology.uniform(4, rtt_ms=80.0),
+        costs=walter_costs("ec2"),
+        flush_latency=FLUSH_EC2,
+        seed=23,
+        shards=2,
+    )
+    sim = eight_site_write_scenario(world, **_eight_site_params(small))
+    cpu = time.process_time() - cpu_start
+    wall = time.perf_counter() - start
+    return {
+        "wall_s": wall,
+        "events": world.kernel.events_executed,
+        "sim": {
+            "ops": sim["ops"],
+            "now": sim["now"],
+            "cpu_s": round(cpu, 3),
+        },
+    }
+
+
 def run_scenarios(
     names: List[str] = None, small: bool = False, repeats: int = 1
 ) -> Dict[str, Any]:

@@ -109,6 +109,14 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=1, help="first seed (default 1)")
     parser.add_argument("--runs", type=int, default=1, help="number of seeds to run")
     parser.add_argument("--sites", type=int, default=3, help="sites in the deployment")
+    parser.add_argument(
+        "--shards", type=int, default=1,
+        help="keyspace shards per site (each a full logical site)",
+    )
+    parser.add_argument(
+        "--replication", type=int, default=None,
+        help="base sites replicating each shard group (default: all)",
+    )
     parser.add_argument("--budget", type=int, default=6, help="fault budget per schedule")
     parser.add_argument("--horizon", type=float, default=8.0, help="fault window (sim s)")
     parser.add_argument(
@@ -151,6 +159,8 @@ def main(argv=None) -> int:
         fault_budget=args.budget,
         horizon=args.horizon,
         bug=args.bug,
+        shards=args.shards,
+        replication=args.replication,
     )
     for seed in range(args.seed, args.seed + args.runs):
         config = replace(base, seed=seed)

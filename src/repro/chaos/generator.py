@@ -34,7 +34,11 @@ def generate_schedule(config) -> Schedule:
     costs 3, crash/replace and partition/heal cost 2, light faults 1)
     and lay them out over ``[0.05, 0.95] * horizon``."""
     rng = random.Random(derive_seed(config.seed, "chaos.schedule"))
-    n = config.n_sites
+    # Faults target *logical* sites: a sharded config (shards > 1) runs
+    # n_sites * shards shard servers, and every one is fair game.  At
+    # shards=1 this is exactly config.n_sites, so unsharded schedules
+    # are unchanged.
+    n = config.n_sites * getattr(config, "shards", 1)
     horizon = config.horizon
     structural: List[str] = []
     light: List[str] = []
@@ -83,6 +87,23 @@ def generate_schedule(config) -> Schedule:
                 {
                     "site": prng.randrange(n),
                     "duration": round(_uniform(prng, 0.3, 1.5), 6),
+                },
+            )
+        )
+
+    # Mid-handover target crash (rollback fixture): its own stream for
+    # the same reason as prepare_reply_loss above -- existing schedules
+    # must not reshuffle.
+    mrng = random.Random(derive_seed(config.seed, "chaos.migration_crash"))
+    if mrng.random() < 0.25:
+        events.append(
+            FaultEvent(
+                _uniform(mrng, start, end),
+                "migration_crash",
+                {
+                    "cid": "c%d" % mrng.randrange(n),
+                    "to_site": mrng.randrange(n),
+                    "kill_after": round(_uniform(mrng, 0.05, 0.5), 6),
                 },
             )
         )

@@ -60,6 +60,14 @@ class ChaosConfig:
     settle: float = 6.0
     #: Deliberate-bug name (see RecoveryMixin.CHAOS_BUGS); self-test only.
     bug: Optional[str] = None
+    #: Intra-site keyspace shards per base site (DESIGN.md §13).  The
+    #: deployment then runs ``n_sites * shards`` logical sites, and
+    #: workload/faults target the logical ids.  Defaults keep stored
+    #: corpus configs (which predate sharding) loading unchanged.
+    shards: int = 1
+    #: Per-shard replication factor (base sites per shard group); None =
+    #: full replication.
+    replication: Optional[int] = None
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -74,6 +82,8 @@ class ChaosConfig:
             "flush_latency": self.flush_latency,
             "settle": self.settle,
             "bug": self.bug,
+            "shards": self.shards,
+            "replication": self.replication,
         }
 
     @classmethod
@@ -226,6 +236,8 @@ def _run_chaos(
         jitter_frac=0.10,
         lease_sweeper=True,
         tracing=bool(monitor),
+        shards=config.shards,
+        replication=config.replication,
     )
     world.chaos_bug = config.bug
     online = OnlineMonitor(world) if monitor else None

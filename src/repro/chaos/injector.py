@@ -169,6 +169,33 @@ class FaultInjector:
 
         self._spawn_op(op(), name="chaos.handover:%s" % cid)
 
+    def _fault_migration_crash(self, cid: str, to_site: int, kill_after: float) -> None:
+        """Start a preferred-site migration and kill the target mid-
+        handover: the live fixture for the rollback path of
+        ``Deployment.migrate_preferred_site`` -- the old site's lease must
+        come back exactly once, with no window where both sites fast-
+        commit the container.  The migration's timeout is recorded as an
+        injection error (expected); the oracles judge the aftermath."""
+        self.world.config.container(cid)  # raises if unknown
+        if not self.world.config.is_active(to_site):
+            raise RuntimeError("migration target site %d is removed" % to_site)
+
+        def migrate():
+            try:
+                yield from self.world.migrate_preferred_site(cid, to_site, within=5.0)
+            except Exception as exc:  # noqa: BLE001 - timeout is the point
+                self._note_error("migration_crash", exc)
+
+        def killer():
+            yield self.kernel.timeout(kill_after)
+            if self.world.config.is_active(to_site) and not self.world.network.is_crashed(
+                self.world.addresses[to_site]
+            ):
+                self.world.crash_server(to_site)
+
+        self._spawn_op(migrate(), name="chaos.migration:%s" % cid)
+        self._spawn_op(killer(), name="chaos.migration_kill:%d" % to_site)
+
     def _fault_fail_site(self, site: int) -> None:
         if not self.world.config.is_active(site):
             raise RuntimeError("site %d already removed" % site)

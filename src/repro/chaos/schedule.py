@@ -19,6 +19,8 @@ network/disk gremlins:
 ``flush_stall``         hold WAL flushes at ``site`` for ``duration``
 ``prepare_reply_loss``  drop ``site``'s prepare replies for ``duration``
 ``handover``            move container ``cid``'s preferred site to ``to_site``
+``migration_crash``     start a handover of ``cid`` to ``to_site``, then crash
+                        the target ``kill_after`` seconds in (rollback fixture)
 ``fail_site``           whole-site failure: server down, links severed
 ``remove_site``         aggressive removal (§4.4), reassign to ``reassign_to``
 ``reintegrate``         bring a removed site back (§5.7)
@@ -42,6 +44,7 @@ FAULT_CATALOG: Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...]]] = {
     "flush_stall": (("site", "duration"), ("site",)),
     "prepare_reply_loss": (("site", "duration"), ("site",)),
     "handover": (("cid", "to_site"), ("to_site",)),
+    "migration_crash": (("cid", "to_site", "kill_after"), ("to_site",)),
     "fail_site": (("site",), ("site",)),
     "remove_site": (("site", "reassign_to"), ("site", "reassign_to")),
     "reintegrate": (("site",), ("site",)),

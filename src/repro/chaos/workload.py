@@ -51,27 +51,29 @@ class WorkloadHandle:
 
 
 def make_objects(world, config):
-    """One container per site (``c0``..``c{n-1}``, preferred there), and
-    the object/cset ids spread over them -- the layout the schedule
-    generator's ``handover`` fault assumes."""
-    for site in range(config.n_sites):
+    """One container per *logical* site (``c0``..``c{n-1}``, preferred
+    there -- ``world.n_sites`` counts shard servers when the config
+    shards), and the object/cset ids spread over them -- the layout the
+    schedule generator's ``handover`` fault assumes."""
+    n = world.n_sites
+    for site in range(n):
         world.create_container("c%d" % site, preferred_site=site)
     rng = random.Random(derive_seed(config.seed, "chaos.objects"))
     oids = [
-        world.config.container("c%d" % rng.randrange(config.n_sites)).new_id()
+        world.config.container("c%d" % rng.randrange(n)).new_id()
         for _ in range(config.n_objects)
     ]
     csets = [
-        world.config.container("c%d" % rng.randrange(config.n_sites)).new_id(ObjectKind.CSET)
+        world.config.container("c%d" % rng.randrange(n)).new_id(ObjectKind.CSET)
         for _ in range(config.n_csets)
     ]
     return oids, csets
 
 
 def start_workload(world, config, oids, csets) -> WorkloadHandle:
-    """Spawn ``clients_per_site`` client loops at every site."""
+    """Spawn ``clients_per_site`` client loops at every logical site."""
     handle = WorkloadHandle()
-    for site in range(config.n_sites):
+    for site in range(world.n_sites):
         for c in range(config.clients_per_site):
             client = world.new_client(site, name="chaos-client-%d-%d" % (site, c))
             crng = random.Random(derive_seed(config.seed, "chaos.client.%d.%d" % (site, c)))

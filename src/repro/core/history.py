@@ -507,6 +507,27 @@ class SiteHistories:
     def dump(self) -> Dict[ObjectId, Dict[str, Any]]:
         return {oid: hist.dump() for oid, hist in self._histories.items()}
 
+    def export_container(self, cid: str) -> Dict[ObjectId, Dict[str, Any]]:
+        """Dump the retained histories of one container's objects --
+        the replica-backfill payload a site joining the container's
+        replica set installs (partial replication, DESIGN.md §13)."""
+        return {
+            oid: hist.dump()
+            for oid, hist in self._histories.items()
+            if oid.container == cid
+        }
+
+    def install_container(self, dumped: Dict[ObjectId, Dict[str, Any]]) -> int:
+        """Install a replica backfill from :meth:`export_container`.
+
+        Replaces this site's histories of the dumped objects: the
+        installer was not a replica until now, so every record it
+        received for them arrived trimmed and its local histories are
+        empty."""
+        for oid, state in dumped.items():
+            self._histories[oid] = ObjectHistory.load(oid, state)
+        return len(dumped)
+
     @classmethod
     def load(cls, state: Dict[ObjectId, Dict[str, Any]]) -> "SiteHistories":
         hists = cls()

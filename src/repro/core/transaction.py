@@ -5,7 +5,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, FrozenSet, Hashable, List, Optional
+from typing import Any, FrozenSet, Hashable, List, Optional, Tuple
 
 from ..errors import TransactionStateError
 from .objects import ObjectId
@@ -142,6 +142,13 @@ class CommitRecord:
     #: Simulated time the transaction committed at its origin; carried on
     #: the wire so receivers can measure replication lag (repro.obs).
     committed_at: Optional[float] = None
+    #: Trimmed records only: the container ids the ORIGINAL record's
+    #: updates touched.  Partial replication drops non-replica updates
+    #: from a site's wire copy, so recovery cannot tell from ``updates``
+    #: alone what the transaction wrote; site removal needs the full
+    #: footprint to judge whether every written container still has a
+    #: surviving replica holding the data.  ``None`` on full records.
+    touched: Optional[Tuple[str, ...]] = None
     #: Cached ``Version(site, seqno)`` -- site/seqno are fixed at
     #: construction and the property is on several hot paths.
     _version: Optional[Version] = field(default=None, repr=False, compare=False)
@@ -163,7 +170,23 @@ class CommitRecord:
         return (
             _restore_record,
             (self.tid, self.site, self.seqno, self.start_vts._seqnos,
-             self.updates, self.committed_at),
+             self.updates, self.committed_at, self.touched),
+        )
+
+    def trimmed(self, updates: List[Update]) -> "CommitRecord":
+        """A copy carrying only ``updates`` (a subset of this record's):
+        what partial replication ships to a site that does not replicate
+        every container the transaction wrote.  Identity, origin version,
+        snapshot, and commit time are preserved, so receivers advance
+        their vector clocks and release 2PC locks exactly as they would
+        for the full record.  The copy remembers the original write
+        footprint in ``touched``."""
+        touched = self.touched
+        if touched is None:
+            touched = tuple(sorted({u.oid.container for u in self.updates}))
+        return CommitRecord(
+            self.tid, self.site, self.seqno, self.start_vts, updates,
+            self.committed_at, touched=touched,
         )
 
     def payload_bytes(self) -> int:
@@ -182,8 +205,9 @@ class CommitRecord:
         return base + per_update
 
 
-def _restore_record(tid, site, seqno, seqnos, updates, committed_at):
+def _restore_record(tid, site, seqno, seqnos, updates, committed_at, touched=None):
     """Unpickle target of :meth:`CommitRecord.__reduce__`."""
     return CommitRecord(
-        tid, site, seqno, VectorTimestamp._wrap(seqnos), updates, committed_at
+        tid, site, seqno, VectorTimestamp._wrap(seqnos), updates, committed_at,
+        touched=touched,
     )

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import itertools
 import operator
+import zlib
 from typing import Dict, Generator, List, Optional, Set
 
 from .client import WalterClient
@@ -67,9 +68,13 @@ class Deployment:
         cluster=None,
         executor: str = "serial",
         workers: int = 0,
+        shards: int = 1,
+        replication: Optional[int] = None,
     ):
         if executor not in ("serial", "parallel"):
             raise ValueError("executor must be 'serial' or 'parallel', got %r" % (executor,))
+        if shards < 1:
+            raise ValueError("shards must be >= 1, got %d" % shards)
         if executor == "parallel":
             # Driver-handle mode (DESIGN.md §12): no world is built here.
             # Each parallel worker constructs its own cluster-restricted
@@ -93,6 +98,8 @@ class Deployment:
                 trace_capacity=trace_capacity,
                 lease_sweeper=lease_sweeper,
                 leases=leases,
+                shards=shards,
+                replication=replication,
             )
             return
         self.executor = "serial"
@@ -107,8 +114,38 @@ class Deployment:
         )
         self.kernel = Kernel()
         self.streams = RandomStreams(seed)
-        self.topology = topology or Topology.ec2(n_sites)
+        base_topology = topology or Topology.ec2(n_sites)
+        #: Intra-site keyspace sharding (DESIGN.md §13): every base site
+        #: runs ``shards`` co-located shard servers, each a full logical
+        #: site (own seqno stream, WAL, cache, propagation).  ``shards=1``
+        #: takes exactly the unsharded path -- same topology object, same
+        #: names -- so single-shard runs are bit-identical to the
+        #: pre-sharding kernel.
+        self.shards = shards
+        if shards > 1 and getattr(base_topology, "shards", 1) == shards:
+            # Already expanded: the parallel executor shards the topology
+            # eagerly so its cluster partitions align with logical sites.
+            self.topology = base_topology
+            self.n_base_sites = len(base_topology) // shards
+        elif shards > 1:
+            self.n_base_sites = len(base_topology)
+            self.topology = Topology.sharded(base_topology, shards)
+        else:
+            self.n_base_sites = len(base_topology)
+            self.topology = base_topology
         self.n_sites = len(self.topology)
+        if replication is not None and not 1 <= replication <= self.n_base_sites:
+            raise ValueError(
+                "replication must be in [1, %d], got %r"
+                % (self.n_base_sites, replication)
+            )
+        #: Per-shard replication factor: how many base sites store each
+        #: container's shard group (None = every site, the classic
+        #: full-replication configuration).
+        self.replication = replication
+        self._partial_replication = (
+            replication is not None and replication < self.n_base_sites
+        )
         #: Shared observability: the metrics registry is always on;
         #: per-transaction span tracing is enabled with ``tracing=True``,
         #: and ``tracing="deep"`` additionally records commit-path
@@ -204,6 +241,7 @@ class Deployment:
             takeover=takeover,
             obs=self.obs,
             leases=self.leases,
+            partial_replication=self._partial_replication,
         )
         server.chaos_bug = self.chaos_bug
         return server
@@ -258,19 +296,63 @@ class Deployment:
     def server(self, site: int) -> WalterServer:
         return self.servers[site]
 
+    # ------------------------------------------------------------------
+    # Shard routing (DESIGN.md §13)
+    # ------------------------------------------------------------------
+    def shard_of(self, cid: str) -> int:
+        """Deterministic container-id -> shard routing.  ``crc32`` rather
+        than ``hash()``: the builtin string hash is salted per process
+        (PYTHONHASHSEED), which would break cross-process determinism in
+        the parallel executor and across replay runs."""
+        return zlib.crc32(cid.encode("utf-8")) % self.shards
+
+    def logical_site(self, base_site: int, shard: int = 0) -> int:
+        """The logical site id of ``shard`` at ``base_site``."""
+        if not 0 <= shard < self.shards:
+            raise ValueError("shard must be in [0, %d), got %d" % (self.shards, shard))
+        return base_site * self.shards + shard
+
+    def base_site_of(self, site: int) -> int:
+        """The base (data-center) site a logical site belongs to."""
+        return site // self.shards
+
+    def route_container(self, cid: str, base_site: int) -> int:
+        """The logical site where ``cid``'s preferred server lives when
+        its preferred data center is ``base_site`` (hash routing)."""
+        return self.logical_site(base_site, self.shard_of(cid))
+
     def create_container(
         self,
         cid: Optional[str] = None,
         preferred_site: int = 0,
         replica_sites=None,
+        preferred_base_site: Optional[int] = None,
     ) -> Container:
         """Register a container; default replication is all sites (the
         WaltSocial configuration: 'replicated at all sites to optimize for
-        reads', §7)."""
+        reads', §7).
+
+        ``preferred_site`` is a logical site (container routing: the
+        caller pins the shard).  Alternatively pass ``preferred_base_site``
+        to hash-route the container to its shard within that data center.
+        When the deployment has a ``replication`` factor, the default
+        replica set is the container's shard group: the same shard's
+        servers at ``replication`` consecutive base sites starting at the
+        preferred one -- so not every site stores every shard."""
         if cid is None:
             cid = "container-%d" % next(self._container_seq)
+        if preferred_base_site is not None:
+            preferred_site = self.route_container(cid, preferred_base_site)
         if replica_sites is None:
-            replica_sites = range(self.n_sites)
+            if self.replication is None:
+                replica_sites = range(self.n_sites)
+            else:
+                shard = preferred_site % self.shards
+                anchor = preferred_site // self.shards
+                replica_sites = [
+                    ((anchor + i) % self.n_base_sites) * self.shards + shard
+                    for i in range(self.replication)
+                ]
         container = Container(cid, preferred_site, frozenset(replica_sites))
         return self.config.register(container)
 
@@ -340,6 +422,12 @@ class Deployment:
                 updates=updates,
             )
             for server in self._owned_servers():
+                # Partial replication: a site only stores the shards it
+                # replicates; preloaded data follows the same placement.
+                if self._partial_replication and not self.config.container(
+                    oid.container
+                ).replicated_at(server.site_id):
+                    continue
                 server.histories.apply(updates, version)
                 server._records_by_version[version] = record
             if self.trace is not None:
@@ -463,6 +551,20 @@ class Deployment:
         # Seqnos skipped that way must still reach every receiver (the
         # propagation guard needs a contiguous stream): plug with no-ops.
         replacement.seal_seqno_holes()
+        # The predecessor's prepared-lock table was volatile: a 2PC it
+        # voted YES for may have committed elsewhere and still be
+        # propagating.  Gate commit admission (fast commits and prepare
+        # votes) until the replacement has received everything the live
+        # sites had committed at takeover -- the lock, had it survived,
+        # would have been released by exactly those records' arrival.
+        target = replacement.committed_vts
+        for peer, server in enumerate(self.servers):
+            if peer == site or server is None:
+                continue
+            if self.network.is_crashed(self.addresses[peer]):
+                continue
+            target = target.merge(server.committed_vts)
+        replacement.set_sync_barrier(target)
         self._boot(replacement)
         self.servers[site] = replacement
         checkpointer = self.storages[site].checkpointer
@@ -547,28 +649,37 @@ class Deployment:
         )
         return replacement
 
-    def handover_container_gen(
+    def migrate_preferred_site(
         self, cid: str, to_site: int, within: float = 30.0
     ) -> Generator:
-        """Planned preferred-site handover of one container, using the
+        """Planned preferred-site migration of one container, using the
         same lease mechanism §5.7 uses for reassignment after a site
         failure.  The fast-commit conflict check is only sound at a site
-        whose history is complete for the container, so the handover
+        whose history is complete for the container, so the migration
         must not take effect before the target caught up with
         everything the old preferred site admitted:
 
         1. revoke the lease -- new writes to the container abort until
-           the handover lands (or is rolled back);
+           the migration lands (or is rolled back);
         2. wait for both endpoints to be up: a crashed target cannot
            catch up, and a crashed old server only re-establishes its
            admitted frontier once replaced and recovered;
         3. wait until the target's GotVTS dominates the old preferred
            site's CommittedVTS;
-        4. reassign, which also grants the lease to the target.
+        4. re-check the target is still alive -- it may have crashed
+           *during* the catch-up wait with its GotVTS already dominant,
+           and granting the lease to a dead server would stall the
+           container until a manual reassignment;
+        5. reassign, which also grants the lease to the target.
 
-        If the endpoints do not come up within ``within`` sim-seconds
-        the handover is rolled back (lease returned to the old holder)
-        and a TimeoutError is raised.
+        The rollback path re-grants the old site's lease **exactly
+        once** on *any* failure -- not just the deadline TimeoutError:
+        an unexpected exception (or an interrupt delivered to the
+        generator, e.g. the driving process being killed by a chaos
+        fault) must not leave the lease suspended forever, and must not
+        open a window where both sites hold it.  Between revoke and the
+        single terminal grant no site holds the lease, so at no point
+        can two sites fast-commit the container.
         """
         old = self.config.container(cid).preferred_site
         if old == to_site:
@@ -576,28 +687,91 @@ class Deployment:
             return
         self.config.suspend_lease(cid)
         deadline = self.kernel.now + within
+        granted = False
         try:
             while self.network.is_crashed(
                 self.addresses[old]
             ) or self.network.is_crashed(self.addresses[to_site]):
                 if self.kernel.now >= deadline:
                     raise TimeoutError(
-                        "handover of %r to site %d: endpoint down past deadline"
+                        "migration of %r to site %d: endpoint down past deadline"
                         % (cid, to_site)
                     )
                 yield self.kernel.timeout(0.05)
+            backfill = self._partial_replication and not self.config.container(
+                cid
+            ).replicated_at(to_site)
             needed = self.servers[old].committed_vts
-            while not self.servers[to_site].got_vts.dominates(needed):
+            if backfill:
+                # The target is *joining* the replica set: every record
+                # it received so far arrived trimmed, so it holds no
+                # data for the container and must install a copy from
+                # the old replica before the grant.  Freeze the commit
+                # frontier of every live site -- the revoked lease
+                # refuses new writes to the container -- and wait for
+                # BOTH endpoints to dominate it: only then does the old
+                # site's history hold every committed write to the
+                # container (including ones slow-committed at third
+                # sites still propagating), making the copy complete.
+                for peer, server in enumerate(self.servers):
+                    if server is None or self.network.is_crashed(
+                        self.addresses[peer]
+                    ):
+                        continue
+                    needed = needed.merge(server.committed_vts)
+
+            def caught_up() -> bool:
+                if not self.servers[to_site].got_vts.dominates(needed):
+                    return False
+                if backfill and not self.servers[old].got_vts.dominates(needed):
+                    return False
+                return True
+
+            while not caught_up():
                 if self.kernel.now >= deadline:
                     raise TimeoutError(
-                        "handover of %r to site %d: target never caught up"
+                        "migration of %r to site %d: target never caught up"
                         % (cid, to_site)
                     )
                 yield self.kernel.timeout(0.01)
-        except TimeoutError:
-            self.config.reassign_preferred_site(cid, old)  # roll back
-            raise
-        self.config.reassign_preferred_site(cid, to_site)
+            if backfill:
+                # Install the copy and wait for its WAL flush: granting
+                # before durability would let a target crash fence the
+                # copy away -- and propagation can never redeliver it.
+                # Polled, not yielded: fencing drops the flush's done
+                # event without firing it, and a wedged wait here would
+                # leave the lease suspended forever.
+                durable = self.servers[to_site].install_container_backfill(
+                    cid, self.servers[old].histories.export_container(cid)
+                )
+                while not durable.triggered:
+                    if self.kernel.now >= deadline or self.network.is_crashed(
+                        self.addresses[to_site]
+                    ):
+                        raise TimeoutError(
+                            "migration of %r to site %d: backfill never durable"
+                            % (cid, to_site)
+                        )
+                    yield self.kernel.timeout(0.01)
+            if self.network.is_crashed(self.addresses[to_site]):
+                raise TimeoutError(
+                    "migration of %r to site %d: target crashed during catch-up"
+                    % (cid, to_site)
+                )
+            self.config.reassign_preferred_site(cid, to_site)
+            granted = True
+        finally:
+            if not granted:
+                # Exactly-once rollback: this is the only other grant
+                # after the revoke above, and it runs iff the terminal
+                # grant did not.
+                self.config.reassign_preferred_site(cid, old)
+
+    def handover_container_gen(
+        self, cid: str, to_site: int, within: float = 30.0
+    ) -> Generator:
+        """Backwards-compatible alias of :meth:`migrate_preferred_site`."""
+        return (yield from self.migrate_preferred_site(cid, to_site, within=within))
 
     def _coordinator(self, at_site: int = 0) -> SiteRecoveryCoordinator:
         host = Host(

@@ -80,6 +80,10 @@ class Topology:
             for sb in self.sites:
                 self._rtt_s[(sa.id, sb.id)] = self._rtt_ms[(sa.name, sb.name)] / 1000.0
         self._max_rtt_s: Dict[int, float] = {}
+        #: Optional grouping of distinct sites that share a LAN (set by
+        #: :meth:`sharded`): pairs in the same group get intra-site
+        #: bandwidth.  ``None`` keeps the classic same-id-only rule.
+        self._intra_group_of: Optional[Dict[int, int]] = None
 
     @classmethod
     def ec2(cls, n_sites: int = 4) -> "Topology":
@@ -135,6 +139,67 @@ class Topology:
         return topo
 
     @classmethod
+    def sharded(
+        cls,
+        base: "Topology",
+        shards: int,
+        lan_rtt_ms: float = 0.3,
+    ) -> "Topology":
+        """Expand ``base`` so every data center runs ``shards`` co-located
+        shard servers (one keyspace shard each, DESIGN.md §13).
+
+        Logical site ``b * shards + k`` is shard ``k`` of base site ``b``
+        and is named ``<base>/s<k>``.  Shard servers of the same base site
+        see LAN latency (``lan_rtt_ms``) and intra-site bandwidth; shard
+        servers of different base sites inherit the base pair's WAN RTT
+        and the cross-site bandwidth cap.  ``shards=1`` callers should use
+        ``base`` directly -- the deployment layer does, so a single-shard
+        run is bit-identical to an unsharded one.
+
+        The result carries ``shards``, ``base_of`` (logical site id ->
+        base site id) and ``shard_of`` (logical site id -> shard index),
+        mirroring the ``dc_of`` annotation of :meth:`datacenters`.
+        """
+        if shards < 1:
+            raise ValueError("shards must be >= 1, got %d" % shards)
+        names: List[str] = []
+        origin: List[Tuple[str, int]] = []
+        for site in base.sites:
+            for k in range(shards):
+                names.append("%s/s%d" % (site.name, k))
+                origin.append((site.name, k))
+        table: Dict[Tuple[str, str], float] = {}
+        for i, a in enumerate(names):
+            base_a, _shard_a = origin[i]
+            for j in range(i, len(names)):
+                b = names[j]
+                base_b, _shard_b = origin[j]
+                if a == b:
+                    table[(a, b)] = base._rtt_ms[(base_a, base_a)]
+                elif base_a == base_b:
+                    table[(a, b)] = lan_rtt_ms
+                else:
+                    table[(a, b)] = base._rtt_ms[(base_a, base_b)]
+        topo = cls(
+            names,
+            table,
+            intra_bandwidth_bps=base.intra_bandwidth_bps,
+            cross_bandwidth_bps=base.cross_bandwidth_bps,
+        )
+        topo.shards = shards
+        topo.base_of = {
+            topo.site(name).id: base.site(origin[i][0]).id
+            for i, name in enumerate(names)
+        }
+        topo.shard_of = {
+            topo.site(name).id: origin[i][1] for i, name in enumerate(names)
+        }
+        # Same-base shard servers share the data center's LAN: message
+        # transfer between them uses intra-site bandwidth, not the WAN cap.
+        topo._intra_group_of = dict(topo.base_of)
+        return topo
+
+    @classmethod
     def uniform(cls, n_sites: int, rtt_ms: float, local_rtt_ms: float = 0.5) -> "Topology":
         """A synthetic topology with one RTT between every pair of sites."""
         names = ["S%d" % i for i in range(n_sites)]
@@ -170,6 +235,9 @@ class Topology:
     def bandwidth_bps(self, a, b) -> float:
         sa, sb = self.site(a), self.site(b)
         if sa.id == sb.id:
+            return self.intra_bandwidth_bps
+        groups = self._intra_group_of
+        if groups is not None and groups.get(sa.id) == groups.get(sb.id):
             return self.intra_bandwidth_bps
         return self.cross_bandwidth_bps
 

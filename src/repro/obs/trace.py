@@ -33,7 +33,7 @@ is byte-identical with or without this feature existing.
 
 from __future__ import annotations
 
-from collections import OrderedDict
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
@@ -82,20 +82,57 @@ _COMMIT_EVENTS = (FAST_COMMIT, SLOW_COMMIT_COMMIT)
 TERMINAL_EVENTS = frozenset((GLOBALLY_VISIBLE, ABORT))
 
 
-@dataclass
 class SpanEvent:
-    """One point on a transaction's timeline (simulated seconds)."""
+    """One point on a transaction's timeline (simulated seconds).
 
-    seq: int
-    tid: str
-    name: str
-    site: int
-    t: float
-    extra: Dict[str, Any] = field(default_factory=dict)
-    #: Causal edge: the ``seq`` of the span event that caused this one
-    #: (across RPC hops and propagation).  Only set in deep tracing mode;
-    #: serialized only when present, so default-mode JSONL is unchanged.
-    parent: Optional[int] = None
+    A plain slotted class, not a dataclass: one of these is allocated per
+    recorded span, which makes construction cost (and per-instance dict
+    overhead) the dominant term of tracing overhead.  ``slots=True``
+    dataclasses would do, but the CI floor is Python 3.9.
+    """
+
+    __slots__ = ("seq", "tid", "name", "site", "t", "extra", "parent")
+
+    def __init__(
+        self,
+        seq: int,
+        tid: str,
+        name: str,
+        site: int,
+        t: float,
+        extra: Optional[Dict[str, Any]] = None,
+        #: Causal edge: the ``seq`` of the span event that caused this
+        #: one (across RPC hops and propagation).  Only set in deep
+        #: tracing mode; serialized only when present, so default-mode
+        #: JSONL is unchanged.
+        parent: Optional[int] = None,
+    ):
+        self.seq = seq
+        self.tid = tid
+        self.name = name
+        self.site = site
+        self.t = t
+        self.extra = {} if extra is None else extra
+        self.parent = parent
+
+    def __repr__(self) -> str:
+        return (
+            "SpanEvent(seq=%r, tid=%r, name=%r, site=%r, t=%r, extra=%r, parent=%r)"
+            % (self.seq, self.tid, self.name, self.site, self.t, self.extra, self.parent)
+        )
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, SpanEvent):
+            return NotImplemented
+        return (
+            self.seq == other.seq
+            and self.tid == other.tid
+            and self.name == other.name
+            and self.site == other.site
+            and self.t == other.t
+            and self.extra == other.extra
+            and self.parent == other.parent
+        )
 
     def to_dict(self) -> Dict[str, Any]:
         out = {
@@ -122,6 +159,12 @@ class TxTrace:
     #: owner called :meth:`Tracer.finish`; completed traces are the only
     #: ones the ring buffer may evict.
     completed: bool = False
+    #: Per-name index of the most recent event's ``seq``, maintained by
+    #: :meth:`Tracer.record` so the deep-tracing parent-edge lookup
+    #: (:meth:`Tracer.last_seq`) is a dict get instead of a reversed
+    #: scan of the event list -- that scan ran once per deep RPC edge
+    #: and dominated deep-tracing overhead on commit-heavy workloads.
+    last_seq_by_name: Dict[str, int] = field(default_factory=dict)
 
     def first(self, name: str, site: Optional[int] = None) -> Optional[SpanEvent]:
         for event in self.events:
@@ -193,7 +236,15 @@ class Tracer:
         self.capacity = capacity
         #: Deep tracing: fine-grained commit milestones + parent edges.
         self.deep = deep
-        self._traces: "OrderedDict[str, TxTrace]" = OrderedDict()
+        # Plain dict: insertion-ordered since 3.7, and both the per-event
+        # get() and the eviction scan are cheaper than OrderedDict's.
+        self._traces: Dict[str, TxTrace] = {}
+        #: Tids in completion order, awaiting possible eviction.  Keeping
+        #: this queue makes eviction O(1) amortized; scanning ``_traces``
+        #: from the front instead (the previous implementation) walked
+        #: past every still-open trace on each eviction, which dominated
+        #: tracing overhead once a long benchmark filled the buffer.
+        self._completed_fifo: deque = deque()
         self._seq = 0
         self.events_recorded = 0
         self.traces_dropped = 0
@@ -222,32 +273,31 @@ class Tracer:
             trace = self._traces[tid] = TxTrace(tid)
             if len(self._traces) > self.capacity:
                 self._evict_completed()
-        self._seq += 1
-        event = SpanEvent(self._seq, tid, name, site, t, dict(extra), parent)
+        seq = self._seq + 1
+        self._seq = seq
+        # ``extra`` is already a fresh dict built from the call's keyword
+        # arguments; hand it over without copying.
+        event = SpanEvent(seq, tid, name, site, t, extra, parent)
         trace.events.append(event)
+        trace.last_seq_by_name[name] = seq
         self.events_recorded += 1
-        if name in TERMINAL_EVENTS:
+        if name in TERMINAL_EVENTS and not trace.completed:
             trace.completed = True
+            self._completed_fifo.append(tid)
         if self._subscribers:
             for callback in self._subscribers:
                 callback(event)
         return event
 
     def _evict_completed(self) -> None:
-        """Drop the oldest *completed* traces until back within capacity.
-        Open (in-flight) traces are never evicted -- a transaction that
-        outlives the buffer window keeps its whole timeline -- so the
-        buffer may transiently exceed capacity by the number of open
-        traces."""
-        while len(self._traces) > self.capacity:
-            victim = None
-            for tid, trace in self._traces.items():
-                if trace.completed:
-                    victim = tid
-                    break
-            if victim is None:
-                return
-            del self._traces[victim]
+        """Drop the earliest-*completed* traces until back within
+        capacity.  Open (in-flight) traces are never evicted -- a
+        transaction that outlives the buffer window keeps its whole
+        timeline -- so the buffer may transiently exceed capacity by the
+        number of open traces."""
+        fifo = self._completed_fifo
+        while len(self._traces) > self.capacity and fifo:
+            del self._traces[fifo.popleft()]
             self.traces_dropped += 1
 
     def finish(self, tid: str) -> None:
@@ -255,8 +305,9 @@ class Tracer:
         terminal span in the stream: read-only commits, client aborts
         delivered as plain RPCs, lease reaps."""
         trace = self._traces.get(tid)
-        if trace is not None:
+        if trace is not None and not trace.completed:
             trace.completed = True
+            self._completed_fifo.append(tid)
 
     def last_seq(self, tid: str, name: str) -> Optional[int]:
         """``seq`` of the most recent ``name`` event of ``tid`` (used to
@@ -264,10 +315,7 @@ class Tracer:
         trace = self._traces.get(tid)
         if trace is None:
             return None
-        for event in reversed(trace.events):
-            if event.name == name:
-                return event.seq
-        return None
+        return trace.last_seq_by_name.get(name)
 
     def get(self, tid: str) -> Optional[TxTrace]:
         return self._traces.get(tid)
@@ -284,3 +332,4 @@ class Tracer:
 
     def clear(self) -> None:
         self._traces.clear()
+        self._completed_fifo.clear()

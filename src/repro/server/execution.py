@@ -154,6 +154,27 @@ class ExecutionMixin:
             self._trace_read(tx, oid, value)
             return value
         self.profiler.record_read(oid, owner)
+        target = container.preferred_site
+        if self.partial_replication:
+            target = self._nearest_replica(container)
+        if target != container.preferred_site:
+            # PaRiS-style non-blocking read (DESIGN.md §13): fetch from
+            # the closest replica holding the shard.  The replica serves
+            # only if its CommittedVTS dominates our snapshot -- any
+            # version visible at startVTS is then guaranteed applied
+            # there -- and a behind replica answers None, after which we
+            # fall back to the classic preferred-site read.
+            payload = yield from self.call(
+                self.peers[target],
+                "remote_read",
+                oid=oid,
+                start_vts=tx.start_vts,
+                only_if_current=True,
+                timeout=self._rpc_timeout(),
+                span=self._deep_ctx(tx.tid, span.EXECUTE),
+            )
+            if payload is not None:
+                return self._compose_value(tx, oid, payload)
         payload = yield from self.call(
             self.peers[container.preferred_site],
             "remote_read",
@@ -164,11 +185,31 @@ class ExecutionMixin:
         )
         return self._compose_value(tx, oid, payload)
 
-    def rpc_remote_read(self, oid: ObjectId, start_vts):
+    def _nearest_replica(self, container) -> int:
+        """The active replica of ``container`` closest to this site (by
+        RTT; ties broken toward the preferred site, then lowest id)."""
+        topology = self.network.topology
+        best = container.preferred_site
+        best_rtt = topology.rtt(self.site_id, best)
+        for site in sorted(container.replica_sites):
+            if site == best or not self.config.is_active(site):
+                continue
+            rtt = topology.rtt(self.site_id, site)
+            if rtt < best_rtt:
+                best, best_rtt = site, rtt
+        return best
+
+    def rpc_remote_read(self, oid: ObjectId, start_vts, only_if_current: bool = False):
         """Serve a read for a site that does not replicate ``oid``: the
         suffix entries visible to the caller's snapshot plus, for csets,
         the GC base and watermark (see
-        :meth:`~repro.core.history.SiteHistories.remote_read_payload`)."""
+        :meth:`~repro.core.history.SiteHistories.remote_read_payload`).
+
+        With ``only_if_current`` (set by nearest-replica reads under
+        partial replication) the payload is only served when this
+        replica's CommittedVTS dominates the caller's snapshot; a behind
+        replica returns None and the caller retries at the preferred
+        site, keeping the read non-blocking."""
         # cpu.use() inlined: skips the sub-generator frame on the
         # per-RPC path; the events (acquire, service-time timeout,
         # release) are identical.
@@ -177,6 +218,8 @@ class ExecutionMixin:
             yield self.kernel.timeout(self.costs.read_op)
         finally:
             self.cpu.release()
+        if only_if_current and not self.committed_vts.dominates(start_vts):
+            return None
         return self.histories.remote_read_payload(oid, start_vts)
 
     def _compose_value(self, tx: Transaction, oid: ObjectId, payload: Dict):

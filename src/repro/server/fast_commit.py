@@ -93,6 +93,17 @@ class FastCommitMixin:
             self.stats.inc("aborts")
             self._span(tx.tid, span.ABORT, phase="site_inactive")
             return ABORTED
+        if not self.commit_admission_open():
+            # §5.7: a replacement server forgot the predecessor's
+            # prepared locks (they are volatile); until propagation
+            # catches up to the takeover frontier, an admitted write
+            # could conflict with a transaction the old server voted
+            # YES for whose commit record is still in flight.
+            tx.mark_aborted()
+            self._drop_tx(tx.tid)
+            self.stats.inc("aborts")
+            self._span(tx.tid, span.ABORT, phase="site_synchronizing")
+            return ABORTED
         writeset = tx.write_set
         self._check_leases(writeset)
         preferred_site = self.config.preferred_site

@@ -240,11 +240,12 @@ class PropagationMixin:
                             # re-integration) may lack the record itself;
                             # it cannot commit what it never received, so
                             # re-PROPAGATE, not just re-announce.
+                            shipped = self._record_for(tracker.record, site)
                             self.cast(
                                 self.peers[site],
                                 "propagate",
-                                size_bytes=tracker.record.payload_bytes() + 64,
-                                records=[tracker.record],
+                                size_bytes=shipped.payload_bytes() + 64,
+                                records=[shipped],
                                 from_site=self.site_id,
                             )
                         if site not in tracker.visible:
@@ -276,20 +277,53 @@ class PropagationMixin:
             self._send_batch(resend)
             self.stats.inc("retransmissions", len(resend))
 
+    def _record_for(self, record: CommitRecord, site: int) -> CommitRecord:
+        """The form of ``record`` shipped to ``site``: the record itself
+        under full replication, else trimmed to the updates whose
+        containers ``site`` replicates (DESIGN.md §13).  Trimmed records
+        keep tid/site/seqno/startVTS, so the destination still advances
+        its clocks through the full contiguous stream -- only the data a
+        site does not store stays off its wire and out of its WAL."""
+        if not self.partial_replication or not record.updates:
+            return record
+        config = self.config
+        keep = [
+            u
+            for u in record.updates
+            if config.container(u.oid.container).replicated_at(site)
+        ]
+        if len(keep) == len(record.updates):
+            return record
+        return record.trimmed(keep)
+
     def _send_batch(self, records: List[CommitRecord]) -> None:
-        size = sum(r.payload_bytes() for r in records) + 64
         for record in records:
             self._span(record.tid, span.PROPAGATE_SEND, batch=len(records))
-        for site in self.config.active_sites():
-            if site == self.site_id:
-                continue
-            self.cast(
-                self.peers[site],
-                "propagate",
-                size_bytes=size,
-                records=records,
-                from_site=self.site_id,
-            )
+        if not self.partial_replication:
+            size = sum(r.payload_bytes() for r in records) + 64
+            for site in self.config.active_sites():
+                if site == self.site_id:
+                    continue
+                self.cast(
+                    self.peers[site],
+                    "propagate",
+                    size_bytes=size,
+                    records=records,
+                    from_site=self.site_id,
+                )
+        else:
+            for site in self.config.active_sites():
+                if site == self.site_id:
+                    continue
+                shipped = [self._record_for(r, site) for r in records]
+                size = sum(r.payload_bytes() for r in shipped) + 64
+                self.cast(
+                    self.peers[site],
+                    "propagate",
+                    size_bytes=size,
+                    records=shipped,
+                    from_site=self.site_id,
+                )
         self.stats.inc("batches_sent")
 
     def on_propagate_ack(self, src: str, tid: str, site: int):

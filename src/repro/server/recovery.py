@@ -22,7 +22,7 @@ Three mechanisms:
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from ..core.history import SiteHistories
 from ..core.transaction import CommitRecord
@@ -45,6 +45,34 @@ class RecoveryMixin:
     #: the ``no-leaked-locks`` oracle can be shown to catch the leak.
     CHAOS_BUGS = ("skip_resume_propagation", "leak_prepare_locks")
     chaos_bug = None
+
+    #: Commit-admission barrier for replacement servers (§5.7).  The
+    #: prepared-lock table is volatile -- prepares are never WAL-logged
+    #: -- so a takeover forgets every lock the predecessor granted.  A
+    #: coordinator the predecessor voted YES for may have committed and
+    #: be mid-propagation; until the replacement's GotVTS dominates what
+    #: the live sites had committed at takeover, admitting a fast commit
+    #: or voting YES on a prepare could commit a write-write conflict
+    #: right over that in-flight transaction.
+    _sync_barrier_vts: Optional[VectorTimestamp] = None
+
+    def set_sync_barrier(self, target: VectorTimestamp) -> None:
+        """Block commit admission until ``GotVTS`` dominates ``target``
+        (a no-op if it already does)."""
+        if not self.got_vts.dominates(target):
+            self._sync_barrier_vts = target
+
+    def commit_admission_open(self) -> bool:
+        """False while a replacement is still synchronizing: propagation
+        has not yet redelivered everything the rest of the system had
+        committed when this server took over."""
+        barrier = self._sync_barrier_vts
+        if barrier is None:
+            return True
+        if self.got_vts.dominates(barrier):
+            self._sync_barrier_vts = None
+            return True
+        return False
 
     # ------------------------------------------------------------------
     # Replacement-server restart
@@ -124,6 +152,12 @@ class RecoveryMixin:
                 self.committed_vts = self.committed_vts.with_entry(
                     version.site, version.seqno
                 )
+        elif kind == "container_backfill":
+            # Replica-join copy (partial replication, DESIGN.md §13).
+            # Propagation will never redeliver the trimmed-away history,
+            # so the logged copy is its only durable source; replayed at
+            # its log position like any other record.
+            self.histories.install_container(payload["dump"])
         elif kind == "ds_durable":
             ds_tids.add(payload["tid"])
         elif kind == "globally_visible":
@@ -139,6 +173,20 @@ class RecoveryMixin:
             self._discard_abandoned_suffix(
                 payload["failed_site"], payload["survive_upto"]
             )
+
+    def install_container_backfill(self, cid: str, dumped) -> "Any":
+        """Install a replica backfill: this site is joining ``cid``'s
+        replica set (partial replication) and receives a copy of the
+        container's retained histories from an existing replica.  The
+        copy is WAL-logged -- a replacement server cannot re-fetch it
+        from propagation, which trims this container's updates out of
+        every record sent before the membership change.  Returns the
+        log-append event so the caller can await durability before
+        acting on the installed copy."""
+        self.histories.install_container(dumped)
+        return self.storage.log.append(
+            {"kind": "container_backfill", "cid": cid, "dump": dumped}
+        )
 
     def seal_seqno_holes(self) -> int:
         """Fill own-site seqno holes with no-op commits.
@@ -199,6 +247,19 @@ class RecoveryMixin:
     # ------------------------------------------------------------------
     # RPCs used by the site-recovery coordinator
     # ------------------------------------------------------------------
+    def rpc_container_export(self, cid: str):
+        """Dump one container's retained histories -- the coordinator
+        copies them to a site joining the replica set (partial
+        replication; a non-replica only ever received trimmed records)."""
+        return self.histories.export_container(cid)
+
+    def rpc_container_install(self, cid: str, dump):
+        """Install a replica-join copy; acks only after the WAL flush
+        (the coordinator retries on timeout, and install is idempotent:
+        it replaces the same objects with the same dump)."""
+        yield self.install_container_backfill(cid, dump)
+        return "OK"
+
     def rpc_recovery_report(self):
         """What this site has received/committed, per origin site."""
         return {
@@ -216,6 +277,26 @@ class RecoveryMixin:
                 records.append(record)
         return records
 
+    def _retrim_for_self(self, record: CommitRecord) -> CommitRecord:
+        """Recovery deliveries can come from a donor whose replica set
+        differs from this site's: the donor's copy (or a merged copy the
+        coordinator assembled from several donors) may carry data this
+        site does not replicate.  Trim to this site's own containers so
+        recovery never widens what partial replication placed here --
+        otherwise sites would diverge in what a later convergence check
+        (or a future donor role) sees."""
+        if not self.partial_replication or not record.updates:
+            return record
+        config = self.config
+        keep = [
+            u
+            for u in record.updates
+            if config.container(u.oid.container).replicated_at(self.site_id)
+        ]
+        if len(keep) == len(record.updates):
+            return record
+        return record.trimmed(keep)
+
     def rpc_recovery_deliver(self, records: List[CommitRecord]):
         """Apply fetched records (in order) as if propagated normally.
 
@@ -231,6 +312,7 @@ class RecoveryMixin:
         for record in records:
             if self.got_vts[record.site] >= record.seqno:
                 continue
+            record = self._retrim_for_self(record)
             if not self._got_guard(record):
                 self._pending_remote.add(record, None)
                 continue
@@ -381,6 +463,71 @@ class SiteRecoveryCoordinator:
                 if attempt == self.RPC_RETRIES:
                     raise
 
+    def _is_partial(self, config) -> bool:
+        """True when some container is not replicated at every site.
+        Recovery takes extra care (and extra RPCs) only then; under full
+        replication the legacy paths run byte-for-byte unchanged."""
+        n = len(self.server_addresses)
+        return any(
+            not all(c.replicated_at(s) for s in range(n))
+            for c in config.containers()
+        )
+
+    def _fetch_merged(self, stream_site: int, from_seqno: int, to_seqno: int,
+                      sources: List[int]):
+        """``stream_site``'s records in (from, to], merged across copies
+        from every source.  Under partial replication each site stores
+        copies trimmed to its own replica set, so no single donor is
+        guaranteed to hold every surviving update's data; the union of
+        the sources' copies is the most complete record reconstructible
+        from the surviving sites."""
+        merged: Dict[int, CommitRecord] = {}
+        for source in sources:
+            records = yield from self._call(self.server_addresses[source],
+                "recovery_fetch",
+                site=stream_site,
+                from_seqno=from_seqno,
+                to_seqno=to_seqno)
+            for record in records:
+                cur = merged.get(record.seqno)
+                if cur is None:
+                    merged[record.seqno] = record
+                    continue
+                have = {u.oid for u in cur.updates}
+                extra = [u for u in record.updates if u.oid not in have]
+                if extra:
+                    merged[record.seqno] = CommitRecord(
+                        cur.tid, cur.site, cur.seqno, cur.start_vts,
+                        list(cur.updates) + extra, cur.committed_at,
+                        touched=cur.touched,
+                    )
+        return [merged[seqno] for seqno in sorted(merged)]
+
+    def _fetch_stream(self, partial: bool, survivors: List[int], donor: int,
+                      origin: int, from_seqno: int, to_seqno: int):
+        """Records of ``origin``'s stream in (from, to] for a recovery
+        delivery.  Under partial replication prefer the origin itself
+        when it is an active survivor (the origin keeps full records of
+        its own transactions); otherwise merge the survivors' trimmed
+        copies.  Receivers re-trim to their own replica sets."""
+        if not partial:
+            records = yield from self._call(self.server_addresses[donor],
+                "recovery_fetch",
+                site=origin,
+                from_seqno=from_seqno,
+                to_seqno=to_seqno)
+            return records
+        if origin in survivors:
+            records = yield from self._call(self.server_addresses[origin],
+                "recovery_fetch",
+                site=origin,
+                from_seqno=from_seqno,
+                to_seqno=to_seqno)
+            return records
+        records = yield from self._fetch_merged(
+            origin, from_seqno, to_seqno, survivors)
+        return records
+
     def remove_site(self, config, failed_site: int, reassign_to: int):
         """Generator implementing §5.7 "Handling a site failure"
         (aggressive option).  Returns the surviving seqno bound."""
@@ -398,17 +545,59 @@ class SiteRecoveryCoordinator:
             reports[site] = report
         survive_upto = max(report["got"][failed_site] for report in reports.values())
 
-        # 3. Complete propagation of survivors: fetch missing records from
-        #    the most advanced site and deliver to the laggards.
+        # 2b. Under partial replication "present at a surviving site" is
+        #     not a sufficient survival criterion: survivors store copies
+        #     trimmed to their own replica sets, so a record's metadata
+        #     can survive while its data survives nowhere (the failed
+        #     site's stream reached only non-replicas of a written
+        #     container before the crash).  Keeping such a transaction
+        #     would let a later re-integration of the failed site -- whose
+        #     WAL still holds the data -- diverge from the survivors
+        #     forever.  Tighten the bound to the longest prefix in which
+        #     every written container has a surviving replica that
+        #     received the record.
+        partial = self._is_partial(config)
+        if partial and survive_upto > 0:
+            floor = min(report["got"][failed_site] for report in reports.values())
+            best = max(survivors, key=lambda s: reports[s]["got"][failed_site])
+            candidates = yield from self._call(self.server_addresses[best],
+                "recovery_fetch",
+                site=failed_site,
+                from_seqno=floor,
+                to_seqno=survive_upto)
+            for record in sorted(candidates, key=lambda r: r.seqno):
+                containers = record.touched
+                if containers is None:
+                    containers = {u.oid.container for u in record.updates}
+                data_survives = all(
+                    any(
+                        config.container(cid).replicated_at(s)
+                        and reports[s]["got"][failed_site] >= record.seqno
+                        for s in survivors
+                    )
+                    for cid in containers
+                )
+                if not data_survives:
+                    survive_upto = record.seqno - 1
+                    break
+
+        # 3. Complete propagation of survivors: fetch missing records and
+        #    deliver to the laggards (under partial replication, merged
+        #    across all survivors' trimmed copies; re-trimmed to the
+        #    receiver's replica set on delivery).
         donor = max(survivors, key=lambda s: reports[s]["got"][failed_site])
         for site in survivors:
             have = reports[site]["got"][failed_site]
             if have < survive_upto:
-                records = yield from self._call(self.server_addresses[donor],
-                    "recovery_fetch",
-                    site=failed_site,
-                    from_seqno=have,
-                    to_seqno=survive_upto)
+                if partial:
+                    records = yield from self._fetch_merged(
+                        failed_site, have, survive_upto, survivors)
+                else:
+                    records = yield from self._call(self.server_addresses[donor],
+                        "recovery_fetch",
+                        site=failed_site,
+                        from_seqno=have,
+                        to_seqno=survive_upto)
                 yield from self._call(self.server_addresses[site],
                     "recovery_deliver",
                     records=records)
@@ -421,7 +610,52 @@ class SiteRecoveryCoordinator:
                 survive_upto=survive_upto)
 
         # 5. Reassign the failed site's containers and re-evaluate
-        #    durability conditions under the shrunk active set.
+        #    durability conditions under the shrunk active set.  Under
+        #    partial replication the new preferred site may not replicate
+        #    a container -- every record it ever received for it arrived
+        #    trimmed -- so it first installs a copy from a surviving
+        #    replica.  The donor must dominate the survivors' committed
+        #    frontier before exporting: the suspended lease admits no new
+        #    writes to the container, so a dominating donor holds every
+        #    committed one and the copy is complete.  (Full replication
+        #    never enters this path: every site replicates everything.)
+        frontier = [
+            max(report["committed"][i] for report in reports.values())
+            for i in range(len(self.server_addresses))
+        ]
+        copied: Dict[int, object] = {}
+        for container in config.containers():
+            if container.preferred_site != failed_site:
+                continue
+            if container.replicated_at(reassign_to):
+                continue
+            donors = [s for s in survivors if container.replicated_at(s)]
+            if not donors:
+                continue  # every replica failed with the site; data lost
+            donor_site = donors[0]
+            if donor_site not in copied:
+                give_up = self.kernel.now + self.RPC_TIMEOUT
+                while True:
+                    report = yield from self._call(
+                        self.server_addresses[donor_site], "recovery_report"
+                    )
+                    if all(g >= t for g, t in zip(report["got"], frontier)):
+                        break
+                    if self.kernel.now >= give_up:
+                        break  # best effort: copy what the donor has
+                    yield self.kernel.timeout(0.05)
+                copied[donor_site] = True
+            dump = yield from self._call(
+                self.server_addresses[donor_site],
+                "container_export",
+                cid=container.id,
+            )
+            yield from self._call(
+                self.server_addresses[reassign_to],
+                "container_install",
+                cid=container.id,
+                dump=dump,
+            )
         for container in config.containers():
             if container.preferred_site == failed_site:
                 config.reassign_preferred_site(
@@ -436,6 +670,7 @@ class SiteRecoveryCoordinator:
         site": synchronize the returning server, then hand leases back."""
         survivors = [s for s in config.active_sites() if s != returning_site]
         donor = survivors[0]
+        partial = self._is_partial(config)
         report = yield from self._call(self.server_addresses[donor], "recovery_report")
         returning_report = yield from self._call(returning_server_address, "recovery_report")
         # The returning site discards transactions the new configuration
@@ -445,18 +680,19 @@ class SiteRecoveryCoordinator:
             "recovery_finalize",
             failed_site=returning_site,
             survive_upto=survive_upto)
-        # Catch up on everything committed while it was away.
+        # Catch up on everything committed while it was away.  Under
+        # partial replication the default donor may replicate fewer
+        # containers than the returning site: fetch each stream from its
+        # origin (which keeps full records of its own transactions) or,
+        # for streams of inactive origins, merged across all survivors.
         for origin in range(len(report["got"])):
             have = returning_report["got"][origin]
             if origin == returning_site:
                 have = min(have, survive_upto)
             want = report["got"][origin]
             if have < want:
-                records = yield from self._call(self.server_addresses[donor],
-                    "recovery_fetch",
-                    site=origin,
-                    from_seqno=have,
-                    to_seqno=want)
+                records = yield from self._fetch_stream(
+                    partial, survivors, donor, origin, have, want)
                 yield from self._call(returning_server_address,
                     "recovery_deliver",
                     records=records)
@@ -488,11 +724,8 @@ class SiteRecoveryCoordinator:
             have = final_returning["got"][origin]
             want = final_report["got"][origin]
             if have < want:
-                records = yield from self._call(self.server_addresses[donor],
-                    "recovery_fetch",
-                    site=origin,
-                    from_seqno=have,
-                    to_seqno=want)
+                records = yield from self._fetch_stream(
+                    partial, survivors, donor, origin, have, want)
                 yield from self._call(returning_server_address,
                     "recovery_deliver",
                     records=records)

@@ -144,6 +144,7 @@ class WalterServer(
         takeover: bool = False,
         obs: Optional[Observability] = None,
         leases: Optional[LeaseConfig] = None,
+        partial_replication: bool = False,
     ):
         super().__init__(kernel, network, site_id, name, takeover=takeover)
         if ds_mode not in ("all_sites", "f_plus_1"):
@@ -159,6 +160,14 @@ class WalterServer(
         self.anti_starvation = anti_starvation
         self.anti_starvation_delay = anti_starvation_delay
         self.leases = leases or LeaseConfig()
+        #: Partial replication (DESIGN.md §13): propagation trims commit
+        #: records down to the updates each destination replicates (the
+        #: seqno/commit metadata still reaches every site, so vector
+        #: clocks, the got-guard, and 2PC lock release are untouched),
+        #: and remote reads prefer the nearest replica.  Off by default:
+        #: the trimmed wire messages and read routing would perturb
+        #: pinned schedule digests of full-replication runs.
+        self.partial_replication = partial_replication
 
         n_sites = len(network.topology)
         # Fig 9 variables.

@@ -198,6 +198,11 @@ class SlowCommitMixin:
             return True
         if not self.config.is_active(self.site_id):
             return False  # still synchronizing after re-integration (§5.7)
+        if not self.commit_admission_open():
+            # Replacement server, lock table lost with the predecessor:
+            # a YES now could double-grant a lock an in-flight commit
+            # still holds (§5.7).  Vote NO until caught up.
+            return False
         for oid in oids:
             if self.config.preferred_site(oid) != self.site_id:
                 return False  # stale coordinator cache; refuse (§5.1)

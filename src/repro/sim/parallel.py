@@ -632,8 +632,20 @@ def run_scenario(
     topology = deploy_kwargs.get("topology") or Topology.ec2(
         deploy_kwargs.get("n_sites", 4)
     )
+    shards = int(deploy_kwargs.get("shards", 1) or 1)
+    if shards > 1 and getattr(topology, "shards", 1) != shards:
+        # Expand eagerly so clusters are cut in the *logical* site space
+        # but aligned to base-site boundaries: co-located shard servers
+        # talk over LAN RTTs, which would collapse the lookahead if they
+        # ever landed in different clusters.
+        topology = Topology.sharded(topology, shards)
     deploy_kwargs["topology"] = topology
-    clusters = partition_sites(len(topology), workers)
+    n_base = len(topology) // shards
+    base_clusters = partition_sites(n_base, workers)
+    clusters = tuple(
+        tuple(b * shards + k for b in members for k in range(shards))
+        for members in base_clusters
+    )
     lookahead = (
         topology.min_crossing_latency_s(clusters) if len(clusters) > 1 else NO_LOOKAHEAD
     )

@@ -122,6 +122,43 @@ class TestDualExecutorGate:
         _assert_equivalent(serial, parallel)
 
 
+SHARDED_KWARGS = dict(n_sites=2, shards=2, seed=1234, tracing=True, trace=True)
+
+
+class TestShardedDualExecutorGate:
+    """The dual-executor contract on a sharded topology (ISSUE 9): the
+    parallel executor cuts clusters on base-site boundaries, so the LAN
+    links between co-located shard servers never cross a cluster and the
+    lookahead stays WAN-scale."""
+
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return _serial(mixed_rw_scenario, SHARDED_KWARGS, PARAMS)
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_inline_workers_match_serial(self, serial, workers):
+        parallel = run_scenario(
+            "repro.bench.workloads:mixed_rw_scenario",
+            deploy_kwargs=SHARDED_KWARGS,
+            params=PARAMS,
+            workers=workers,
+            mode="inline",
+        )
+        # 2 base sites: worker counts clamp to base-aligned clusters.
+        assert parallel.workers <= 2
+        _assert_equivalent(serial, parallel)
+
+    def test_mp_matches_serial(self, serial):
+        parallel = run_scenario(
+            "repro.bench.workloads:mixed_rw_scenario",
+            deploy_kwargs=SHARDED_KWARGS,
+            params=PARAMS,
+            workers=2,
+            mode="mp",
+        )
+        _assert_equivalent(serial, parallel)
+
+
 class TestPartitioning:
     def test_balanced_contiguous(self):
         assert partition_sites(8, 4) == ((0, 1), (2, 3), (4, 5), (6, 7))
@@ -131,6 +168,22 @@ class TestPartitioning:
     def test_rejects_empty(self):
         with pytest.raises(ValueError):
             partition_sites(0, 2)
+
+    def test_sharded_clusters_align_to_base_sites(self):
+        """run_scenario with shards must never split a base site's shard
+        servers across clusters (their LAN RTT would collapse the
+        lookahead)."""
+        from repro.net import Topology
+
+        topo = Topology.sharded(Topology.ec2(4), 2)
+        base_clusters = partition_sites(4, 2)
+        clusters = tuple(
+            tuple(b * 2 + k for b in members for k in range(2))
+            for members in base_clusters
+        )
+        assert clusters == ((0, 1, 2, 3), (4, 5, 6, 7))
+        # Crossing latency over these clusters is WAN-scale, not LAN.
+        assert topo.min_crossing_latency_s(clusters) > 0.005
 
 
 class TestJitterStreamIndependence:

@@ -30,10 +30,10 @@ WORKLOAD_DIGEST = "4fe953e7ad001eae7fccaa5061bb54944278dab9e8adbba65930316996197
 CHAOS_DIGEST = "88820c4d23e653fff46cd69fd8a048e88b6ab75234a59b4ae602e3ea5ea2194b"
 
 
-def run_digest_workload(tracing=True):
+def run_digest_workload(tracing=True, **deploy_kwargs):
     """Run the fixed 3-site read/write workload; returns the settled
     world."""
-    world = Deployment(n_sites=3, seed=1234, tracing=tracing)
+    world = Deployment(n_sites=3, seed=1234, tracing=tracing, **deploy_kwargs)
     keys = populate(world, n_keys=120)
 
     def factory(client, rng):
@@ -60,11 +60,11 @@ def run_digest_workload(tracing=True):
     return world
 
 
-def workload_digest() -> str:
+def workload_digest(**deploy_kwargs) -> str:
     """Run the fixed workload with tracing on and hash the ordered
     (time, host-site, event-kind, tid) span stream plus the final
     simulated clock."""
-    world = run_digest_workload(tracing=True)
+    world = run_digest_workload(tracing=True, **deploy_kwargs)
     stream = trace_events_jsonl(world.obs.tracer)
     blob = stream + "\nnow=%.9f" % world.kernel.now
     return hashlib.sha256(blob.encode()).hexdigest()
@@ -84,6 +84,12 @@ class TestScheduleDigest:
 
     def test_chaos_schedule_digest_pinned(self):
         assert chaos_digest() == CHAOS_DIGEST
+
+    def test_single_shard_digest_identical_to_unsharded(self):
+        """``shards=1`` must take the exact pre-sharding code path --
+        same topology object, no routing indirection -- so the pinned
+        digest holds bit-for-bit with sharding explicitly requested."""
+        assert workload_digest(shards=1) == WORKLOAD_DIGEST
 
     def test_tracing_mode_does_not_perturb_schedule(self):
         """Span tracing (lifecycle or deep) is recording-only: every
