@@ -1,0 +1,116 @@
+"""Batching behavior-transparency gate (DESIGN.md §14).
+
+Runs the *same* fixed workload twice -- ``Deployment(batching=None)``
+and ``Deployment(batching=True)`` -- to completion (every transaction
+issued, every propagation settled), writes one run artifact per arm, and
+fails unless the outcome counters (commits, aborts, remote applies,
+durable WAL records) are *exactly* equal.  Batching is allowed to change
+when things happen, never what happens.
+
+Unlike the closed-loop throughput benches, the workload here is
+count-bound, not duration-bound: each client runs a fixed number of
+transactions, so both arms perform identical logical work and the
+comparison is exact rather than statistical.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_batching_equivalence.py \\
+        [--artifact-dir DIR] [--txs-per-client 40]
+
+Writes ``obs_batch_off.jsonl`` / ``obs_batch_on.jsonl`` into
+``--artifact-dir`` (default: current directory); CI re-checks them with
+``python -m repro.obs diff --outcomes-only``.
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench import PAYLOAD, populate, walter_costs  # noqa: E402
+from repro.deployment import Deployment  # noqa: E402
+from repro.obs import diff_outcomes, format_diff, write_run_artifact  # noqa: E402
+from repro.storage import FLUSH_EC2  # noqa: E402
+
+N_SITES = 3
+CLIENTS_PER_SITE = 4
+SEED = 20260808
+
+
+def run_arm(batching, txs_per_client):
+    """One arm: every client runs ``txs_per_client`` mixed transactions
+    (2 reads + 1 write, some remote-preferred so slow commits and the
+    remote-read path are exercised), then the world settles until all
+    propagation has drained."""
+    world = Deployment(
+        n_sites=N_SITES,
+        costs=walter_costs("ec2"),
+        flush_latency=FLUSH_EC2,
+        seed=SEED,
+        batching=batching,
+    )
+    keys = populate(world, n_keys=300)
+    import random
+
+    done = []
+
+    def driver(client, rng, n_tx):
+        site = client.site.id
+        for i in range(n_tx):
+            tx = client.start_tx()
+            yield from client.read(tx, rng.choice(keys.oids))
+            yield from client.read(tx, rng.choice(keys.oids))
+            # 1 in 4 transactions writes a remote-preferred key: slow
+            # commit, so the 2PC path is part of the equivalence check.
+            pool = (
+                keys.oids
+                if i % 4 == 0
+                else keys.by_site[site]
+            )
+            yield from client.write(tx, rng.choice(pool), PAYLOAD, last=True)
+        done.append(1)
+
+    n_clients = 0
+    for site in range(world.n_sites):
+        for c in range(CLIENTS_PER_SITE):
+            client = world.new_client(site)
+            rng = random.Random(SEED * 1009 + site * 31 + c)
+            world.kernel.spawn(
+                driver(client, rng, txs_per_client),
+                name="eq-client-%d-%d" % (site, c),
+            )
+            n_clients += 1
+    world.run(until=world.kernel.now + 120.0)
+    if len(done) != n_clients:
+        raise RuntimeError(
+            "only %d/%d clients finished" % (len(done), n_clients)
+        )
+    world.settle(5.0)
+    return world
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--artifact-dir", default=".")
+    parser.add_argument("--txs-per-client", type=int, default=40)
+    args = parser.parse_args(argv)
+
+    arms = {}
+    for label, batching in (("off", None), ("on", True)):
+        world = run_arm(batching, args.txs_per_client)
+        path = os.path.join(args.artifact_dir, "obs_batch_%s.jsonl" % label)
+        arms[label] = write_run_artifact(
+            path, world, "batching_equivalence",
+            meta={"batching": label, "seed": SEED,
+                  "txs_per_client": args.txs_per_client},
+        )
+        print("wrote %s (sim time %.3fs)" % (path, world.kernel.now))
+
+    mismatches, notes = diff_outcomes(arms["off"], arms["on"])
+    print(format_diff(mismatches, notes))
+    return 1 if mismatches else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -102,6 +102,12 @@ def main(argv=None):
         help="with eight_site_scaling and eight_site_parallel both "
         "selected: fail unless parallel wall-clock speedup >= this",
     )
+    parser.add_argument(
+        "--batching-speedup-min", type=float, default=None,
+        help="with eight_site_batching_ab selected: fail unless the "
+        "batched arm's wall-clock speedup over the unbatched arm (same "
+        "invocation, interleaved A/B) is >= this",
+    )
     args = parser.parse_args(argv)
 
     results = run_scenarios(args.scenario, small=args.small, repeats=args.repeats)
@@ -211,6 +217,54 @@ def main(argv=None):
         )
         if speedup < args.shard_speedup_min:
             status = 1
+    # Batching A/B gate: both arms run in one invocation (interleaved),
+    # so the wall ratio is machine-independent up to co-tenant noise that
+    # hits both arms alike.  The simulated-throughput columns of the
+    # fig17/shard A/B scenarios are schedule properties and must not
+    # regress below parity.
+    if "eight_site_batching_ab" in results:
+        sim = results["eight_site_batching_ab"]["sim"]
+        speedup = round(sim["wall_off_s"] / sim["wall_on_s"], 2)
+        required = args.batching_speedup_min
+        verdict = "ok" if required is None or speedup >= required else "REGRESSED"
+        print(
+            "batching A/B: %.2fx wall-clock speedup (off %.2fs / on %.2fs)%s %s"
+            % (
+                speedup,
+                sim["wall_off_s"],
+                sim["wall_on_s"],
+                "" if required is None else " (min %.2fx)" % required,
+                verdict,
+            )
+        )
+        if required is not None and speedup < required:
+            status = 1
+    # Committed throughput is CPU/WAL-latency-bound under PSI (clients
+    # never wait on propagation), so Ktps gates parity (within 2%); the
+    # bandwidth batching frees from the cross-site pipes must be a real
+    # gain (>= 2% fewer bytes on --small runs; full-size runs reach
+    # ~1.2x) -- both are simulated-schedule properties, so they hold on
+    # any machine.
+    for ab in ("fig17_batching_ab", "shard_batching_ab"):
+        if ab in results:
+            sim = results[ab]["sim"]
+            ok = sim["ktps_gain"] >= 0.98 and sim["bytes_gain"] >= 1.02
+            print(
+                "%s: simulated ktps %.3f -> %.3f (%.3fx, parity floor 0.98), "
+                "cross-site bytes %d -> %d (%.2fx saved, floor 1.02) %s"
+                % (
+                    ab,
+                    sim["ktps_off"],
+                    sim["ktps_on"],
+                    sim["ktps_gain"],
+                    sim["bytes_off"],
+                    sim["bytes_on"],
+                    sim["bytes_gain"],
+                    "ok" if ok else "REGRESSED",
+                )
+            )
+            if not ok:
+                status = 1
     if args.check:
         doc = _load(args.check)
         ref = doc.get("optimized", {}).get("scenarios", {})

@@ -45,7 +45,10 @@ def format_site_observability(world) -> str:
     ``server.commit_latency`` histogram), replication / ds-durability /
     visibility lag (from the ``server.*_lag`` histograms -- replication
     lag is measured at the *receiving* site, the other two at the
-    origin), and the cache hit-rate.  All values come from the shared
+    origin), the mean WAL group-commit flush size and propagation batch
+    occupancy (records per PROPAGATE cast; 1.0 unless
+    ``Deployment(batching=...)`` is on), and the cache hit-rate.  All
+    values come from the shared
     ``repro.obs`` registry; no tracing is required, but when the world
     was built with ``tracing=True`` the trace-derived lag gauges are
     refreshed too.
@@ -60,6 +63,8 @@ def format_site_observability(world) -> str:
         repl = registry.histogram("server.replication_lag", site=site)
         ds = registry.histogram("server.ds_lag", site=site)
         vis = registry.histogram("server.visibility_lag", site=site)
+        flush = registry.histogram("disklog.flush_batch", site=site)
+        prop = registry.histogram("server.propagation_batch", site=site)
         hits = registry.counter("cache.hits", site=site).value
         misses = registry.counter("cache.misses", site=site).value
         total = hits + misses
@@ -74,6 +79,8 @@ def format_site_observability(world) -> str:
                 repl.mean * 1e3,
                 ds.mean * 1e3,
                 vis.mean * 1e3,
+                ("%.1f" % flush.mean) if flush.count else "-",
+                ("%.1f" % prop.mean) if prop.count else "-",
                 ("%.1f%%" % (100.0 * hits / total)) if total else "-",
             ]
         )
@@ -88,6 +95,8 @@ def format_site_observability(world) -> str:
             "repl lag (ms)",
             "ds lag (ms)",
             "vis lag (ms)",
+            "wal batch",
+            "prop batch",
             "cache hit",
         ],
         rows,

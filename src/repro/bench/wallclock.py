@@ -302,12 +302,12 @@ def parallel_digest_gate(small: bool = False) -> Dict[str, Any]:
     }
 
 
-def _shard_run(shards: int, small: bool) -> Dict[str, Any]:
+def _shard_run(shards: int, small: bool, batching=None, with_bytes: bool = False) -> Dict[str, Any]:
     """One closed-loop mixed run on 4 base EC2 sites split into
     ``shards`` keyspace shards; returns aggregate committed throughput."""
     world = Deployment(
         n_sites=4, costs=walter_costs("ec2"), flush_latency=FLUSH_EC2,
-        seed=31, shards=shards,
+        seed=31, shards=shards, batching=batching,
     )
     keys = populate(world, n_keys=500 * world.n_sites)
     factory = mixed_tx_factory(keys, 1, 5)
@@ -319,11 +319,14 @@ def _shard_run(shards: int, small: bool) -> Dict[str, Any]:
         measure=0.2 if small else 0.4,
         name="shard-scaling-%d" % shards,
     )
-    return {
+    out = {
         "events": world.kernel.events_executed,
         "ops": result.ops,
         "ktps": round(result.ktps, 3),
     }
+    if with_bytes:
+        out["bytes"] = _cross_site_bytes(world)
+    return out
 
 
 @scenario
@@ -382,6 +385,153 @@ def sharded_eight_site(small: bool = False) -> Dict[str, Any]:
     }
 
 
+@scenario
+def eight_site_scaling_small(small: bool = False) -> Dict[str, Any]:
+    """CI bench-smoke variant of ``eight_site_scaling``: always the
+    ``--small`` parameters, so the batching regression gate has a
+    seconds-scale scenario regardless of the runner's ``--small`` flag."""
+    return eight_site_scaling(True)
+
+
+@scenario
+def shard_scaling_small(small: bool = False) -> Dict[str, Any]:
+    """CI bench-smoke variant of ``shard_scaling`` (see
+    ``eight_site_scaling_small``)."""
+    return shard_scaling(True)
+
+
+@scenario
+def eight_site_batching_ab(small: bool = False) -> Dict[str, Any]:
+    """Interleaved A/B for hot-path batching (DESIGN.md §14): the
+    eight-site write workload run back-to-back with batching off and on
+    in the same invocation, so machine noise hits both arms equally.
+    Batching changes the simulated schedule (fewer casts, shared WAL
+    flushes), so the meaningful comparison is wall-clock per fixed
+    simulated workload -- ``speedup_wall = wall_off / wall_on`` -- plus
+    the simulated throughput gain visible in ``ops_on / ops_off``."""
+    runs = {}
+    for arm, batching in (("off", None), ("on", True)):
+        world = Deployment(**_eight_site_deploy_kwargs(), batching=batching)
+        # Time the workload only: deployment construction is identical
+        # in both arms and would dilute the hot-path ratio.
+        start = time.perf_counter()
+        sim = eight_site_write_scenario(world, **_eight_site_params(small))
+        runs[arm] = {
+            "wall": time.perf_counter() - start,
+            "events": world.kernel.events_executed,
+            "ops": sim["ops"],
+        }
+    off, on = runs["off"], runs["on"]
+    return {
+        "wall_s": off["wall"] + on["wall"],
+        "events": off["events"] + on["events"],
+        "sim": {
+            "wall_off_s": round(off["wall"], 3),
+            "wall_on_s": round(on["wall"], 3),
+            "events_off": off["events"],
+            "events_on": on["events"],
+            "ops_off": off["ops"],
+            "ops_on": on["ops"],
+            "speedup_wall": round(off["wall"] / on["wall"], 3),
+        },
+    }
+
+
+def _cross_site_bytes(world) -> int:
+    """Total bytes pushed through the cross-site FIFO pipes -- the
+    resource propagation batching conserves (per-record acks collapse to
+    per-batch acks; delta-encoded VTS and shared headers shrink the
+    PROPAGATE stream itself)."""
+    snap = world.metrics_snapshot()
+    return sum(
+        v for k, v in snap["counters"].items() if k.startswith("net.bytes{")
+    )
+
+
+@scenario
+def fig17_batching_ab(small: bool = False) -> Dict[str, Any]:
+    """Interleaved A/B for batching on the Fig 17 mixed workload: same
+    deployment and closed loop as ``fig17_throughput``, batching off then
+    on.  Committed throughput here is CPU/WAL-latency-bound (clients
+    never wait on propagation under PSI), so the simulated Ktps column
+    gates *parity*; the measurable simulated gain is the cross-site
+    bandwidth batching frees (``bytes_gain``), plus the wall-clock
+    speedup of simulating the same workload."""
+    runs = {}
+    for arm, batching in (("off", None), ("on", True)):
+        world = Deployment(
+            n_sites=4, costs=walter_costs("ec2"), flush_latency=FLUSH_EC2,
+            seed=17, batching=batching,
+        )
+        keys = populate(world, n_keys=4000)
+        factory = mixed_tx_factory(keys, 1, 5)
+        start = time.perf_counter()
+        result = run_closed_loop(
+            world,
+            factory,
+            clients_per_site=16 if small else 48,
+            warmup=0.1 if small else 0.2,
+            measure=0.2 if small else 0.4,
+            name="fig17-mixed",
+        )
+        runs[arm] = {
+            "wall": time.perf_counter() - start,
+            "events": world.kernel.events_executed,
+            "ops": result.ops,
+            "ktps": round(result.ktps, 3),
+            "bytes": _cross_site_bytes(world),
+        }
+    off, on = runs["off"], runs["on"]
+    return {
+        "wall_s": off["wall"] + on["wall"],
+        "events": off["events"] + on["events"],
+        "sim": {
+            "wall_off_s": round(off["wall"], 3),
+            "wall_on_s": round(on["wall"], 3),
+            "ktps_off": off["ktps"],
+            "ktps_on": on["ktps"],
+            "ktps_gain": round(on["ktps"] / off["ktps"], 3) if off["ktps"] else 0.0,
+            "bytes_off": off["bytes"],
+            "bytes_on": on["bytes"],
+            "bytes_gain": (
+                round(off["bytes"] / on["bytes"], 3) if on["bytes"] else 0.0
+            ),
+        },
+    }
+
+
+@scenario
+def shard_batching_ab(small: bool = False) -> Dict[str, Any]:
+    """Interleaved A/B for batching on the sharded mixed workload
+    (4 base sites x 4 shards, the ``shard_scaling`` upper cell):
+    per-shard propagation streams multiply the per-record message tax,
+    so this is where propagation batching pays most in simulated Ktps."""
+    start = time.perf_counter()
+    off = _shard_run(4, small, batching=None, with_bytes=True)
+    wall_off = time.perf_counter() - start
+    start = time.perf_counter()
+    on = _shard_run(4, small, batching=True, with_bytes=True)
+    wall_on = time.perf_counter() - start
+    return {
+        "wall_s": wall_off + wall_on,
+        "events": off["events"] + on["events"],
+        "sim": {
+            "wall_off_s": round(wall_off, 3),
+            "wall_on_s": round(wall_on, 3),
+            "ktps_off": off["ktps"],
+            "ktps_on": on["ktps"],
+            "ops_off": off["ops"],
+            "ops_on": on["ops"],
+            "ktps_gain": round(on["ktps"] / off["ktps"], 3) if off["ktps"] else 0.0,
+            "bytes_off": off["bytes"],
+            "bytes_on": on["bytes"],
+            "bytes_gain": (
+                round(off["bytes"] / on["bytes"], 3) if on["bytes"] else 0.0
+            ),
+        },
+    }
+
+
 def run_scenarios(
     names: List[str] = None, small: bool = False, repeats: int = 1
 ) -> Dict[str, Any]:
@@ -410,7 +560,13 @@ def run_scenarios(
                 # estimate of the intrinsic cost.
                 sim, first = run.get("sim"), out.get("sim")
                 if isinstance(sim, dict) and isinstance(first, dict):
-                    for key in ("cpu_s", "max_worker_cpu_s", "solo_max_cpu_s"):
+                    for key in (
+                        "cpu_s",
+                        "max_worker_cpu_s",
+                        "solo_max_cpu_s",
+                        "wall_off_s",
+                        "wall_on_s",
+                    ):
                         a, b = first.get(key), sim.get(key)
                         if a is not None and b is not None:
                             first[key] = min(a, b)
@@ -425,5 +581,13 @@ def run_scenarios(
         out["runs_wall_s"] = runs
         out["wall_s"] = round(median, 3)
         out["events_per_s"] = round(out["events"] / median, 1)
+        sim = out.get("sim")
+        if (
+            isinstance(sim, dict)
+            and "speedup_wall" in sim
+            and sim.get("wall_on_s")
+        ):
+            # Keep the A/B headline consistent with the min-merged arms.
+            sim["speedup_wall"] = round(sim["wall_off_s"] / sim["wall_on_s"], 3)
         results[name] = out
     return results

@@ -120,6 +120,11 @@ def main(argv=None) -> int:
     parser.add_argument("--budget", type=int, default=6, help="fault budget per schedule")
     parser.add_argument("--horizon", type=float, default=8.0, help="fault window (sim s)")
     parser.add_argument(
+        "--batching", action="store_true",
+        help="run with the hot-path batching layer on (DESIGN.md §14); "
+        "PSI verdicts must be independent of it",
+    )
+    parser.add_argument(
         "--bug",
         default=None,
         help="plant a deliberate bug (harness self-test); see RecoveryMixin.CHAOS_BUGS",
@@ -161,6 +166,7 @@ def main(argv=None) -> int:
         bug=args.bug,
         shards=args.shards,
         replication=args.replication,
+        batching=args.batching,
     )
     for seed in range(args.seed, args.seed + args.runs):
         config = replace(base, seed=seed)

@@ -68,6 +68,11 @@ class ChaosConfig:
     #: Per-shard replication factor (base sites per shard group); None =
     #: full replication.
     replication: Optional[int] = None
+    #: Run with the hot-path batching layer on (DESIGN.md §14): WAL
+    #: group-commit window, encoded propagation batches, read
+    #: coalescing.  Default off keeps stored corpus configs (which
+    #: predate batching) replaying byte-identically.
+    batching: bool = False
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -84,6 +89,7 @@ class ChaosConfig:
             "bug": self.bug,
             "shards": self.shards,
             "replication": self.replication,
+            "batching": self.batching,
         }
 
     @classmethod
@@ -238,6 +244,7 @@ def _run_chaos(
         tracing=bool(monitor),
         shards=config.shards,
         replication=config.replication,
+        batching=True if config.batching else None,
     )
     world.chaos_bug = config.bug
     online = OnlineMonitor(world) if monitor else None

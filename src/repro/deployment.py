@@ -20,7 +20,14 @@ from .core.objects import Container
 from .core.versions import Version
 from .net import ClusterGateway, Envelope, Host, Network, Topology
 from .obs import Observability
-from .server import LeaseConfig, LocalConfig, ServerCosts, SiteRecoveryCoordinator, WalterServer
+from .server import (
+    BatchingConfig,
+    LeaseConfig,
+    LocalConfig,
+    ServerCosts,
+    SiteRecoveryCoordinator,
+    WalterServer,
+)
 from .sim import Kernel, RandomStreams
 from .spec.checker import ExecutionTrace
 from .storage import FLUSH_EC2, SiteStorage
@@ -70,6 +77,7 @@ class Deployment:
         workers: int = 0,
         shards: int = 1,
         replication: Optional[int] = None,
+        batching=None,
     ):
         if executor not in ("serial", "parallel"):
             raise ValueError("executor must be 'serial' or 'parallel', got %r" % (executor,))
@@ -100,6 +108,7 @@ class Deployment:
                 leases=leases,
                 shards=shards,
                 replication=replication,
+                batching=batching,
             )
             return
         self.executor = "serial"
@@ -146,6 +155,12 @@ class Deployment:
         self._partial_replication = (
             replication is not None and replication < self.n_base_sites
         )
+        #: Hot-path batching (DESIGN.md §14): WAL group-commit window,
+        #: propagation record batching with delta-encoded VTS, and read
+        #: coalescing.  ``None`` (the default) keeps every path
+        #: byte-identical to the unbatched kernel; ``True`` enables the
+        #: default :class:`~repro.server.BatchingConfig`.
+        self.batching = BatchingConfig.coerce(batching)
         #: Shared observability: the metrics registry is always on;
         #: per-transaction span tracing is enabled with ``tracing=True``,
         #: and ``tracing="deep"`` additionally records commit-path
@@ -189,6 +204,9 @@ class Deployment:
                     "disk-p-%d" % site
                     if cluster is not None
                     else "disk-%d-%d" % (self._deploy_id, site)
+                ),
+                flush_window=(
+                    self.batching.wal_window if self.batching is not None else 0.0
                 ),
             )
             if self.owns(site)
@@ -242,6 +260,7 @@ class Deployment:
             obs=self.obs,
             leases=self.leases,
             partial_replication=self._partial_replication,
+            batching=self.batching,
         )
         server.chaos_bug = self.chaos_bug
         return server

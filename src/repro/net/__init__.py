@@ -2,6 +2,11 @@
 
 from .network import ClusterGateway, Envelope, Message, Network, NetworkStats
 from .rpc import Cast, Host, RpcError, RpcRemoteError, RpcReply, RpcRequest, RpcTimeout
+from .wire import (
+    ack_batch_bytes,
+    decode_propagation_batch,
+    encode_propagation_batch,
+)
 from .topology import (
     EC2_CROSS_SITE_BANDWIDTH_BPS,
     EC2_INTRA_SITE_BANDWIDTH_BPS,
@@ -12,8 +17,11 @@ from .topology import (
 )
 
 __all__ = [
+    "ack_batch_bytes",
     "Cast",
     "ClusterGateway",
+    "decode_propagation_batch",
+    "encode_propagation_batch",
     "Envelope",
     "EC2_CROSS_SITE_BANDWIDTH_BPS",
     "EC2_INTRA_SITE_BANDWIDTH_BPS",

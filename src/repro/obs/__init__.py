@@ -54,6 +54,7 @@ from .trace import (
 from .artifact import (
     collect_run,
     diff_artifacts,
+    diff_outcomes,
     format_diff,
     load_artifact,
     summarize_artifact,
@@ -144,6 +145,7 @@ __all__ = [
     "compute_budget",
     "compute_lag_report",
     "diff_artifacts",
+    "diff_outcomes",
     "dump_jsonl",
     "format_budget_table",
     "format_diff",

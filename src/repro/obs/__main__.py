@@ -8,6 +8,11 @@
     Compare two artifacts of the same scenario; exit 1 if any latency
     budget, histogram quantile, or throughput counter regressed past the
     threshold.  CI uses this as its observability regression gate.
+
+``diff BASELINE CURRENT --outcomes-only``
+    Exact-equality check of outcome counters only (commits, aborts,
+    remote applies, durable records); timing metrics are ignored.  CI
+    uses this to pin that batching changes schedules, never results.
 """
 
 from __future__ import annotations
@@ -15,7 +20,13 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .artifact import diff_artifacts, format_diff, load_artifact, summarize_artifact
+from .artifact import (
+    diff_artifacts,
+    diff_outcomes,
+    format_diff,
+    load_artifact,
+    summarize_artifact,
+)
 
 
 def main(argv=None) -> int:
@@ -35,11 +46,22 @@ def main(argv=None) -> int:
         "--threshold", type=float, default=0.10,
         help="relative regression threshold (default 0.10 = 10%%)",
     )
+    p_diff.add_argument(
+        "--outcomes-only", action="store_true",
+        help="compare outcome counters exactly and ignore timing; any "
+        "difference in commits/aborts/applies/records is a failure",
+    )
 
     args = parser.parse_args(argv)
     if args.command == "summarize":
         print(summarize_artifact(load_artifact(args.artifact)))
         return 0
+    if args.outcomes_only:
+        mismatches, notes = diff_outcomes(
+            load_artifact(args.baseline), load_artifact(args.current)
+        )
+        print(format_diff(mismatches, notes))
+        return 1 if mismatches else 0
     regressions, notes = diff_artifacts(
         load_artifact(args.baseline),
         load_artifact(args.current),

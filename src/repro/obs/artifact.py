@@ -252,6 +252,68 @@ def diff_artifacts(
     return regressions, notes
 
 
+#: Counters that describe *what happened* in a run rather than how fast
+#: it happened: transaction verdicts, replication application counts,
+#: and durable-record totals.  Two runs of the same workload that differ
+#: only in scheduling efficiency (e.g. ``Deployment(batching=...)`` on
+#: vs off) must agree on every one of these exactly -- batching is
+#: allowed to move latencies and message counts, never outcomes.
+OUTCOME_COUNTER_PREFIXES = (
+    "server.commits",
+    "server.aborts",
+    "server.started",
+    "server.remote_applied",
+    "server.remote_commits",
+    "server.read_only_commits",
+    "server.slow_commits",
+    "disklog.records",
+    "tx.reaped",
+)
+
+
+def _is_outcome_counter(key: str) -> bool:
+    return any(key.startswith(p + "{") or key == p for p in OUTCOME_COUNTER_PREFIXES)
+
+
+def diff_outcomes(
+    baseline: Dict[str, Any], current: Dict[str, Any]
+) -> Tuple[List[str], List[str]]:
+    """Compare only the outcome counters of two artifacts, exactly.
+
+    This is the behavior-transparency gate for optimizations that are
+    allowed to change timing but not results: any whitelisted counter
+    (:data:`OUTCOME_COUNTER_PREFIXES`) that differs -- or exists in only
+    one artifact -- is a mismatch.  Timing metrics (histograms, gauges,
+    budgets) and traffic counters (flushes, messages, bytes) are ignored
+    entirely; what moved there is summarized as notes.
+    """
+    mismatches: List[str] = []
+    notes: List[str] = []
+    base = {k: v for k, v in baseline["counters"].items() if _is_outcome_counter(k)}
+    cur = {k: v for k, v in current["counters"].items() if _is_outcome_counter(k)}
+    for key in sorted(set(base) | set(cur)):
+        if key not in base or key not in cur:
+            mismatches.append(
+                "outcome counter %s only in %s"
+                % (key, "current" if key not in base else "baseline")
+            )
+        elif base[key] != cur[key]:
+            mismatches.append(
+                "outcome counter %s: %s -> %s" % (key, base[key], cur[key])
+            )
+    if not mismatches:
+        notes.append("%d outcome counters identical" % len(base))
+    timing_moved = sum(
+        1
+        for key in set(baseline["counters"]) & set(current["counters"])
+        if not _is_outcome_counter(key)
+        and baseline["counters"][key] != current["counters"][key]
+    )
+    if timing_moved:
+        notes.append("%d non-outcome counters differ (allowed)" % timing_moved)
+    return mismatches, notes
+
+
 def format_diff(
     regressions: List[str], notes: List[str], max_notes: int = 20
 ) -> str:

@@ -1,11 +1,13 @@
 """The Walter server and its protocol components."""
 
+from .batching import BatchingConfig
 from .propagation import PropagationTracker
 from .recovery import SiteRecoveryCoordinator
 from .server import ServerStats, WalterServer
 from .state import ConfigView, LeaseConfig, LocalConfig, ServerCosts
 
 __all__ = [
+    "BatchingConfig",
     "ConfigView",
     "LeaseConfig",
     "LocalConfig",

@@ -25,6 +25,11 @@ from typing import Iterator, List, Optional, Set, Tuple
 
 from ..core.transaction import CommitRecord
 from ..core.updates import touched_oids
+from ..net.wire import (
+    ack_batch_bytes,
+    decode_propagation_batch,
+    encode_propagation_batch,
+)
 from ..obs import trace as span
 from ..sim import AllOf, AnyOf, Interrupt
 
@@ -299,6 +304,14 @@ class PropagationMixin:
     def _send_batch(self, records: List[CommitRecord]) -> None:
         for record in records:
             self._span(record.tid, span.PROPAGATE_SEND, batch=len(records))
+        if self.batching is not None:
+            self._send_batch_encoded(records)
+            self.stats.inc("batches_sent")
+            return
+        # Batch-occupancy observability (DESIGN.md §14): recorded in both
+        # modes so batching efficacy is measurable against the unbatched
+        # baseline.  Observation only -- no simulated events.
+        self._prop_batch_hist.observe(float(len(records)))
         if not self.partial_replication:
             size = sum(r.payload_bytes() for r in records) + 64
             for site in self.config.active_sites():
@@ -326,6 +339,42 @@ class PropagationMixin:
                 )
         self.stats.inc("batches_sent")
 
+    def _send_batch_encoded(self, records: List[CommitRecord]) -> None:
+        """Batched-mode PROPAGATE: one delta-encoded cast per destination
+        per ``max_batch`` chunk (see :mod:`repro.net.wire`).  Receivers
+        apply the chunk atomically in seqno order and reply with a single
+        ``propagate_ack_batch``."""
+        cfg = self.batching
+        observe = self._prop_batch_hist.observe
+        for start in range(0, len(records), cfg.max_batch):
+            chunk = records[start : start + cfg.max_batch]
+            observe(float(len(chunk)))
+            if not self.partial_replication:
+                entries, size = encode_propagation_batch(chunk, cfg.delta_vts)
+                for site in self.config.active_sites():
+                    if site == self.site_id:
+                        continue
+                    self.cast(
+                        self.peers[site],
+                        "propagate_batch",
+                        size_bytes=size,
+                        entries=entries,
+                        from_site=self.site_id,
+                    )
+            else:
+                for site in self.config.active_sites():
+                    if site == self.site_id:
+                        continue
+                    shipped = [self._record_for(r, site) for r in chunk]
+                    entries, size = encode_propagation_batch(shipped, cfg.delta_vts)
+                    self.cast(
+                        self.peers[site],
+                        "propagate_batch",
+                        size_bytes=size,
+                        entries=entries,
+                        from_site=self.site_id,
+                    )
+
     def on_propagate_ack(self, src: str, tid: str, site: int):
         tracker = self._trackers.get(tid)
         if tracker is None:
@@ -333,12 +382,50 @@ class PropagationMixin:
         tracker.acked.add(site)
         self._maybe_ds(tracker)
 
+    def on_propagate_ack_batch(self, src: str, tids: List[str], site: int):
+        """Batched-mode PROPAGATE acks: one cast acknowledges a whole
+        applied chunk.  DS-DURABLE announcements that fire while the acks
+        are absorbed are buffered (see ``_maybe_ds``) and broadcast as a
+        single ``ds_durable_batch`` per destination, collapsing the
+        per-record fan-out that dominates the unbatched wire."""
+        buf: List[CommitRecord] = []
+        self._ds_buffer = buf
+        try:
+            for tid in tids:
+                tracker = self._trackers.get(tid)
+                if tracker is None:
+                    continue
+                tracker.acked.add(site)
+                self._maybe_ds(tracker)
+        finally:
+            self._ds_buffer = None
+        if buf:
+            size = ack_batch_bytes(len(buf))
+            for peer in self.config.active_sites():
+                if peer == self.site_id:
+                    continue
+                self.cast(
+                    self.peers[peer],
+                    "ds_durable_batch",
+                    size_bytes=size,
+                    records=buf,
+                    from_site=self.site_id,
+                )
+
     def on_visible_ack(self, src: str, tid: str, site: int):
         tracker = self._trackers.get(tid)
         if tracker is None:
             return
         tracker.visible.add(site)
         self._maybe_visible(tracker)
+
+    def on_visible_ack_batch(self, src: str, tids: List[str], site: int):
+        for tid in tids:
+            tracker = self._trackers.get(tid)
+            if tracker is None:
+                continue
+            tracker.visible.add(site)
+            self._maybe_visible(tracker)
 
     @staticmethod
     def _commit_time(tracker: PropagationTracker) -> float:
@@ -359,14 +446,20 @@ class PropagationMixin:
         self._ds_lag.observe(self.kernel.now - self._commit_time(tracker))
         self._span(tracker.record.tid, span.DS_DURABLE, acked=len(tracker.acked))
         self.storage.log.append({"kind": "ds_durable", "tid": tracker.record.tid})
-        for site in self.config.active_sites():
-            if site != self.site_id:
-                self.cast(
-                    self.peers[site],
-                    "ds_durable",
-                    record=tracker.record,
-                    from_site=self.site_id,
-                )
+        if self._ds_buffer is not None:
+            # Batched ack processing (on_propagate_ack_batch): defer the
+            # broadcast so every record the ack batch made DS-durable
+            # ships in one ds_durable_batch per destination.
+            self._ds_buffer.append(tracker.record)
+        else:
+            for site in self.config.active_sites():
+                if site != self.site_id:
+                    self.cast(
+                        self.peers[site],
+                        "ds_durable",
+                        record=tracker.record,
+                        from_site=self.site_id,
+                    )
         if tracker.client is not None:
             self.cast(tracker.client, "tx_ds_durable", tid=tracker.record.tid)
         self._maybe_visible(tracker)
@@ -431,7 +524,29 @@ class PropagationMixin:
     APPLY_CHUNK = 512
 
     def on_propagate(self, src: str, records: List[CommitRecord], from_site: int):
-        """Apply a propagation batch.
+        """Apply a propagation batch, acknowledging per record (the
+        legacy wire protocol; byte-identical schedules depend on it)."""
+        to_ack = yield from self._apply_propagate_batch(src, records)
+        for tid in to_ack:
+            self.cast(src, "propagate_ack", tid=tid, site=self.site_id)
+
+    def on_propagate_batch(self, src: str, entries: list, from_site: int):
+        """Batched-mode PROPAGATE: decode the delta-encoded chunk (see
+        :mod:`repro.net.wire`), apply it atomically in seqno order, and
+        acknowledge the whole applied run with one cast."""
+        records = decode_propagation_batch(entries)
+        to_ack = yield from self._apply_propagate_batch(src, records)
+        if to_ack:
+            self.cast(
+                src,
+                "propagate_ack_batch",
+                size_bytes=ack_batch_bytes(len(to_ack)),
+                tids=to_ack,
+                site=self.site_id,
+            )
+
+    def _apply_propagate_batch(self, src: str, records: List[CommitRecord]):
+        """Apply a propagation batch; returns the tids to acknowledge.
 
         Applies run in chunks under one commit-lock acquisition, and
         durability is awaited once for the whole batch (the WAL
@@ -455,37 +570,82 @@ class PropagationMixin:
                 continue
             yield self.commit_lock.acquire()
             try:
-                applied = 0
-                while i < len(records) and applied < self.APPLY_CHUNK:
-                    record = records[i]
-                    if self.got_vts[record.site] >= record.seqno:
+                if self.batching is not None:
+                    # Batched mode: plan the chunk against a shadow clock,
+                    # charge ONE aggregated apply-cost timeout, then apply
+                    # without further yields.  The legacy per-record
+                    # timeout costs a kernel event per record per
+                    # receiver; the aggregate advances simulated time by
+                    # the same total.  The shadow clock reproduces the
+                    # incremental guard exactly -- records in a batch are
+                    # same-origin contiguous seqnos, so each planned
+                    # apply enables the next one's got guard.
+                    chunk: List[CommitRecord] = []
+                    shadow = self.got_vts
+                    while i < len(records) and len(chunk) < self.APPLY_CHUNK:
+                        record = records[i]
+                        if shadow[record.site] >= record.seqno:
+                            to_ack.append(record.tid)
+                            i += 1
+                            continue
+                        if not (
+                            shadow.dominates(record.start_vts)
+                            and shadow[record.site] == record.seqno - 1
+                        ):
+                            self._park_remote(record, src)
+                            i += 1
+                            continue
+                        chunk.append(record)
+                        shadow = shadow.with_entry(record.site, record.seqno)
+                        i += 1
+                    if chunk:
+                        yield self.kernel.timeout(
+                            self.costs.apply_remote * len(chunk)
+                        )
+                        for record in chunk:
+                            version = record.version
+                            self.histories.apply(record.updates, version)
+                            self.got_vts = self.got_vts.with_entry(
+                                record.site, record.seqno
+                            )
+                            self._records_by_version[version] = record
+                            self.stats.inc("remote_applied")
+                            self._note_remote_apply(record)
+                            last_durable = self.storage.log.append(
+                                {"kind": "remote_apply", "record": record}
+                            )
+                            to_ack.append(record.tid)
+                else:
+                    applied = 0
+                    while i < len(records) and applied < self.APPLY_CHUNK:
+                        record = records[i]
+                        if self.got_vts[record.site] >= record.seqno:
+                            to_ack.append(record.tid)
+                            i += 1
+                            continue
+                        if not self._got_guard(record):
+                            self._park_remote(record, src)
+                            i += 1
+                            continue
+                        yield self.kernel.timeout(self.costs.apply_remote)
+                        version = record.version
+                        self.histories.apply(record.updates, version)
+                        self.got_vts = self.got_vts.with_entry(record.site, record.seqno)
+                        self._records_by_version[version] = record
+                        self.stats.inc("remote_applied")
+                        self._note_remote_apply(record)
+                        last_durable = self.storage.log.append(
+                            {"kind": "remote_apply", "record": record}
+                        )
                         to_ack.append(record.tid)
+                        applied += 1
                         i += 1
-                        continue
-                    if not self._got_guard(record):
-                        self._park_remote(record, src)
-                        i += 1
-                        continue
-                    yield self.kernel.timeout(self.costs.apply_remote)
-                    version = record.version
-                    self.histories.apply(record.updates, version)
-                    self.got_vts = self.got_vts.with_entry(record.site, record.seqno)
-                    self._records_by_version[version] = record
-                    self.stats.inc("remote_applied")
-                    self._note_remote_apply(record)
-                    last_durable = self.storage.log.append(
-                        {"kind": "remote_apply", "record": record}
-                    )
-                    to_ack.append(record.tid)
-                    applied += 1
-                    i += 1
             finally:
                 self.commit_lock.release()
             self._drain_pending()
         if last_durable is not None:
             yield last_durable  # batch durable before acknowledging
-        for tid in to_ack:
-            self.cast(src, "propagate_ack", tid=tid, site=self.site_id)
+        return to_ack
 
     def _park_remote(self, record: CommitRecord, src: Optional[str]) -> None:
         """Hold back a record whose got guard failed, once: batches can
@@ -569,7 +729,7 @@ class PropagationMixin:
 
     def on_ds_durable(self, src: str, record: CommitRecord, from_site: int):
         if self.committed_vts[record.site] >= record.seqno:
-            self.cast(src, "visible_ack", tid=record.tid, site=self.site_id)
+            self._send_visible_ack(src, record.tid)
             return
         if not self._committed_guard(record):
             # Dedup: DS-DURABLE is re-announced periodically while the
@@ -579,6 +739,48 @@ class PropagationMixin:
             return
         self._commit_remote(record, src)
         self._drain_pending()
+
+    def on_ds_durable_batch(self, src: str, records: List[CommitRecord], from_site: int):
+        """Batched-mode DS-DURABLE: commit every announced record whose
+        guards pass (parking the rest exactly as the single-record path
+        does), then reply with one ``visible_ack_batch``.  VISIBLE acks
+        raised while processing -- including ones ``_drain_pending``
+        emits for records this batch unblocked -- are buffered via
+        ``_send_visible_ack``."""
+        buf = (src, [])
+        self._vis_ack_buffer = buf
+        try:
+            for record in records:
+                if self.committed_vts[record.site] >= record.seqno:
+                    self._send_visible_ack(src, record.tid)
+                    continue
+                if not self._committed_guard(record):
+                    self._pending_ds.add(record, src)
+                    continue
+                self._commit_remote(record, src)
+            self._drain_pending()
+        finally:
+            self._vis_ack_buffer = None
+        tids = buf[1]
+        if tids:
+            self.cast(
+                src,
+                "visible_ack_batch",
+                size_bytes=ack_batch_bytes(len(tids)),
+                tids=tids,
+                site=self.site_id,
+            )
+
+    def _send_visible_ack(self, reply_to: str, tid: str) -> None:
+        """Send (or, inside a DS batch, buffer) one VISIBLE ack.  The
+        buffer only captures acks aimed at the batch's origin; acks owed
+        to a different site (pending records parked by an earlier
+        announcement) go out individually as before."""
+        buf = self._vis_ack_buffer
+        if buf is not None and buf[0] == reply_to:
+            buf[1].append(tid)
+        else:
+            self.cast(reply_to, "visible_ack", tid=tid, site=self.site_id)
 
     def _committed_guard(self, record: CommitRecord) -> bool:
         """Fig 13: CommittedVTS_i >= x.startVTS, CommittedVTS_i[j] =
@@ -598,7 +800,7 @@ class PropagationMixin:
         if self.trace is not None:
             self.trace.record_site_commit(self.site_id, record.version)
         if reply_to is not None:
-            self.cast(reply_to, "visible_ack", tid=record.tid, site=self.site_id)
+            self._send_visible_ack(reply_to, record.tid)
 
     # ------------------------------------------------------------------
     # Guard re-evaluation
@@ -700,7 +902,7 @@ class PropagationMixin:
                 record, reply_to = entry[0], entry[1]
                 if self.committed_vts[site] >= seqno:
                     if reply_to is not None:  # recovery-staged: nobody to ack
-                        self.cast(reply_to, "visible_ack", tid=record.tid, site=site_id)
+                        self._send_visible_ack(reply_to, record.tid)
                 else:
                     self._commit_remote(record, reply_to)
                     if len(pending_ds):

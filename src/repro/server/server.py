@@ -18,7 +18,7 @@ from ..core.objects import ObjectId
 from ..core.transaction import TxStatus
 from ..core.versions import VectorTimestamp, Version
 from ..net import Host, Network
-from ..obs import AccessProfiler, MetricsRegistry, Observability
+from ..obs import AccessProfiler, MetricsRegistry, Observability, log_buckets
 from ..obs import trace as span
 from ..sim import Kernel, Lock, Resource, Store
 from ..spec.checker import ExecutionTrace
@@ -52,6 +52,7 @@ class ServerStats:
         "remote_applied",
         "remote_commits",
         "batches_sent",
+        "coalesced_reads",
         "resumed_propagations",
         "retransmissions",
         "sealed_holes",
@@ -145,6 +146,7 @@ class WalterServer(
         obs: Optional[Observability] = None,
         leases: Optional[LeaseConfig] = None,
         partial_replication: bool = False,
+        batching=None,
     ):
         super().__init__(kernel, network, site_id, name, takeover=takeover)
         if ds_mode not in ("all_sites", "f_plus_1"):
@@ -168,6 +170,15 @@ class WalterServer(
         #: the trimmed wire messages and read routing would perturb
         #: pinned schedule digests of full-replication runs.
         self.partial_replication = partial_replication
+        #: Hot-path batching (DESIGN.md §14): a
+        #: :class:`~repro.server.batching.BatchingConfig` enables the
+        #: adaptive WAL group-commit window, delta-encoded propagation
+        #: batches with per-batch ack/DS/VISIBLE casts, and read
+        #: coalescing.  ``None`` (the default) takes exactly the legacy
+        #: per-record paths -- pinned schedule digests depend on it.
+        from .batching import BatchingConfig
+
+        self.batching = BatchingConfig.coerce(batching)
 
         n_sites = len(network.topology)
         # Fig 9 variables.
@@ -195,6 +206,13 @@ class WalterServer(
         self._ds_unvisible: Dict[str, PropagationTracker] = {}
         self._enqueue_seq = 0
         self._visible_tids = set()
+        # Batching scratch state (always allocated so the off path pays
+        # only a None check): in-flight coalescable remote reads, and the
+        # per-handler buffers that collapse DS-DURABLE broadcasts and
+        # VISIBLE acks into per-batch casts (see PropagationMixin).
+        self._read_inflight: Dict[tuple, object] = {}
+        self._ds_buffer = None
+        self._vis_ack_buffer = None
         self._delayed_until: Dict[ObjectId, float] = {}
         # Commit-path hardening state (DESIGN.md §9).
         #: tid -> lease deadline of the active transaction (refreshed on
@@ -227,6 +245,12 @@ class WalterServer(
         self._replication_lag = registry.histogram("server.replication_lag", site=site_id)
         self._ds_lag = registry.histogram("server.ds_lag", site=site_id)
         self._visibility_lag = registry.histogram("server.visibility_lag", site=site_id)
+        #: Propagation batch occupancy (records per PROPAGATE cast per
+        #: destination) -- observed in both modes so batching efficacy is
+        #: comparable against the unbatched baseline (DESIGN.md §14).
+        self._prop_batch_hist = registry.histogram(
+            "server.propagation_batch", buckets=log_buckets(1.0, 4096.0), site=site_id
+        )
         self.stats = ServerStats(registry, site_id)
         self._prop_loop = None
         self._gc_loop = None

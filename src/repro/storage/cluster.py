@@ -38,11 +38,15 @@ class SiteStorage:
         flush_latency: float,
         name: str = "",
         cache_capacity: int = DEFAULT_CACHE_CAPACITY,
+        flush_window: float = 0.0,
     ):
         self.kernel = kernel
         self.site = site
         self.log = DiskLog(
-            kernel, flush_latency=flush_latency, name=name or ("disk-site%d" % site)
+            kernel,
+            flush_latency=flush_latency,
+            name=name or ("disk-site%d" % site),
+            flush_window=flush_window,
         )
         #: In-memory object cache with cset-preferring LRU eviction (§6).
         self.cache = ObjectCache(cache_capacity)

@@ -85,6 +85,13 @@ class TestScheduleDigest:
     def test_chaos_schedule_digest_pinned(self):
         assert chaos_digest() == CHAOS_DIGEST
 
+    def test_batching_off_digest_identical(self):
+        """``batching=None`` (explicitly off) must take the exact
+        unbatched code path -- no window, no encoded casts, no
+        coalescing indirection -- so the pinned digest holds
+        bit-for-bit with the knob spelled out."""
+        assert workload_digest(batching=None) == WORKLOAD_DIGEST
+
     def test_single_shard_digest_identical_to_unsharded(self):
         """``shards=1`` must take the exact pre-sharding code path --
         same topology object, no routing indirection -- so the pinned
